@@ -1,0 +1,59 @@
+//! Criterion benchmarks of whole-pipeline simulation throughput: cycles
+//! and instructions simulated per second for representative workloads and
+//! the two headline configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use orinoco_core::{CommitKind, Core, CoreConfig, SchedulerKind};
+use orinoco_workloads::Workload;
+use std::hint::black_box;
+
+const INSTRS: u64 = 10_000;
+
+fn sim(workload: Workload, cfg: CoreConfig) -> u64 {
+    let mut emu = workload.build(13, 1);
+    emu.set_step_limit(INSTRS);
+    let stats = Core::new(emu, cfg).run(1_000_000_000);
+    stats.cycles
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_sim");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(INSTRS));
+    for w in [Workload::ExchangeLike, Workload::HashjoinLike, Workload::GemmLike] {
+        g.bench_with_input(BenchmarkId::new("age_ioc", w.name()), &w, |b, &w| {
+            b.iter(|| black_box(sim(w, CoreConfig::base())));
+        });
+        g.bench_with_input(BenchmarkId::new("orinoco_full", w.name()), &w, |b, &w| {
+            b.iter(|| {
+                black_box(sim(
+                    w,
+                    CoreConfig::base()
+                        .with_scheduler(SchedulerKind::Orinoco)
+                        .with_commit(CommitKind::Orinoco),
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_ultra(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_sim_ultra");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(INSTRS));
+    g.bench_function("ultra_orinoco_gemm", |b| {
+        b.iter(|| {
+            black_box(sim(
+                Workload::GemmLike,
+                CoreConfig::ultra()
+                    .with_scheduler(SchedulerKind::Orinoco)
+                    .with_commit(CommitKind::Orinoco),
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_ultra);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! **Figure 14** — IPC improvements of priority scheduling.
+//!
+//! Baseline: the Base core with the classic AGE scheduler (single oldest
+//! prioritised) and in-order commit. Bars: MULT (oldest per FU type),
+//! Orinoco (bit-count multi-oldest), CRI w/ AGE and CRI w/ Orinoco
+//! (criticality-aware variants). The paper reports Orinoco at +6.5%
+//! average (up to +11.8%) over AGE, with MULT in between and CRI adding
+//! ~2% on top.
+
+use orinoco_bench::{geomean_row, speedup_rows};
+use orinoco_core::{CoreConfig, SchedulerKind};
+use orinoco_stats::TextTable;
+
+fn main() {
+    let baseline = CoreConfig::base().with_scheduler(SchedulerKind::Age);
+    let configs: Vec<CoreConfig> = [
+        SchedulerKind::Mult,
+        SchedulerKind::Orinoco,
+        SchedulerKind::CriAge,
+        SchedulerKind::CriOrinoco,
+    ]
+    .into_iter()
+    .map(|s| CoreConfig::base().with_scheduler(s))
+    .collect();
+
+    println!("Figure 14: IPC improvement of priority scheduling over AGE (in-order commit)");
+    println!();
+    let rows = speedup_rows(&baseline, &configs);
+    let mut t = TextTable::new(vec![
+        "benchmark",
+        "MULT",
+        "Orinoco",
+        "CRI w/ AGE",
+        "CRI w/ Orinoco",
+    ]);
+    for (name, v) in &rows {
+        t.row_f64(name, v, 3);
+    }
+    let g = geomean_row(&rows);
+    t.row_f64("geomean", &g, 3);
+    println!("{t}");
+    println!(
+        "Orinoco vs AGE: geomean {:+.1}%, max {:+.1}%   (paper: +6.5% avg, +11.8% max)",
+        (g[1] - 1.0) * 100.0,
+        rows.iter().map(|(_, v)| v[1]).fold(f64::MIN, f64::max) * 100.0 - 100.0,
+    );
+    println!(
+        "MULT gap to Orinoco: {:+.1}%               (paper: MULT trails Orinoco by ~3.2%)",
+        (g[0] / g[1] - 1.0) * 100.0
+    );
+    println!(
+        "CRI w/ Orinoco over CRI w/ AGE: {:+.1}%    (paper: ~+2.1%)",
+        (g[3] / g[2] - 1.0) * 100.0
+    );
+}

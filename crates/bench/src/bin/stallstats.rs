@@ -1,0 +1,120 @@
+//! **Text statistics of §1/§2.2/§6.2** — commit-stall structure and
+//! full-window-stall reduction.
+//!
+//! * §2.2: instructions that satisfy every OoO-commit condition away from
+//!   the ROB head appear in ~72% of commit-stalled cycles.
+//! * §6.2: Orinoco removes ~65% of full-window stalls; ROB exhaustion is
+//!   unclogged by ~67%, LQ by ~55%, REG becomes barely clogged.
+//! * §2: arbitration is needed (more ready instructions than issue slots)
+//!   in ~18% of cycles.
+
+use orinoco_bench::run;
+use orinoco_core::{CommitKind, CoreConfig};
+use orinoco_stats::{Resource, StallBreakdown, TextTable};
+use orinoco_workloads::Workload;
+
+fn main() {
+    println!("Stall statistics (Base config): in-order vs Orinoco commit");
+    println!();
+    let mut t = TextTable::new(vec![
+        "benchmark",
+        "ooo-ready %",
+        "conflict %",
+        "fw-stall reduction %",
+        "ROB unclog %",
+        "LQ unclog %",
+        "REG unclog %",
+    ]);
+    let mut ioc_total = StallBreakdown::default();
+    let mut ooo_total = StallBreakdown::default();
+    let mut ooo_ready_sum = 0.0;
+    let mut conflict_sum = 0.0;
+    // Per-workload reductions, averaged only over workloads where the
+    // baseline actually exhibited the stall (mirrors how the paper
+    // aggregates per-benchmark behaviour).
+    let mut fw_reds = Vec::new();
+    let mut rob_reds = Vec::new();
+    let mut lq_reds = Vec::new();
+    let mut reg_reds = Vec::new();
+    let mut bw_util = Vec::new();
+    let mut committing_cycles = Vec::new();
+    for w in Workload::ALL {
+        let ioc = run(w, CoreConfig::base());
+        let ooo = run(w, CoreConfig::base().with_commit(CommitKind::Orinoco));
+        let ooo_ready = ioc.ooo_ready_fraction() * 100.0;
+        let conflict = ioc.issue_conflict_cycles as f64 / ioc.cycles as f64 * 100.0;
+        let fw_old = ioc.dispatch_stalls.full_window_stalls();
+        let fw_new = ooo.dispatch_stalls.full_window_stalls();
+        let fw_red = if fw_old == 0 {
+            0.0
+        } else {
+            (1.0 - fw_new as f64 / fw_old as f64) * 100.0
+        };
+        t.row_f64(
+            w.name(),
+            &[
+                ooo_ready,
+                conflict,
+                fw_red,
+                ooo.dispatch_stalls.unclog_vs(&ioc.dispatch_stalls, Resource::Rob) * 100.0,
+                ooo.dispatch_stalls.unclog_vs(&ioc.dispatch_stalls, Resource::Lq) * 100.0,
+                ooo.dispatch_stalls.unclog_vs(&ioc.dispatch_stalls, Resource::RegFile) * 100.0,
+            ],
+            1,
+        );
+        ooo_ready_sum += ooo_ready;
+        conflict_sum += conflict;
+        if fw_old > 0 {
+            fw_reds.push(fw_red);
+        }
+        if ioc.dispatch_stalls.count(Resource::Rob) > 0 {
+            rob_reds.push(ooo.dispatch_stalls.unclog_vs(&ioc.dispatch_stalls, Resource::Rob) * 100.0);
+        }
+        if ioc.dispatch_stalls.count(Resource::Lq) > 0 {
+            lq_reds.push(ooo.dispatch_stalls.unclog_vs(&ioc.dispatch_stalls, Resource::Lq) * 100.0);
+        }
+        if ioc.dispatch_stalls.count(Resource::RegFile) > 0 {
+            reg_reds.push(ooo.dispatch_stalls.unclog_vs(&ioc.dispatch_stalls, Resource::RegFile) * 100.0);
+        }
+        bw_util.push(ioc.committed as f64 / (ioc.cycles as f64 * 4.0) * 100.0);
+        committing_cycles.push(ioc.commit_at_least(1) * 100.0);
+        merge(&mut ioc_total, &ioc.dispatch_stalls);
+        merge(&mut ooo_total, &ooo.dispatch_stalls);
+    }
+    println!("{t}");
+    let n = Workload::ALL.len() as f64;
+    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    println!(
+        "Mean fraction of commit-stalled cycles with an OoO-committable instruction: {:.0}%  (paper: ~72%)",
+        ooo_ready_sum / n
+    );
+    println!(
+        "Mean fraction of cycles needing issue arbitration: {:.0}%                    (paper: ~18%)",
+        conflict_sum / n
+    );
+    println!(
+        "Mean full-window-stall reduction (stalling workloads): {:.0}%              (paper: ~65%)",
+        mean(&fw_reds)
+    );
+    println!(
+        "Mean ROB unclog {:.0}%, LQ unclog {:.0}%, REG unclog {:.0}%                 (paper: 67% / 55% / ~100%)",
+        mean(&rob_reds),
+        mean(&lq_reds),
+        mean(&reg_reds),
+    );
+    println!(
+        "Mean commit-bandwidth utilisation (IOC): {:.0}%; cycles with any commit: {:.0}%",
+        mean(&bw_util),
+        mean(&committing_cycles)
+    );
+    println!(
+        "(§1 cites warehouse workloads using ~1/3 of execution bandwidth and 20-40% stall-free retirement)"
+    );
+    let _ = (&ioc_total, &ooo_total);
+}
+
+fn merge(acc: &mut StallBreakdown, add: &StallBreakdown) {
+    for r in Resource::ALL {
+        acc.record_n(r, add.count(r));
+    }
+}

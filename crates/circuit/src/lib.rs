@@ -1,0 +1,50 @@
+//! Analytical processing-in-memory circuit model of Orinoco's matrix
+//! schedulers (paper §4 and §6.3).
+//!
+//! The paper implements the age, commit-dependency, memory-disambiguation
+//! and wakeup matrices as custom 8T SRAM arrays with bit-line computing:
+//! the bitwise AND is word-line activation, the reduction NOR is bit-line
+//! precharge + sense, and the **bit count encoding** is the analog voltage
+//! drop from parallel discharge paths compared against a tuned reference.
+//! It verifies the design in SPICE at 28 nm (Table 2) and measures
+//! whole-core overhead with McPAT at 22 nm.
+//!
+//! This crate substitutes a calibrated analytical model for those
+//! commercial flows (documented in `DESIGN.md`): RC scaling laws for
+//! latency, cell + peripheral accounting for area, and `α·C·V²` activity
+//! energy for power, with constants fit to the four Table 2 design points.
+//! On top of it:
+//!
+//! * [`table2::regenerate`] reproduces Table 2 (optionally with activity
+//!   factors measured from the cycle-level pipeline);
+//! * [`compare`] reproduces the §6.3 technology comparison — PIM vs 12T
+//!   dynamic logic vs static logic, the ~70× collapsible-queue power
+//!   wall, the 0.3%/0.6% core overhead — and the §6.4 vertical-split
+//!   scaling argument for a 512-entry ROB.
+//!
+//! # Example
+//!
+//! ```
+//! use orinoco_circuit::ArrayModel;
+//!
+//! let iq_age = ArrayModel::pim(96, 96, 4);
+//! let costs = iq_age.costs();
+//! assert!(costs.read_latency_ps < 500.0); // fits the 2 GHz budget
+//! assert!(costs.area_mm2 < 0.005);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod compare;
+pub mod model;
+pub mod table2;
+
+pub use compare::{
+    area_reduction_vs_dynamic, collapsible_power_ratio, compare_techs, core_overhead,
+    ultra_rob_scaling, CoreOverhead, TechRow,
+};
+pub use model::{
+    collapsible_queue_power_w, ArrayCosts, ArrayGeometry, ArrayModel, SchedulerTech, TechParams,
+};
+pub use table2::{regenerate, table2_schedulers, PaperRow, SchedulerSpec, Table2Row};

@@ -1,0 +1,213 @@
+//! The criticality engine of §6.2: a 64-entry critical count table (CCT)
+//! identifying the most frequent cache-missing loads and mispredicted
+//! branches, and a 1024-entry instruction slice table (IST) filled by
+//! iterative backward dependency analysis (IBDA).
+//!
+//! At rename, the last writer PC of each architectural register is
+//! tracked; when a critical instruction is renamed, its producers' PCs
+//! join the IST, so backward slices of critical instructions are marked
+//! incrementally over time.
+
+use orinoco_isa::{ArchReg, NUM_ARCH_REGS};
+
+#[derive(Clone, Copy, Debug)]
+struct CctEntry {
+    pc: u64,
+    count: u32,
+    last_used: u64,
+    valid: bool,
+}
+
+/// Criticality tables: CCT + IST + last-writer tracking for IBDA.
+#[derive(Clone, Debug)]
+pub struct CriticalityEngine {
+    cct: Vec<CctEntry>,
+    ist: Vec<u64>,
+    ist_cap: usize,
+    ist_next: usize,
+    last_writer: [Option<u64>; NUM_ARCH_REGS],
+    threshold: u32,
+    tick: u64,
+}
+
+impl CriticalityEngine {
+    /// Creates the engine with the paper's sizes: 64 CCT entries, 1024 IST
+    /// entries.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_sizes(64, 1024, 4)
+    }
+
+    /// Creates the engine with explicit table sizes and criticality
+    /// threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero.
+    #[must_use]
+    pub fn with_sizes(cct_entries: usize, ist_entries: usize, threshold: u32) -> Self {
+        assert!(cct_entries > 0 && ist_entries > 0, "tables must be non-empty");
+        Self {
+            cct: vec![
+                CctEntry { pc: 0, count: 0, last_used: 0, valid: false };
+                cct_entries
+            ],
+            ist: Vec::with_capacity(ist_entries),
+            ist_cap: ist_entries,
+            ist_next: 0,
+            last_writer: [None; NUM_ARCH_REGS],
+            threshold,
+            tick: 0,
+        }
+    }
+
+    /// Records a criticality event (an LLC-missing load or a mispredicted
+    /// branch) for the instruction at `pc`.
+    pub fn record_event(&mut self, pc: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.cct.iter_mut().find(|e| e.valid && e.pc == pc) {
+            e.count = e.count.saturating_add(1);
+            e.last_used = tick;
+            return;
+        }
+        let victim = self
+            .cct
+            .iter_mut()
+            .min_by_key(|e| if e.valid { (e.count as u64) << 32 | e.last_used } else { 0 })
+            .expect("non-empty CCT");
+        *victim = CctEntry { pc, count: 1, last_used: tick, valid: true };
+    }
+
+    /// Notes that the instruction at `pc` is the latest writer of `dst`
+    /// (called at rename for every instruction with a destination).
+    pub fn note_writer(&mut self, dst: ArchReg, pc: u64) {
+        self.last_writer[dst.index()] = Some(pc);
+    }
+
+    /// IBDA step at rename: if the instruction at `pc` is critical, the
+    /// last writers of its sources join the IST.
+    pub fn rename_observe(&mut self, pc: u64, srcs: impl IntoIterator<Item = ArchReg>) {
+        if !self.is_critical(pc) {
+            return;
+        }
+        let producers: Vec<u64> = srcs
+            .into_iter()
+            .filter_map(|s| self.last_writer[s.index()])
+            .collect();
+        for p in producers {
+            self.insert_ist(p);
+        }
+    }
+
+    fn insert_ist(&mut self, pc: u64) {
+        if self.ist.contains(&pc) {
+            return;
+        }
+        if self.ist.len() < self.ist_cap {
+            self.ist.push(pc);
+        } else {
+            // FIFO replacement over the fixed-capacity table.
+            self.ist[self.ist_next] = pc;
+            self.ist_next = (self.ist_next + 1) % self.ist_cap;
+        }
+    }
+
+    /// `true` if the instruction at `pc` should be tagged critical at
+    /// dispatch (frequent offender or on a critical backward slice).
+    #[must_use]
+    pub fn is_critical(&self, pc: u64) -> bool {
+        self.cct
+            .iter()
+            .any(|e| e.valid && e.pc == pc && e.count >= self.threshold)
+            || self.ist.contains(&pc)
+    }
+
+    /// Current IST occupancy.
+    #[must_use]
+    pub fn ist_len(&self) -> usize {
+        self.ist.len()
+    }
+}
+
+impl Default for CriticalityEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    #[test]
+    fn repeated_events_cross_threshold() {
+        let mut ce = CriticalityEngine::with_sizes(4, 16, 3);
+        assert!(!ce.is_critical(0x40));
+        ce.record_event(0x40);
+        ce.record_event(0x40);
+        assert!(!ce.is_critical(0x40));
+        ce.record_event(0x40);
+        assert!(ce.is_critical(0x40));
+    }
+
+    #[test]
+    fn ibda_marks_backward_slice() {
+        let mut ce = CriticalityEngine::with_sizes(4, 16, 1);
+        // producer at pc 0x10 writes x1; critical load at 0x20 uses x1.
+        ce.note_writer(x(1), 0x10);
+        ce.record_event(0x20); // load misses, becomes critical
+        ce.rename_observe(0x20, [x(1)]);
+        assert!(ce.is_critical(0x10), "producer joined the slice");
+        // the chain extends: 0x08 wrote x2 used by 0x10
+        ce.note_writer(x(2), 0x08);
+        ce.rename_observe(0x10, [x(2)]);
+        assert!(ce.is_critical(0x08));
+    }
+
+    #[test]
+    fn non_critical_instructions_do_not_grow_ist() {
+        let mut ce = CriticalityEngine::with_sizes(4, 16, 2);
+        ce.note_writer(x(1), 0x10);
+        ce.rename_observe(0x999, [x(1)]);
+        assert_eq!(ce.ist_len(), 0);
+    }
+
+    #[test]
+    fn cct_replacement_keeps_hot_entries() {
+        let mut ce = CriticalityEngine::with_sizes(2, 16, 2);
+        for _ in 0..5 {
+            ce.record_event(0xA0);
+        }
+        ce.record_event(0xB0);
+        ce.record_event(0xC0); // evicts the single-count 0xB0, not 0xA0
+        for _ in 0..2 {
+            ce.record_event(0xC0);
+        }
+        assert!(ce.is_critical(0xA0));
+        assert!(ce.is_critical(0xC0));
+        assert!(!ce.is_critical(0xB0));
+    }
+
+    #[test]
+    fn ist_capacity_is_bounded() {
+        let mut ce = CriticalityEngine::with_sizes(4, 4, 1);
+        ce.record_event(0x100);
+        for i in 0..10u64 {
+            ce.note_writer(x(1), 0x1000 + i * 4);
+            ce.rename_observe(0x100, [x(1)]);
+        }
+        assert!(ce.ist_len() <= 4);
+    }
+
+    #[test]
+    fn default_sizes_match_paper() {
+        let ce = CriticalityEngine::new();
+        assert_eq!(ce.cct.len(), 64);
+        assert_eq!(ce.ist_cap, 1024);
+    }
+}

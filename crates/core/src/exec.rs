@@ -1,0 +1,195 @@
+//! Functional-unit occupancy and the timing-event queue.
+
+use crate::config::{FuPools, Pool};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-pool functional units with busy tracking (unpipelined units stay
+/// busy until completion; pipelined units accept one issue per cycle).
+#[derive(Clone, Debug)]
+pub struct FuBank {
+    units: [Vec<u64>; 4],
+}
+
+impl FuBank {
+    /// Creates the bank from the configured pool sizes.
+    #[must_use]
+    pub fn new(p: FuPools) -> Self {
+        Self {
+            units: [
+                vec![0; p.int_alu],
+                vec![0; p.muldiv],
+                vec![0; p.fp],
+                vec![0; p.mem],
+            ],
+        }
+    }
+
+    /// Free units per pool at cycle `now` (the select budget).
+    #[must_use]
+    pub fn budget(&self, now: u64) -> [usize; 4] {
+        let mut b = [0; 4];
+        for (i, pool) in self.units.iter().enumerate() {
+            b[i] = pool.iter().filter(|&&busy| busy <= now).count();
+        }
+        b
+    }
+
+    /// Claims a unit of `pool` at cycle `now`, keeping it busy until
+    /// `until` (pass `now + 1` for pipelined classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no unit of the pool is free — callers must respect the
+    /// budget returned by [`FuBank::budget`].
+    pub fn occupy(&mut self, pool: Pool, now: u64, until: u64) {
+        let unit = self.units[pool.idx()]
+            .iter_mut()
+            .find(|busy| **busy <= now)
+            .unwrap_or_else(|| panic!("no free unit in pool {pool:?}"));
+        *unit = until;
+    }
+
+    /// Total units across pools.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.units.iter().map(Vec::len).sum()
+    }
+}
+
+/// Timing events delivered to the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A non-memory instruction finished executing.
+    ExecDone,
+    /// A load/store finished address generation.
+    AguDone,
+    /// A load's data returned from the memory system.
+    MemDone,
+    /// A load's cache access was rejected (MSHRs full); retry.
+    MemRetry,
+}
+
+/// A scheduled event, tagged with the ROB slot generation so events for
+/// squashed instructions go stale harmlessly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Delivery cycle.
+    pub at: u64,
+    /// Kind.
+    pub kind: EventKind,
+    /// ROB index.
+    pub rob_idx: usize,
+    /// ROB slot generation at scheduling time.
+    pub gen: u64,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.rob_idx, self.kind as u8).cmp(&(other.at, other.rob_idx, other.kind as u8))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-heap of timing events.
+#[derive(Clone, Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event.
+    pub fn push(&mut self, e: Event) {
+        self.heap.push(Reverse(e));
+    }
+
+    /// Pops the next event due at or before `now`.
+    pub fn pop_due(&mut self, now: u64) -> Option<Event> {
+        if self.heap.peek().is_some_and(|Reverse(e)| e.at <= now) {
+            self.heap.pop().map(|Reverse(e)| e)
+        } else {
+            None
+        }
+    }
+
+    /// Earliest scheduled cycle, if any (idle-cycle skipping).
+    #[must_use]
+    pub fn next_at(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Outstanding events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_counts_free_units() {
+        let mut fb = FuBank::new(FuPools { int_alu: 2, muldiv: 1, fp: 1, mem: 2 });
+        assert_eq!(fb.budget(0), [2, 1, 1, 2]);
+        fb.occupy(Pool::Int, 0, 1);
+        assert_eq!(fb.budget(0)[Pool::Int.idx()], 1);
+        // pipelined unit frees next cycle
+        assert_eq!(fb.budget(1)[Pool::Int.idx()], 2);
+    }
+
+    #[test]
+    fn unpipelined_blocks_until_done() {
+        let mut fb = FuBank::new(FuPools { int_alu: 1, muldiv: 1, fp: 1, mem: 1 });
+        fb.occupy(Pool::MulDiv, 0, 20);
+        assert_eq!(fb.budget(5)[Pool::MulDiv.idx()], 0);
+        assert_eq!(fb.budget(20)[Pool::MulDiv.idx()], 1);
+    }
+
+    #[test]
+    fn total_counts_all() {
+        let fb = FuBank::new(FuPools { int_alu: 3, muldiv: 1, fp: 2, mem: 2 });
+        assert_eq!(fb.total(), 8);
+    }
+
+    #[test]
+    fn event_queue_orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Event { at: 5, kind: EventKind::ExecDone, rob_idx: 1, gen: 0 });
+        q.push(Event { at: 2, kind: EventKind::MemDone, rob_idx: 2, gen: 0 });
+        q.push(Event { at: 9, kind: EventKind::AguDone, rob_idx: 3, gen: 0 });
+        assert_eq!(q.next_at(), Some(2));
+        assert!(q.pop_due(1).is_none());
+        assert_eq!(q.pop_due(5).unwrap().rob_idx, 2);
+        assert_eq!(q.pop_due(5).unwrap().rob_idx, 1);
+        assert!(q.pop_due(5).is_none());
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no free unit")]
+    fn over_occupy_panics() {
+        let mut fb = FuBank::new(FuPools { int_alu: 1, muldiv: 1, fp: 1, mem: 1 });
+        fb.occupy(Pool::Int, 0, 1);
+        fb.occupy(Pool::Int, 0, 1);
+    }
+}

@@ -1,0 +1,587 @@
+//! The unified instruction queue with every scheduler variant of §6.2:
+//! SHIFT, CIRC, RAND, AGE, MULT, Orinoco and the criticality-aware CRI
+//! variants.
+//!
+//! The matrix-based variants (AGE/MULT/Orinoco/CRI) drive a real
+//! [`AgeMatrix`]; SHIFT and CIRC derive order from (virtual) queue
+//! position; RAND is order-oblivious. All variants allocate entries from a
+//! free list except CIRC, whose gaps stay unusable until the head passes
+//! them — the capacity inefficiency of Figure 1(b).
+
+use crate::config::{Pool, SchedulerKind};
+use crate::rename::PhysReg;
+use orinoco_matrix::{AgeMatrix, BitVec64};
+
+/// An instruction resident in the IQ.
+#[derive(Clone, Debug)]
+pub struct IqEntry {
+    /// ROB index of the instruction.
+    pub rob_idx: usize,
+    /// Functional-unit pool it needs.
+    pub pool: Pool,
+    /// Criticality tag (CRI schedulers).
+    pub critical: bool,
+    /// Dynamic sequence number (used by the position-based schedulers and
+    /// for assertions; the matrix schedulers never consult it).
+    pub seq: u64,
+    /// Source physical registers.
+    pub srcs: [Option<PhysReg>; 2],
+    /// Per-source readiness.
+    pub src_ready: [bool; 2],
+    /// Which sources gate issue. Stores issue their address generation as
+    /// soon as the address register (source 0) is ready — the data
+    /// (source 1) merges at completion — so dispatch sets
+    /// `[true, false]` for them (§3.2: translation happens early in the
+    /// pipeline, clearing the `SPEC` bit before the data arrives).
+    pub wait_on: [bool; 2],
+}
+
+impl IqEntry {
+    /// `true` once every issue-gating source is ready.
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        (0..2).all(|i| !self.wait_on[i] || self.srcs[i].is_none() || self.src_ready[i])
+    }
+}
+
+/// The unified issue queue.
+#[derive(Clone, Debug)]
+pub struct IssueQueue {
+    kind: SchedulerKind,
+    cap: usize,
+    slots: Vec<Option<IqEntry>>,
+    free: Vec<usize>,
+    age: AgeMatrix,
+    cri: BitVec64,
+    count: usize,
+    // CIRC state: ring [head, tail) including gaps.
+    head: usize,
+    tail: usize,
+    span: usize,
+    /// Deterministic xorshift state for the random picks of RAND/AGE/MULT
+    /// ("the remaining issue width is selected randomly in terms of age",
+    /// §2.1).
+    rng: u64,
+}
+
+impl IssueQueue {
+    /// Creates an issue queue of `cap` entries with the given scheduler.
+    #[must_use]
+    pub fn new(kind: SchedulerKind, cap: usize) -> Self {
+        Self {
+            kind,
+            cap,
+            slots: vec![None; cap],
+            free: (0..cap).rev().collect(),
+            age: AgeMatrix::new(cap),
+            cri: BitVec64::new(cap),
+            count: 0,
+            head: 0,
+            tail: 0,
+            span: 0,
+            rng: 0x9E37_79B9_7F4A_7C15 ^ cap as u64,
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Fisher-Yates shuffle with the IQ's deterministic RNG.
+    fn shuffle(&mut self, v: &mut [usize]) {
+        for i in (1..v.len()).rev() {
+            let j = (self.next_rand() % (i as u64 + 1)) as usize;
+            v.swap(i, j);
+        }
+    }
+
+    /// The scheduler variant.
+    #[must_use]
+    pub fn kind(&self) -> SchedulerKind {
+        self.kind
+    }
+
+    /// Capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Occupied entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` when no entries are resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// `true` if another instruction can be allocated *this cycle*. For
+    /// CIRC this accounts for unreclaimed gaps (the capacity
+    /// inefficiency); for everything else it is a free-list check.
+    #[must_use]
+    pub fn has_space(&self) -> bool {
+        if self.kind == SchedulerKind::Circ {
+            self.span < self.cap
+        } else {
+            !self.free.is_empty()
+        }
+    }
+
+    fn uses_matrix(&self) -> bool {
+        matches!(
+            self.kind,
+            SchedulerKind::Age
+                | SchedulerKind::Mult
+                | SchedulerKind::Orinoco
+                | SchedulerKind::CriAge
+                | SchedulerKind::CriOrinoco
+        )
+    }
+
+    /// Allocates an entry; returns its slot, or `None` when full.
+    pub fn allocate(&mut self, entry: IqEntry) -> Option<usize> {
+        let slot = if self.kind == SchedulerKind::Circ {
+            if self.span == self.cap {
+                return None;
+            }
+            let s = self.tail;
+            debug_assert!(self.slots[s].is_none(), "CIRC tail collision");
+            self.tail = (self.tail + 1) % self.cap;
+            self.span += 1;
+            s
+        } else {
+            self.free.pop()?
+        };
+        if self.uses_matrix() {
+            if entry.critical && self.kind.uses_criticality() {
+                self.age.dispatch_critical(slot, &self.cri);
+                self.cri.set(slot);
+            } else {
+                self.age.dispatch(slot);
+            }
+        }
+        self.slots[slot] = Some(entry);
+        self.count += 1;
+        Some(slot)
+    }
+
+    /// Removes the entry in `slot` (issue or squash).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn remove(&mut self, slot: usize) -> IqEntry {
+        let entry = self.slots[slot].take().unwrap_or_else(|| {
+            panic!("remove of empty IQ slot {slot}")
+        });
+        self.count -= 1;
+        if self.uses_matrix() {
+            self.age.free(slot);
+            self.cri.clear(slot);
+        }
+        if self.kind == SchedulerKind::Circ {
+            // Reclaim the head-side gap run.
+            while self.span > 0 && self.slots[self.head].is_none() {
+                self.head = (self.head + 1) % self.cap;
+                self.span -= 1;
+            }
+        } else {
+            self.free.push(slot);
+        }
+        entry
+    }
+
+    /// Entry accessor.
+    #[must_use]
+    pub fn entry(&self, slot: usize) -> Option<&IqEntry> {
+        self.slots[slot].as_ref()
+    }
+
+    /// Write-back broadcast: wakes every entry sourcing `p`.
+    pub fn writeback(&mut self, p: PhysReg) {
+        for e in self.slots.iter_mut().flatten() {
+            for i in 0..2 {
+                if e.srcs[i] == Some(p) {
+                    e.src_ready[i] = true;
+                }
+            }
+        }
+    }
+
+    /// Number of entries with all operands ready.
+    #[must_use]
+    pub fn ready_count(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|e| e.is_ready())
+            .count()
+    }
+
+    fn circ_position(&self, slot: usize) -> usize {
+        (slot + self.cap - self.head) % self.cap
+    }
+
+    /// Priority-ordered ready slots for this cycle, per the scheduler
+    /// variant. The head of the list is granted first.
+    fn priority_order(&mut self, ready: &[usize]) -> Vec<usize> {
+        match self.kind {
+            SchedulerKind::Shift => {
+                // Collapsible queue: position == age; ideal order.
+                let mut v = ready.to_vec();
+                v.sort_by_key(|&s| self.slots[s].as_ref().map(|e| e.seq));
+                v
+            }
+            SchedulerKind::Circ => {
+                let mut v = ready.to_vec();
+                v.sort_by_key(|&s| self.circ_position(s));
+                v
+            }
+            SchedulerKind::Rand => {
+                // Genuinely random in terms of age.
+                let mut v = ready.to_vec();
+                self.shuffle(&mut v);
+                v
+            }
+            SchedulerKind::Age => {
+                let req = BitVec64::from_indices(self.cap, ready.iter().copied());
+                let oldest = self.age.select_single_oldest(&req);
+                let mut rest: Vec<usize> =
+                    ready.iter().copied().filter(|&s| Some(s) != oldest).collect();
+                self.shuffle(&mut rest);
+                let mut v = Vec::with_capacity(ready.len());
+                if let Some(o) = oldest {
+                    v.push(o);
+                }
+                v.extend(rest);
+                v
+            }
+            SchedulerKind::Mult => {
+                // Single oldest of each FU type first, then the rest in
+                // slot order.
+                let mut heads = Vec::new();
+                for pool in Pool::ALL {
+                    let req = BitVec64::from_indices(
+                        self.cap,
+                        ready.iter().copied().filter(|&s| {
+                            self.slots[s].as_ref().is_some_and(|e| e.pool == pool)
+                        }),
+                    );
+                    if let Some(o) = self.age.select_single_oldest(&req) {
+                        heads.push(o);
+                    }
+                }
+                let mut rest: Vec<usize> =
+                    ready.iter().copied().filter(|s| !heads.contains(s)).collect();
+                self.shuffle(&mut rest);
+                let mut v = heads.clone();
+                v.extend(rest);
+                v
+            }
+            SchedulerKind::Orinoco
+            | SchedulerKind::CriAge
+            | SchedulerKind::CriOrinoco => {
+                // Full (criticality-adjusted) age order from the bit count
+                // encoding. For CriAge the intra-class pseudo-ordering is
+                // applied below.
+                let req = BitVec64::from_indices(self.cap, ready.iter().copied());
+                let mut v = self.age.select_oldest(&req, self.cap);
+                if self.kind == SchedulerKind::CriAge {
+                    // CRI w/ AGE: criticals before non-criticals, but within
+                    // each class only the single oldest is age-accurate; the
+                    // rest are selected randomly (classic AGE behaviour).
+                    let (crit, noncrit): (Vec<_>, Vec<_>) =
+                        v.iter().copied().partition(|&s| self.cri.get(s));
+                    let mut out = Vec::with_capacity(v.len());
+                    for mut class in [crit, noncrit] {
+                        if class.len() > 2 {
+                            let head = class[0];
+                            let mut rest: Vec<usize> = class[1..].to_vec();
+                            self.shuffle(&mut rest);
+                            class.truncate(1);
+                            class[0] = head;
+                            class.extend(rest);
+                        }
+                        out.extend(class);
+                    }
+                    v = out;
+                }
+                v
+            }
+        }
+    }
+
+    /// Selects and removes up to `width` ready instructions, honouring
+    /// per-pool FU budgets (decremented in place). Returns
+    /// `(slot, entry)` pairs in grant order.
+    pub fn select(
+        &mut self,
+        pool_budget: &mut [usize; 4],
+        width: usize,
+    ) -> Vec<(usize, IqEntry)> {
+        let ready: Vec<usize> = (0..self.cap)
+            .filter(|&s| self.slots[s].as_ref().is_some_and(IqEntry::is_ready))
+            .collect();
+        if ready.is_empty() {
+            return Vec::new();
+        }
+        let order = self.priority_order(&ready);
+        let mut grants = Vec::new();
+        for slot in order {
+            if grants.len() == width {
+                break;
+            }
+            let pool = self.slots[slot].as_ref().expect("ready slot live").pool;
+            if pool_budget[pool.idx()] == 0 {
+                continue;
+            }
+            pool_budget[pool.idx()] -= 1;
+            let entry = self.remove(slot);
+            grants.push((slot, entry));
+        }
+        grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(rob_idx: usize, seq: u64, pool: Pool) -> IqEntry {
+        IqEntry {
+            rob_idx,
+            pool,
+            critical: false,
+            seq,
+            srcs: [None, None],
+            src_ready: [false, false],
+            wait_on: [true, true],
+        }
+    }
+
+    fn crit_entry(rob_idx: usize, seq: u64) -> IqEntry {
+        IqEntry { critical: true, ..entry(rob_idx, seq, Pool::Int) }
+    }
+
+    fn budgets(n: usize) -> [usize; 4] {
+        [n; 4]
+    }
+
+    fn fill(iq: &mut IssueQueue, seqs: &[u64]) -> Vec<usize> {
+        seqs.iter()
+            .map(|&q| iq.allocate(entry(q as usize, q, Pool::Int)).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn ready_tracking_with_sources() {
+        let mut iq = IssueQueue::new(SchedulerKind::Orinoco, 8);
+        let mut e = entry(0, 0, Pool::Int);
+        e.srcs = [Some(PhysReg(5)), None];
+        iq.allocate(e).unwrap();
+        assert_eq!(iq.ready_count(), 0);
+        iq.writeback(PhysReg(5));
+        assert_eq!(iq.ready_count(), 1);
+    }
+
+    #[test]
+    fn orinoco_selects_multiple_oldest() {
+        let mut iq = IssueQueue::new(SchedulerKind::Orinoco, 16);
+        fill(&mut iq, &[0, 1, 2, 3, 4]);
+        let grants = iq.select(&mut budgets(8), 3);
+        let seqs: Vec<u64> = grants.iter().map(|(_, e)| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(iq.len(), 2);
+    }
+
+    #[test]
+    fn shift_matches_orinoco_schedule() {
+        // The collapsible queue provides the same ideal order.
+        let mut a = IssueQueue::new(SchedulerKind::Shift, 16);
+        let mut b = IssueQueue::new(SchedulerKind::Orinoco, 16);
+        fill(&mut a, &[0, 1, 2, 3, 4, 5]);
+        fill(&mut b, &[0, 1, 2, 3, 4, 5]);
+        let ga: Vec<u64> = a.select(&mut budgets(2), 4).iter().map(|(_, e)| e.seq).collect();
+        let gb: Vec<u64> = b.select(&mut budgets(2), 4).iter().map(|(_, e)| e.seq).collect();
+        assert_eq!(ga, gb);
+    }
+
+    /// Creates churn so slot order no longer matches age order: seqs
+    /// 0..=3 land in slots 0..=3, seq 0 leaves, seq 4 recycles slot 0.
+    /// Resulting age order: 1, 2, 3, 4; slot order: 4, 1, 2, 3.
+    fn churned(kind: SchedulerKind) -> IssueQueue {
+        let mut iq = IssueQueue::new(kind, 16);
+        let slots = fill(&mut iq, &[0, 1, 2, 3]);
+        iq.remove(slots[0]);
+        let s = iq.allocate(entry(4, 4, Pool::Int)).unwrap();
+        assert_eq!(s, slots[0], "expected slot recycling");
+        iq
+    }
+
+    #[test]
+    fn age_prioritises_only_single_oldest() {
+        let mut iq = churned(SchedulerKind::Age);
+        let grants = iq.select(&mut budgets(8), 2);
+        let seqs: Vec<u64> = grants.iter().map(|(_, e)| e.seq).collect();
+        // The oldest (seq 1) is always first; the second grant is a random
+        // pick among the remaining ready entries.
+        assert_eq!(seqs[0], 1);
+        assert!([2, 3, 4].contains(&seqs[1]));
+    }
+
+    #[test]
+    fn mult_prioritises_oldest_per_pool() {
+        let mut iq = IssueQueue::new(SchedulerKind::Mult, 16);
+        iq.allocate(entry(0, 0, Pool::Int)).unwrap();
+        iq.allocate(entry(1, 1, Pool::Mem)).unwrap();
+        iq.allocate(entry(2, 2, Pool::Int)).unwrap();
+        iq.allocate(entry(3, 3, Pool::Mem)).unwrap();
+        let grants = iq.select(&mut budgets(8), 2);
+        let mut seqs: Vec<u64> = grants.iter().map(|(_, e)| e.seq).collect();
+        seqs.sort_unstable();
+        // The per-pool heads are seq 0 (Int) and seq 1 (Mem).
+        assert_eq!(seqs, vec![0, 1]);
+    }
+
+    #[test]
+    fn rand_ignores_age() {
+        // RAND picks randomly: over many fresh queues the oldest must NOT
+        // always win (a strict-age scheduler would always grant seq 1).
+        let mut oldest_wins = 0;
+        for _ in 0..32 {
+            let mut iq = churned(SchedulerKind::Rand);
+            let grants = iq.select(&mut budgets(8), 1);
+            if grants[0].1.seq == 1 {
+                oldest_wins += 1;
+            }
+        }
+        assert!(oldest_wins < 32, "RAND behaved like strict age order");
+    }
+
+    #[test]
+    fn pool_budget_constrains_grants() {
+        let mut iq = IssueQueue::new(SchedulerKind::Orinoco, 16);
+        iq.allocate(entry(0, 0, Pool::Mem)).unwrap();
+        iq.allocate(entry(1, 1, Pool::Mem)).unwrap();
+        iq.allocate(entry(2, 2, Pool::Int)).unwrap();
+        let mut b = budgets(8);
+        b[Pool::Mem.idx()] = 1;
+        let grants = iq.select(&mut b, 4);
+        let seqs: Vec<u64> = grants.iter().map(|(_, e)| e.seq).collect();
+        // Only one Mem grant (the older), Int unaffected.
+        assert_eq!(seqs, vec![0, 2]);
+        assert_eq!(b[Pool::Mem.idx()], 0);
+    }
+
+    #[test]
+    fn width_constrains_grants() {
+        let mut iq = IssueQueue::new(SchedulerKind::Orinoco, 16);
+        fill(&mut iq, &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(iq.select(&mut budgets(8), 2).len(), 2);
+    }
+
+    #[test]
+    fn criticality_orders_across_classes() {
+        let mut iq = IssueQueue::new(SchedulerKind::CriOrinoco, 16);
+        iq.allocate(entry(0, 0, Pool::Int)).unwrap(); // non-critical, oldest
+        iq.allocate(entry(1, 1, Pool::Int)).unwrap(); // non-critical
+        iq.allocate(crit_entry(2, 2)).unwrap(); // critical, youngest
+        let grants = iq.select(&mut budgets(8), 2);
+        let seqs: Vec<u64> = grants.iter().map(|(_, e)| e.seq).collect();
+        // Critical first despite being youngest, then oldest non-critical.
+        assert_eq!(seqs, vec![2, 0]);
+    }
+
+    #[test]
+    fn cri_age_keeps_critical_head_only() {
+        let mut iq = IssueQueue::new(SchedulerKind::CriAge, 32);
+        let s0 = iq.allocate(crit_entry(0, 0)).unwrap();
+        iq.allocate(crit_entry(1, 1)).unwrap();
+        iq.allocate(crit_entry(2, 2)).unwrap();
+        iq.remove(s0);
+        assert_eq!(iq.allocate(crit_entry(3, 3)).unwrap(), s0);
+        let grants = iq.select(&mut budgets(8), 3);
+        let seqs: Vec<u64> = grants.iter().map(|(_, e)| e.seq).collect();
+        // The single oldest critical (seq 1) is age-accurate; the rest are
+        // a random permutation of the remaining criticals.
+        assert_eq!(seqs[0], 1);
+        let mut rest = seqs[1..].to_vec();
+        rest.sort_unstable();
+        assert_eq!(rest, vec![2, 3]);
+    }
+
+    #[test]
+    fn circ_capacity_inefficiency() {
+        let mut iq = IssueQueue::new(SchedulerKind::Circ, 4);
+        let slots = fill(&mut iq, &[0, 1, 2, 3]);
+        assert!(!iq.has_space());
+        // Remove a middle entry: the gap is NOT reusable.
+        iq.remove(slots[2]);
+        assert!(!iq.has_space());
+        // Remove the head: head advances over it, one slot reclaimed.
+        iq.remove(slots[0]);
+        assert!(iq.has_space());
+        iq.allocate(entry(9, 9, Pool::Int)).unwrap();
+        assert!(!iq.has_space());
+    }
+
+    #[test]
+    fn circ_head_run_reclaims_interior_gap() {
+        let mut iq = IssueQueue::new(SchedulerKind::Circ, 4);
+        let slots = fill(&mut iq, &[0, 1, 2]);
+        iq.remove(slots[1]); // interior gap
+        iq.remove(slots[0]); // head: run advances over the gap too
+        // span now covers only seq 2 -> three slots free
+        for q in [10, 11, 12] {
+            assert!(iq.allocate(entry(q, q as u64, Pool::Int)).is_some());
+        }
+        assert!(!iq.has_space());
+    }
+
+    #[test]
+    fn circ_selects_in_position_order() {
+        let mut iq = IssueQueue::new(SchedulerKind::Circ, 8);
+        fill(&mut iq, &[5, 6, 7]);
+        let grants = iq.select(&mut budgets(8), 2);
+        let seqs: Vec<u64> = grants.iter().map(|(_, e)| e.seq).collect();
+        assert_eq!(seqs, vec![5, 6]);
+    }
+
+    #[test]
+    fn rand_reuses_freed_slots() {
+        let mut iq = IssueQueue::new(SchedulerKind::Rand, 2);
+        let s0 = iq.allocate(entry(0, 0, Pool::Int)).unwrap();
+        iq.allocate(entry(1, 1, Pool::Int)).unwrap();
+        assert!(!iq.has_space());
+        iq.remove(s0);
+        assert!(iq.has_space()); // unlike CIRC, gaps are immediately reusable
+        assert!(iq.allocate(entry(2, 2, Pool::Int)).is_some());
+    }
+
+    #[test]
+    fn not_ready_entries_never_selected() {
+        let mut iq = IssueQueue::new(SchedulerKind::Orinoco, 8);
+        let mut e = entry(0, 0, Pool::Int);
+        e.srcs = [Some(PhysReg(9)), None];
+        iq.allocate(e).unwrap();
+        iq.allocate(entry(1, 1, Pool::Int)).unwrap();
+        let grants = iq.select(&mut budgets(8), 4);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].1.seq, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty IQ slot")]
+    fn remove_empty_panics() {
+        IssueQueue::new(SchedulerKind::Rand, 4).remove(0);
+    }
+}

@@ -1,0 +1,508 @@
+//! The load/store queue pair: a non-collapsible (free-list) LQ, a FIFO SQ
+//! (stores commit in program order, §3.3) and the memory disambiguation
+//! matrix tying them together.
+//!
+//! Loads issue speculatively past older stores with unresolved addresses;
+//! the matrix records which stores each load speculated past. When a store
+//! resolves it clears its column for non-conflicting loads and reports the
+//! conflicting ones (memory replay traps). A load whose row is clear and
+//! whose address translated without fault is **non-speculative** — the
+//! event that clears its `SPEC` bit in the ROB and unlocks early commit.
+
+use orinoco_matrix::{BitVec64, MemDisambigMatrix};
+
+/// A load-queue entry.
+#[derive(Clone, Debug)]
+pub struct LqEntry {
+    /// ROB index of the load.
+    pub rob_idx: usize,
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Effective address, known after AGU.
+    pub addr: Option<u64>,
+    /// Data has returned (the load is *performed*).
+    pub performed: bool,
+    /// If the load forwarded from a store, that store's sequence number.
+    pub fwd_seq: Option<u64>,
+    /// Address translated without fault.
+    pub translated: bool,
+}
+
+/// A store-queue entry.
+#[derive(Clone, Debug)]
+pub struct SqEntry {
+    /// ROB index of the store.
+    pub rob_idx: usize,
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Effective address, known after AGU.
+    pub addr: Option<u64>,
+}
+
+/// Outcome of a load's address resolution against the SQ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadSearch {
+    /// Forward from the youngest older resolved store to the same address.
+    Forward {
+        /// Sequence number of the forwarding store.
+        store_seq: u64,
+    },
+    /// No older store matches; read from the cache.
+    Cache,
+}
+
+/// The LQ/SQ pair with the memory disambiguation matrix.
+#[derive(Clone, Debug)]
+pub struct Lsq {
+    lq: Vec<Option<LqEntry>>,
+    lq_free: Vec<usize>,
+    sq: Vec<Option<SqEntry>>,
+    sq_head: usize,
+    sq_tail: usize,
+    sq_count: usize,
+    mdm: MemDisambigMatrix,
+}
+
+impl Lsq {
+    /// Creates an LSQ with the given queue capacities.
+    #[must_use]
+    pub fn new(lq_entries: usize, sq_entries: usize) -> Self {
+        Self {
+            lq: vec![None; lq_entries],
+            lq_free: (0..lq_entries).rev().collect(),
+            sq: vec![None; sq_entries],
+            sq_head: 0,
+            sq_tail: 0,
+            sq_count: 0,
+            mdm: MemDisambigMatrix::new(lq_entries, sq_entries),
+        }
+    }
+
+    /// Free LQ entries.
+    #[must_use]
+    pub fn lq_free(&self) -> usize {
+        self.lq_free.len()
+    }
+
+    /// Free SQ entries.
+    #[must_use]
+    pub fn sq_free(&self) -> usize {
+        self.sq.len() - self.sq_count
+    }
+
+    /// Occupied LQ entries.
+    #[must_use]
+    pub fn lq_len(&self) -> usize {
+        self.lq.len() - self.lq_free.len()
+    }
+
+    /// Occupied SQ entries.
+    #[must_use]
+    pub fn sq_len(&self) -> usize {
+        self.sq_count
+    }
+
+    /// Allocates an LQ entry (random allocation — the LQ is
+    /// non-collapsible). Returns `None` when full.
+    pub fn alloc_load(&mut self, rob_idx: usize, seq: u64) -> Option<usize> {
+        let slot = self.lq_free.pop()?;
+        self.lq[slot] = Some(LqEntry {
+            rob_idx,
+            seq,
+            addr: None,
+            performed: false,
+            fwd_seq: None,
+            translated: false,
+        });
+        self.mdm.load_cleared(slot);
+        Some(slot)
+    }
+
+    /// Allocates an SQ entry at the FIFO tail. Returns `None` when full.
+    pub fn alloc_store(&mut self, rob_idx: usize, seq: u64) -> Option<usize> {
+        if self.sq_count == self.sq.len() {
+            return None;
+        }
+        let slot = self.sq_tail;
+        debug_assert!(self.sq[slot].is_none(), "SQ tail collision");
+        self.sq[slot] = Some(SqEntry { rob_idx, seq, addr: None });
+        self.sq_tail = (self.sq_tail + 1) % self.sq.len();
+        self.sq_count += 1;
+        self.mdm.store_cleared(slot);
+        Some(slot)
+    }
+
+    /// LQ entry accessor.
+    #[must_use]
+    pub fn load(&self, slot: usize) -> Option<&LqEntry> {
+        self.lq[slot].as_ref()
+    }
+
+    /// SQ entry accessor.
+    #[must_use]
+    pub fn store(&self, slot: usize) -> Option<&SqEntry> {
+        self.sq[slot].as_ref()
+    }
+
+    /// A load's address resolves (AGU): records the older unresolved
+    /// stores in the disambiguation matrix and searches the SQ for a
+    /// forwardable older store. `translated` is false when the injected
+    /// page fault fired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty or the address was already set.
+    pub fn load_agu(&mut self, lq_slot: usize, addr: u64, translated: bool) -> LoadSearch {
+        let (seq, unresolved, forward) = {
+            let e = self.lq[lq_slot].as_ref().expect("load_agu on empty slot");
+            assert!(e.addr.is_none(), "load address resolved twice");
+            let seq = e.seq;
+            let mut unresolved = BitVec64::new(self.sq.len());
+            let mut forward: Option<u64> = None;
+            for (s, entry) in self.sq.iter().enumerate() {
+                let Some(st) = entry else { continue };
+                if st.seq >= seq {
+                    continue; // younger store: irrelevant
+                }
+                match st.addr {
+                    None => unresolved.set(s),
+                    Some(a) if a == addr => {
+                        // youngest older match wins
+                        if forward.is_none_or(|f| st.seq > f) {
+                            forward = Some(st.seq);
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+            (seq, unresolved, forward)
+        };
+        let _ = seq;
+        self.mdm.load_issue(lq_slot, &unresolved);
+        {
+            let e = self.lq[lq_slot].as_mut().expect("slot live");
+            e.addr = Some(addr);
+            e.translated = translated;
+            e.fwd_seq = forward;
+        }
+        match forward {
+            Some(store_seq) => LoadSearch::Forward { store_seq },
+            None => LoadSearch::Cache,
+        }
+    }
+
+    /// A store's address resolves (AGU): clears its disambiguation column
+    /// for non-conflicting loads and returns the ROB indices of loads that
+    /// must replay (they speculatively read stale data for this address).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty or the address was already set.
+    pub fn store_agu(&mut self, sq_slot: usize, addr: u64) -> Vec<usize> {
+        let store_seq = {
+            let e = self.sq[sq_slot].as_mut().expect("store_agu on empty slot");
+            assert!(e.addr.is_none(), "store address resolved twice");
+            e.addr = Some(addr);
+            e.seq
+        };
+        let mut no_conflict = BitVec64::new(self.lq.len());
+        let mut replays = Vec::new();
+        for (l, entry) in self.lq.iter().enumerate() {
+            let Some(ld) = entry else {
+                no_conflict.set(l);
+                continue;
+            };
+            if ld.seq < store_seq {
+                no_conflict.set(l); // older load: no dependence on this store
+                continue;
+            }
+            match ld.addr {
+                // Load has not resolved its address yet: it will see this
+                // store as resolved when it does — no conflict now.
+                None => no_conflict.set(l),
+                Some(a) if a != addr => no_conflict.set(l),
+                Some(_) => {
+                    // Same address. If the load forwarded from a store
+                    // younger than this one, its data is still correct.
+                    if ld.fwd_seq.is_some_and(|f| f > store_seq) {
+                        no_conflict.set(l);
+                    } else {
+                        replays.push(ld.rob_idx);
+                    }
+                }
+            }
+        }
+        self.mdm.store_resolved(sq_slot, &no_conflict);
+        replays
+    }
+
+    /// Forgives every outstanding dependence on the store in `sq_slot`
+    /// (oracle commit models where replays are cost-free): clears its
+    /// whole disambiguation column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of bounds.
+    pub fn store_forgive(&mut self, sq_slot: usize) {
+        self.mdm.store_cleared(sq_slot);
+    }
+
+    /// Marks a load performed (data arrived).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn load_performed(&mut self, lq_slot: usize) {
+        self.lq[lq_slot].as_mut().expect("empty LQ slot").performed = true;
+    }
+
+    /// `true` once every older store has resolved without conflicting and
+    /// the address translated cleanly: the load is non-speculative (§3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    #[must_use]
+    pub fn load_nonspeculative(&self, lq_slot: usize) -> bool {
+        let e = self.lq[lq_slot].as_ref().expect("empty LQ slot");
+        e.addr.is_some() && e.translated && self.mdm.load_nonspeculative(lq_slot)
+    }
+
+    /// Older (by sequence) loads of `seq` that have not performed —
+    /// the lockdown-matrix row source for TSO load→load reordering.
+    #[must_use]
+    pub fn older_nonperformed_loads(&self, seq: u64) -> BitVec64 {
+        let mut v = BitVec64::new(self.lq.len());
+        for (l, entry) in self.lq.iter().enumerate() {
+            if let Some(ld) = entry {
+                if ld.seq < seq && !ld.performed {
+                    v.set(l);
+                }
+            }
+        }
+        v
+    }
+
+    /// Frees a load entry (commit or squash).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn free_load(&mut self, lq_slot: usize) {
+        assert!(self.lq[lq_slot].is_some(), "free of empty LQ slot {lq_slot}");
+        self.lq[lq_slot] = None;
+        self.lq_free.push(lq_slot);
+        self.mdm.load_cleared(lq_slot);
+    }
+
+    /// Commits the store at the FIFO head (stores commit in order);
+    /// returns its entry for the store buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head slot does not hold the given ROB index (commit
+    /// must be in order).
+    pub fn commit_store_head(&mut self, rob_idx: usize) -> SqEntry {
+        let slot = self.sq_head;
+        let e = self.sq[slot].take().unwrap_or_else(|| panic!("SQ head empty"));
+        assert_eq!(e.rob_idx, rob_idx, "store commit out of order");
+        self.sq_head = (self.sq_head + 1) % self.sq.len();
+        self.sq_count -= 1;
+        self.mdm.store_cleared(slot);
+        e
+    }
+
+    /// Squashes the store at the FIFO tail (squashes run youngest-first,
+    /// so tail rollback is always correct).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tail slot does not hold the given ROB index.
+    pub fn squash_store_tail(&mut self, rob_idx: usize) {
+        let slot = (self.sq_tail + self.sq.len() - 1) % self.sq.len();
+        let e = self.sq[slot].take().unwrap_or_else(|| panic!("SQ tail empty"));
+        assert_eq!(e.rob_idx, rob_idx, "store squash out of tail order");
+        self.sq_tail = slot;
+        self.sq_count -= 1;
+        self.mdm.store_cleared(slot);
+    }
+
+    /// ROB index of the store at the SQ FIFO head, if any (stores commit
+    /// strictly in this order).
+    #[must_use]
+    pub fn sq_head_rob_idx(&self) -> Option<usize> {
+        if self.sq_count == 0 {
+            None
+        } else {
+            self.sq[self.sq_head].as_ref().map(|e| e.rob_idx)
+        }
+    }
+
+    /// Oldest non-performed load sequence number, if any (barrier/fence
+    /// draining).
+    #[must_use]
+    pub fn oldest_nonperformed_load(&self) -> Option<u64> {
+        self.lq
+            .iter()
+            .flatten()
+            .filter(|l| !l.performed)
+            .map(|l| l.seq)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_and_capacity() {
+        let mut lsq = Lsq::new(4, 2);
+        assert_eq!(lsq.lq_free(), 4);
+        let l0 = lsq.alloc_load(0, 0).unwrap();
+        let s0 = lsq.alloc_store(1, 1).unwrap();
+        let _s1 = lsq.alloc_store(2, 2).unwrap();
+        assert_eq!(lsq.sq_free(), 0);
+        assert!(lsq.alloc_store(3, 3).is_none());
+        assert_eq!(lsq.lq_len(), 1);
+        assert_eq!(lsq.sq_len(), 2);
+        let _ = (l0, s0);
+    }
+
+    #[test]
+    fn forwarding_from_youngest_older_store() {
+        let mut lsq = Lsq::new(4, 4);
+        let s0 = lsq.alloc_store(0, 0).unwrap();
+        let s1 = lsq.alloc_store(1, 1).unwrap();
+        let l = lsq.alloc_load(2, 2).unwrap();
+        lsq.store_agu(s0, 0x100);
+        lsq.store_agu(s1, 0x100);
+        let res = lsq.load_agu(l, 0x100, true);
+        assert_eq!(res, LoadSearch::Forward { store_seq: 1 });
+        // no unresolved older stores -> immediately non-speculative
+        assert!(lsq.load_nonspeculative(l));
+    }
+
+    #[test]
+    fn speculation_past_unresolved_store_then_cleared() {
+        let mut lsq = Lsq::new(4, 4);
+        let s = lsq.alloc_store(0, 0).unwrap();
+        let l = lsq.alloc_load(1, 1).unwrap();
+        let res = lsq.load_agu(l, 0x200, true);
+        assert_eq!(res, LoadSearch::Cache);
+        assert!(!lsq.load_nonspeculative(l)); // store 0 unresolved
+        let replays = lsq.store_agu(s, 0x300); // different address
+        assert!(replays.is_empty());
+        assert!(lsq.load_nonspeculative(l));
+    }
+
+    #[test]
+    fn conflict_triggers_replay() {
+        let mut lsq = Lsq::new(4, 4);
+        let s = lsq.alloc_store(7, 0).unwrap();
+        let l = lsq.alloc_load(9, 1).unwrap();
+        lsq.load_agu(l, 0x400, true); // speculative read from cache
+        let replays = lsq.store_agu(s, 0x400); // same address: stale data
+        assert_eq!(replays, vec![9]);
+        assert!(!lsq.load_nonspeculative(l)); // bit kept set
+    }
+
+    #[test]
+    fn forward_from_younger_store_shields_conflict() {
+        let mut lsq = Lsq::new(4, 4);
+        let s_old = lsq.alloc_store(0, 0).unwrap();
+        let s_new = lsq.alloc_store(1, 1).unwrap();
+        let l = lsq.alloc_load(2, 2).unwrap();
+        lsq.store_agu(s_new, 0x500);
+        // Load forwards from store seq 1 while store seq 0 is unresolved.
+        let res = lsq.load_agu(l, 0x500, true);
+        assert_eq!(res, LoadSearch::Forward { store_seq: 1 });
+        // Older store resolves to the same address: the load's data came
+        // from the *younger* store, so no replay.
+        let replays = lsq.store_agu(s_old, 0x500);
+        assert!(replays.is_empty());
+        assert!(lsq.load_nonspeculative(l));
+    }
+
+    #[test]
+    fn untranslated_load_stays_speculative() {
+        let mut lsq = Lsq::new(2, 2);
+        let l = lsq.alloc_load(0, 0).unwrap();
+        lsq.load_agu(l, 0x100, false); // page fault injected
+        assert!(!lsq.load_nonspeculative(l));
+    }
+
+    #[test]
+    fn store_commit_in_fifo_order() {
+        let mut lsq = Lsq::new(2, 4);
+        lsq.alloc_store(10, 0).unwrap();
+        lsq.alloc_store(11, 1).unwrap();
+        let e = lsq.commit_store_head(10);
+        assert_eq!(e.seq, 0);
+        let e = lsq.commit_store_head(11);
+        assert_eq!(e.seq, 1);
+        assert_eq!(lsq.sq_len(), 0);
+    }
+
+    #[test]
+    fn store_squash_from_tail() {
+        let mut lsq = Lsq::new(2, 4);
+        lsq.alloc_store(10, 0).unwrap();
+        lsq.alloc_store(11, 1).unwrap();
+        lsq.squash_store_tail(11);
+        assert_eq!(lsq.sq_len(), 1);
+        // tail slot reusable immediately
+        lsq.alloc_store(12, 2).unwrap();
+        assert_eq!(lsq.sq_len(), 2);
+    }
+
+    #[test]
+    fn freed_load_slot_reused_cleanly() {
+        let mut lsq = Lsq::new(1, 2);
+        let s = lsq.alloc_store(0, 0).unwrap();
+        let l = lsq.alloc_load(1, 1).unwrap();
+        lsq.load_agu(l, 0x10, true);
+        lsq.free_load(l);
+        // Reuse slot for a new load with no older stores unresolved... but
+        // store 0 is still unresolved, so the new load tracks it afresh.
+        let l2 = lsq.alloc_load(2, 2).unwrap();
+        assert_eq!(l, l2);
+        lsq.load_agu(l2, 0x20, true);
+        assert!(!lsq.load_nonspeculative(l2));
+        lsq.store_agu(s, 0x30);
+        assert!(lsq.load_nonspeculative(l2));
+    }
+
+    #[test]
+    fn older_nonperformed_tracking() {
+        let mut lsq = Lsq::new(4, 2);
+        let l0 = lsq.alloc_load(0, 0).unwrap();
+        let l1 = lsq.alloc_load(1, 1).unwrap();
+        let _l2 = lsq.alloc_load(2, 2).unwrap();
+        let older = lsq.older_nonperformed_loads(2);
+        assert_eq!(older.count_ones(), 2);
+        lsq.load_performed(l0);
+        let older = lsq.older_nonperformed_loads(2);
+        assert_eq!(older.iter_ones().collect::<Vec<_>>(), vec![l1]);
+        assert_eq!(lsq.oldest_nonperformed_load(), Some(1));
+    }
+
+    #[test]
+    fn unresolved_younger_load_not_flagged_by_store() {
+        let mut lsq = Lsq::new(2, 2);
+        let s = lsq.alloc_store(0, 0).unwrap();
+        let _l = lsq.alloc_load(1, 1).unwrap();
+        // Load has no address yet; store resolves first.
+        let replays = lsq.store_agu(s, 0x40);
+        assert!(replays.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "store commit out of order")]
+    fn out_of_order_store_commit_panics() {
+        let mut lsq = Lsq::new(2, 2);
+        lsq.alloc_store(10, 0).unwrap();
+        lsq.alloc_store(11, 1).unwrap();
+        let _ = lsq.commit_store_head(11);
+    }
+}

@@ -1,0 +1,1109 @@
+//! The cycle-level out-of-order core: fetch → decode/rename/dispatch →
+//! wakeup/select → execute → writeback → commit, with configurable issue
+//! schedulers (Figure 14), commit policies (Figure 15) and Table 1 sizing.
+
+use crate::config::{exec_latency, is_unpipelined, CommitKind, CoreConfig, Pool};
+use crate::crit::CriticalityEngine;
+use crate::exec::{Event, EventKind, EventQueue, FuBank};
+use crate::fetch::{Fetched, FetchUnit};
+use crate::iq::{IqEntry, IssueQueue};
+use crate::lsq::{LoadSearch, Lsq};
+use crate::rename::RenameUnit;
+use crate::rob::{Rob, RobEntry};
+use crate::stats::SimStats;
+use orinoco_isa::{Emulator, InstClass, Opcode};
+use orinoco_matrix::{LockdownMatrix, LockdownTable};
+use orinoco_mem::{AccessKind, HitLevel, MemorySystem};
+use orinoco_stats::Resource;
+use std::collections::{HashSet, VecDeque};
+
+/// Number of lockdown-table rows (committed-but-unordered loads tracked
+/// for TSO, §3.3).
+const LDT_ROWS: usize = 64;
+
+/// The simulated core.
+pub struct Core {
+    cfg: CoreConfig,
+    now: u64,
+    fetch: FetchUnit,
+    /// Fetched instructions waiting to dispatch, with the cycle they
+    /// become dispatchable (front-end depth).
+    fq: VecDeque<(Fetched, u64)>,
+    rename: RenameUnit,
+    rob: Rob,
+    /// Issue queues: one unified queue, or one per FU pool (§5).
+    iqs: Vec<IssueQueue>,
+    lsq: Lsq,
+    fus: FuBank,
+    events: EventQueue,
+    mem: MemorySystem,
+    /// Post-commit store buffer: line addresses draining to memory.
+    sb: VecDeque<u64>,
+    crit: Option<CriticalityEngine>,
+    /// Lockdown matrix + table for committed loads that passed older
+    /// non-performed loads (engaged by the Orinoco commit policy).
+    ldm: LockdownMatrix,
+    ldt: LockdownTable,
+    ldt_free: Vec<usize>,
+    ldt_line: Vec<Option<u64>>,
+    handled_faults: HashSet<u64>,
+    /// Stores whose data register was in flight at issue, keyed by that
+    /// register: completed when it writes back.
+    store_data_waiters: std::collections::HashMap<crate::rename::PhysReg, Vec<(usize, u64)>>,
+    stats: SimStats,
+    committed_count: u64,
+    committed_seq_sum: u128,
+}
+
+impl Core {
+    /// Builds a core over the given emulator (program + data already
+    /// initialised).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(emu: Emulator, cfg: CoreConfig) -> Self {
+        cfg.validate();
+        let crit = cfg
+            .scheduler
+            .uses_criticality()
+            .then(CriticalityEngine::new);
+        Self {
+            fetch: FetchUnit::new(emu, &cfg),
+            fq: VecDeque::new(),
+            rename: RenameUnit::new(cfg.phys_regs),
+            rob: Rob::new(cfg.rob_entries),
+            iqs: if cfg.split_iq {
+                cfg.split_iq_capacities()
+                    .into_iter()
+                    .map(|cap| IssueQueue::new(cfg.scheduler, cap))
+                    .collect()
+            } else {
+                vec![IssueQueue::new(cfg.scheduler, cfg.iq_entries)]
+            },
+            lsq: Lsq::new(cfg.lq_entries, cfg.sq_entries),
+            fus: FuBank::new(cfg.fu),
+            events: EventQueue::new(),
+            mem: MemorySystem::new(cfg.mem),
+            sb: VecDeque::new(),
+            crit,
+            ldm: LockdownMatrix::new(LDT_ROWS, cfg.lq_entries),
+            ldt: LockdownTable::new(),
+            ldt_free: (0..LDT_ROWS).rev().collect(),
+            ldt_line: vec![None; LDT_ROWS],
+            handled_faults: HashSet::new(),
+            store_data_waiters: std::collections::HashMap::new(),
+            stats: SimStats::default(),
+            committed_count: 0,
+            committed_seq_sum: 0,
+            now: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    /// Statistics so far (finalised by [`Core::run`]).
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// `true` when the program has fully drained through the pipeline.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.fetch.drained()
+            && self.fq.is_empty()
+            && self.rob.is_empty()
+            && self.events.is_empty()
+            && self.sb.is_empty()
+    }
+
+    /// Runs until the program drains or `max_cycles` elapse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a deadlocked pipeline (no forward progress within
+    /// `max_cycles`) or on architectural bookkeeping divergence — every
+    /// correct-path instruction must commit exactly once.
+    pub fn run(&mut self, max_cycles: u64) -> SimStats {
+        while !self.finished() {
+            assert!(
+                self.now < max_cycles,
+                "deadlock or overrun at cycle {} (committed {}, ROB {}, IQ {}, fq {})",
+                self.now,
+                self.stats.committed,
+                self.rob.len(),
+                self.iq_len_total(),
+                self.fq.len(),
+            );
+            self.step();
+        }
+        // Every correct-path instruction committed exactly once.
+        let n = self.fetch.emulator().executed();
+        assert_eq!(self.committed_count, n, "commit count diverged");
+        let want: u128 = (n as u128) * (n as u128 - 1) / 2;
+        assert_eq!(self.committed_seq_sum, want, "commit sequence checksum diverged");
+        self.stats.fetch = *self.fetch.stats();
+        self.stats.mem = *self.mem.stats();
+        self.stats.cycles = self.now;
+        self.stats.clone()
+    }
+
+    /// Advances one cycle.
+    pub fn step(&mut self) {
+        self.drain_store_buffer();
+        self.process_events();
+        self.commit();
+        self.issue();
+        self.dispatch();
+        self.fetch_stage();
+        self.stats.rob_occ_sum += self.rob.len() as u64;
+        self.stats.iq_occ_sum += self.iq_len_total() as u64;
+        self.now += 1;
+    }
+
+    /// Debug probe: the head instruction's `(class, completed, safe_self,
+    /// issued)` state, for bottleneck analysis in the harness.
+    #[doc(hidden)]
+    pub fn debug_head_state(&mut self) -> Option<(InstClass, bool, bool, bool)> {
+        let h = self.rob.head()?;
+        let e = self.rob.entry(h);
+        Some((e.class, e.completed, self.rob.is_safe_self(h), e.issued))
+    }
+
+    /// Debug probe: number of ROB entries that currently satisfy every
+    /// out-of-order commit condition.
+    #[doc(hidden)]
+    pub fn debug_committable(&self) -> usize {
+        self.rob.grants_orinoco(usize::MAX).len()
+    }
+
+    /// Injects a remote coherence invalidation for `addr` (the multicore
+    /// TSO harness of §3.3): the line is invalidated in the local
+    /// hierarchy, and the acknowledgement is returned `true` if it can be
+    /// sent immediately or `false` if an active lockdown withholds it —
+    /// in which case it is sent automatically when the lockdown lifts, so
+    /// no other core can ever observe a committed load's reordering.
+    pub fn inject_invalidation(&mut self, addr: u64) -> bool {
+        let line = addr / 64;
+        let ack_now = self.ldt.incoming_invalidation(line);
+        self.mem.invalidate(addr);
+        ack_now
+    }
+
+    /// Number of currently active lockdowns (committed loads still waiting
+    /// for older loads to perform).
+    #[must_use]
+    pub fn active_lockdowns(&self) -> usize {
+        self.ldt.active()
+    }
+
+    /// A currently locked-down line address, if any (harness/testing: lets
+    /// a simulated remote core aim an invalidation at a line that is
+    /// actually protected).
+    #[must_use]
+    pub fn any_locked_line(&self) -> Option<u64> {
+        self.ldt_line.iter().flatten().next().map(|&l| l * 64)
+    }
+
+    /// The issue queue serving `pool` (queue 0 when unified).
+    fn iq_index(&self, pool: Pool) -> usize {
+        if self.cfg.split_iq {
+            pool.idx()
+        } else {
+            0
+        }
+    }
+
+    fn iq_len_total(&self) -> usize {
+        self.iqs.iter().map(IssueQueue::len).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Store buffer
+    // ------------------------------------------------------------------
+
+    fn drain_store_buffer(&mut self) {
+        if let Some(&addr) = self.sb.front() {
+            if self
+                .mem
+                .access(addr, AccessKind::Store, self.now)
+                .is_some()
+            {
+                self.sb.pop_front();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writeback / resolution events
+    // ------------------------------------------------------------------
+
+    fn process_events(&mut self) {
+        while let Some(ev) = self.events.pop_due(self.now) {
+            if !self.rob.is_live(ev.rob_idx, ev.gen) {
+                continue; // squashed: stale event
+            }
+            match ev.kind {
+                EventKind::ExecDone => self.on_exec_done(ev.rob_idx),
+                EventKind::AguDone => self.on_agu_done(ev.rob_idx),
+                EventKind::MemDone => self.on_mem_done(ev.rob_idx),
+                EventKind::MemRetry => self.try_load_access(ev.rob_idx),
+            }
+        }
+    }
+
+    fn complete_writeback(&mut self, idx: usize) {
+        let dst = self.rob.entry(idx).dst;
+        if let Some((_, new, _)) = dst {
+            self.rename.writeback(new);
+            for iq in &mut self.iqs {
+                iq.writeback(new);
+            }
+            if let Some(waiters) = self.store_data_waiters.remove(&new) {
+                for (st, gen) in waiters {
+                    if self.rob.is_live(st, gen) {
+                        self.store_data_arrived(st);
+                    }
+                }
+            }
+        }
+        self.rob.mark_completed(idx);
+    }
+
+    /// A waiting store's data operand became available.
+    fn store_data_arrived(&mut self, idx: usize) {
+        let e = self.rob.entry_mut(idx);
+        e.store_data_ready = true;
+        if e.agu_done && !e.completed {
+            self.rob.mark_completed(idx);
+            if self.rob.entry(idx).retired {
+                // A store that left the ROB before its data (VB-style
+                // post-commit execution) is done once the data reaches
+                // the store buffer.
+                self.free_zombie(idx);
+            }
+        }
+    }
+
+    fn on_exec_done(&mut self, idx: usize) {
+        self.complete_writeback(idx);
+        let e = self.rob.entry(idx);
+        let (class, seq, pc, mispredicted, retired) =
+            (e.class, e.seq, e.pc, e.mispredicted, e.retired);
+        if class == InstClass::Branch {
+            if mispredicted {
+                if let Some(ce) = self.crit.as_mut() {
+                    ce.record_event(pc);
+                }
+                self.squash_ge(seq + 1, true);
+                self.fetch.redirect(seq, self.now, self.cfg.redirect_penalty);
+            }
+            self.rob.mark_safe(idx);
+        }
+        if retired {
+            self.free_zombie(idx);
+        }
+    }
+
+    /// A post-commit zombie finished executing: the previous register
+    /// mapping only now becomes reclaimable (the VB register-status
+    /// imprecision of §2.2), then the physical slot is released.
+    fn free_zombie(&mut self, idx: usize) {
+        if let Some((_, _, prev)) = self.rob.entry(idx).dst {
+            self.rename.commit_remap(prev);
+        }
+        self.rob.free(idx);
+    }
+
+    fn fault_roll(&mut self, seq: u64) -> bool {
+        if self.cfg.pagefault_per_million == 0 || self.handled_faults.contains(&seq) {
+            return false;
+        }
+        let h = (seq ^ self.cfg.seed).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24;
+        (h % 1_000_000) < u64::from(self.cfg.pagefault_per_million)
+    }
+
+    fn on_agu_done(&mut self, idx: usize) {
+        let e = self.rob.entry(idx);
+        let (class, seq, wrong_path) = (e.class, e.seq, e.wrong_path);
+        let addr = e.mem_addr.expect("memory op without oracle address");
+        let fault = !wrong_path && self.fault_roll(seq);
+        match class {
+            InstClass::Load => {
+                let slot = self.rob.entry(idx).lq_slot.expect("load without LQ slot");
+                let search = self.lsq.load_agu(slot, addr, !fault);
+                if fault {
+                    self.rob.entry_mut(idx).fault = true;
+                    return; // never completes; trap at head
+                }
+                self.rob.entry_mut(idx).agu_done = true;
+                match search {
+                    LoadSearch::Forward { .. } => {
+                        self.events.push(Event {
+                            at: self.now + 2,
+                            kind: EventKind::MemDone,
+                            rob_idx: idx,
+                            gen: self.rob.generation(idx),
+                        });
+                    }
+                    LoadSearch::Cache => self.try_load_access(idx),
+                }
+                self.scan_load_safety();
+            }
+            InstClass::Store => {
+                if fault {
+                    self.rob.entry_mut(idx).fault = true;
+                    return;
+                }
+                let slot = self.rob.entry(idx).sq_slot.expect("store without SQ slot");
+                let replays = self.lsq.store_agu(slot, addr);
+                {
+                    let e = self.rob.entry_mut(idx);
+                    e.agu_done = true;
+                    if e.store_data_ready {
+                        self.rob.mark_completed(idx);
+                    }
+                }
+                self.rob.mark_safe(idx);
+                if self.rob.entry(idx).completed && self.rob.entry(idx).retired {
+                    self.free_zombie(idx);
+                }
+                self.scan_load_safety();
+                if self.cfg.commit == CommitKind::Spec {
+                    // Cherry oracle: the replay cost is waived entirely —
+                    // the conflicting loads are deemed repaired, so their
+                    // disambiguation bits clear and they become safe.
+                    if !replays.is_empty() {
+                        self.lsq.store_forgive(slot);
+                        self.scan_load_safety();
+                    }
+                } else {
+                    // Oldest conflicting correct-path load replays.
+                    let victim = replays
+                        .into_iter()
+                        .filter(|&r| !self.rob.entry(r).wrong_path)
+                        .min_by_key(|&r| self.rob.entry(r).seq);
+                    if let Some(v) = victim {
+                        self.replay_from(v);
+                    }
+                }
+            }
+            _ => unreachable!("AGU event for non-memory class"),
+        }
+    }
+
+    fn try_load_access(&mut self, idx: usize) {
+        let e = self.rob.entry(idx);
+        let (addr, pc, wrong_path) =
+            (e.mem_addr.expect("load without address"), e.pc, e.wrong_path);
+        match self.mem.access(addr, AccessKind::Load, self.now) {
+            Some(out) => {
+                if !wrong_path && matches!(out.level, HitLevel::Llc | HitLevel::Dram) {
+                    if let Some(ce) = self.crit.as_mut() {
+                        ce.record_event(pc);
+                    }
+                }
+                self.events.push(Event {
+                    at: out.complete_at,
+                    kind: EventKind::MemDone,
+                    rob_idx: idx,
+                    gen: self.rob.generation(idx),
+                });
+            }
+            None => {
+                // MSHRs full: retry shortly.
+                self.events.push(Event {
+                    at: self.now + 4,
+                    kind: EventKind::MemRetry,
+                    rob_idx: idx,
+                    gen: self.rob.generation(idx),
+                });
+            }
+        }
+    }
+
+    fn on_mem_done(&mut self, idx: usize) {
+        let lq_slot = self.rob.entry(idx).lq_slot;
+        if let Some(slot) = lq_slot {
+            self.lsq.load_performed(slot);
+            self.on_load_no_longer_blocking(slot);
+        }
+        self.complete_writeback(idx);
+        if self.rob.entry(idx).retired {
+            self.free_zombie(idx);
+        }
+    }
+
+    /// A load performed or vanished: clear its lockdown column and release
+    /// lockdowns that became ordered.
+    fn on_load_no_longer_blocking(&mut self, lq_slot: usize) {
+        self.ldm.load_performed(lq_slot);
+        for row in 0..LDT_ROWS {
+            if let Some(line) = self.ldt_line[row] {
+                if self.ldm.ordered(row) {
+                    self.ldt.release(line);
+                    self.ldt_line[row] = None;
+                    self.ldt_free.push(row);
+                }
+            }
+        }
+    }
+
+    /// Re-checks every resident load's speculation state after a store
+    /// resolves (or a load translates): loads whose disambiguation row
+    /// cleared turn non-speculative and drop their `SPEC` bit.
+    fn scan_load_safety(&mut self) {
+        for slot in 0..self.cfg.lq_entries {
+            let Some(l) = self.lsq.load(slot) else { continue };
+            let idx = l.rob_idx;
+            let Some(e) = self.rob.get(idx) else { continue };
+            if e.fault || e.lq_slot != Some(slot) {
+                continue;
+            }
+            if !self.rob.is_safe_self(idx) && self.lsq.load_nonspeculative(slot) {
+                self.rob.mark_safe(idx);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self) {
+        // Barrier serialisation: a fence at the head with drained stores
+        // becomes safe.
+        if let Some(h) = self.rob.head() {
+            let e = self.rob.entry(h);
+            // A fence at the head has no older stores left in the SQ
+            // (they committed before it); it waits only for the store
+            // buffer to drain. Requiring the SQ itself to empty would
+            // deadlock on the fence's *younger* stores.
+            if e.class == InstClass::Barrier
+                && e.completed
+                && !self.rob.is_safe_self(h)
+                && self.sb.is_empty()
+            {
+                self.rob.mark_safe(h);
+            }
+        }
+        let committed = match self.cfg.commit {
+            CommitKind::Orinoco => self.commit_orinoco(),
+            CommitKind::Spec => self.commit_spec_oracle(),
+            _ => self.commit_in_order(),
+        };
+        self.stats.commit_width_hist.record(committed as u64);
+        // Note: `rob.len()` is the *logical* occupancy (zombies excluded),
+        // deliberately not `is_empty()` which also counts zombies.
+        let logical_occupancy = self.rob.len();
+        if committed == 0 && logical_occupancy > 0 {
+            self.stats.commit_stall_cycles += 1;
+            if !self.rob.grants_orinoco(1).is_empty() {
+                self.stats.commit_stall_ooo_ready += 1;
+            }
+            // Precise exception: the oldest instruction holds a fault and
+            // nothing can commit.
+            if let Some(h) = self.rob.head() {
+                if self.rob.entry(h).fault {
+                    self.take_exception(h);
+                }
+            }
+        }
+    }
+
+    fn commit_orinoco(&mut self) -> usize {
+        let grants = self
+            .rob
+            .grants_orinoco_depth(self.cfg.commit_width, self.cfg.commit_depth);
+        let head = self.rob.head();
+        let mut committed = 0;
+        let mut head_committed = false;
+        for idx in grants {
+            let e = self.rob.entry(idx);
+            debug_assert!(!e.wrong_path, "wrong-path instruction granted commit");
+            debug_assert!(e.completed, "Orinoco commits completed instructions only");
+            if e.class == InstClass::Store {
+                // Stores leave the SQ in FIFO order and need SB space.
+                let head_ok = self.lsq.sq_head_rob_idx() == Some(idx);
+                if !head_ok || self.sb.len() >= self.cfg.sq_entries {
+                    continue;
+                }
+            }
+            // TSO lockdown: a load committing over older non-performed
+            // loads needs a free lockdown-table row.
+            if e.class == InstClass::Load {
+                let slot = e.lq_slot.expect("load without LQ slot");
+                let older_np = self.lsq.older_nonperformed_loads(e.seq);
+                if !older_np.is_zero() {
+                    if self.ldt_free.is_empty() {
+                        continue; // LDT full: retry next cycle
+                    }
+                    let row = self.ldt_free.pop().expect("checked non-empty");
+                    let line = e.mem_addr.expect("load without address") / 64;
+                    self.ldm.commit_load(row, &older_np);
+                    self.ldt.acquire(line);
+                    self.ldt_line[row] = Some(line);
+                    let _ = slot;
+                }
+            }
+            if Some(idx) != head && !head_committed {
+                self.stats.ooo_commits += 1;
+            } else if Some(idx) == head {
+                head_committed = true;
+            }
+            self.retire(idx);
+            committed += 1;
+        }
+        committed
+    }
+
+    /// Cherry-style oracle (SPEC): completed instructions release their
+    /// resources out of order regardless of unresolved speculation, with
+    /// zero rollback cost. With `spec_reclaims_rob` unset (Cherry proper,
+    /// "SPEC w/o ROB"), ROB entries are only reclaimed in order once the
+    /// speculation actually resolves.
+    fn commit_spec_oracle(&mut self) -> usize {
+        let cw = self.cfg.commit_width;
+        // Oldest-first completed candidates, excluding wrong-path and
+        // faulting instructions (the oracle knows) and already-released
+        // entries.
+        let candidates: Vec<usize> = self
+            .rob
+            .in_order(self.rob.capacity())
+            .into_iter()
+            .filter(|&i| {
+                let e = self.rob.entry(i);
+                e.completed && !e.wrong_path && !e.fault && !e.released
+            })
+            .take(cw)
+            .collect();
+        let head = self.rob.head();
+        let mut committed = 0;
+        let mut head_committed = false;
+        for idx in candidates {
+            let e = self.rob.entry(idx);
+            if e.class == InstClass::Store {
+                let head_ok = self.lsq.sq_head_rob_idx() == Some(idx);
+                if !head_ok || self.sb.len() >= self.cfg.sq_entries {
+                    continue;
+                }
+            }
+            if Some(idx) != head && !head_committed {
+                self.stats.ooo_commits += 1;
+            } else if Some(idx) == head {
+                head_committed = true;
+            }
+            if self.cfg.spec_reclaims_rob {
+                self.retire(idx);
+            } else {
+                self.release_resources(idx);
+                self.rob.entry_mut(idx).released = true;
+            }
+            committed += 1;
+        }
+        if !self.cfg.spec_reclaims_rob {
+            // Cherry reserves ROB entries: reclaim in order once resolved.
+            for _ in 0..cw {
+                let Some(h) = self.rob.head() else { break };
+                let e = self.rob.entry(h);
+                if e.released && e.completed && self.rob.is_safe_self(h) {
+                    self.rob.free(h);
+                } else {
+                    break;
+                }
+            }
+        }
+        committed
+    }
+
+    fn commit_in_order(&mut self) -> usize {
+        let policy = self.cfg.commit;
+        let ecl = self.cfg.ecl;
+        let cw = self.cfg.commit_width;
+        let mut committed = 0;
+        // "SPEC w/o ROB" holds entries after releasing resources; walk a
+        // wider window so released entries do not mask grantable ones.
+        let window = self.rob.in_order(cw * 4);
+        for idx in window {
+            if committed == cw {
+                break;
+            }
+            let e = self.rob.entry(idx);
+            if e.released {
+                continue; // resources already released, awaiting reclaim
+            }
+            if e.wrong_path || e.fault {
+                break;
+            }
+            let safe = self.rob.is_safe_self(idx);
+            let can = match policy {
+                CommitKind::InOrder => e.completed && safe,
+                CommitKind::Vb => match e.class {
+                    // Stores leave once non-speculative (address resolved);
+                    // the SQ/SB picks the data up post-commit.
+                    InstClass::Store => safe,
+                    InstClass::Load => safe && (ecl || e.completed),
+                    _ => safe,
+                },
+                CommitKind::Br => match e.class {
+                    // Oracle branches never block commit.
+                    InstClass::Branch => true,
+                    InstClass::Load => safe && (ecl || e.completed),
+                    _ => e.completed && safe,
+                },
+                CommitKind::Spec => unreachable!("handled separately"),
+                CommitKind::Ecl => match e.class {
+                    // DeSC: a safe load commits before its data arrives
+                    // (safety implies the address already translated).
+                    InstClass::Load => safe,
+                    _ => e.completed && safe,
+                },
+                CommitKind::Orinoco => unreachable!("handled separately"),
+            };
+            let can = can
+                && (e.class != InstClass::Store || self.sb.len() < self.cfg.sq_entries)
+                // Post-commit execution lives in the finite validation
+                // buffer: an incomplete instruction can only leave the ROB
+                // if a VB entry is free.
+                && (e.completed || self.rob.zombie_count() < self.cfg.vb_entries);
+            if !can {
+                break;
+            }
+            self.retire(idx);
+            committed += 1;
+        }
+        committed
+    }
+
+    /// Releases the architectural resources of a committing instruction:
+    /// previous physical register, LQ entry, SQ entry (to the store
+    /// buffer). Shared by full retire and the released-only path.
+    fn release_resources(&mut self, idx: usize) {
+        let e = self.rob.entry(idx);
+        let (seq, class, dst, lq_slot, wrong_path) =
+            (e.seq, e.class, e.dst, e.lq_slot, e.wrong_path);
+        assert!(!wrong_path, "retiring a wrong-path instruction");
+        self.stats.committed += 1;
+        self.committed_count += 1;
+        self.committed_seq_sum += u128::from(seq);
+        if let Some((_, _, prev)) = dst {
+            // Completed instructions release the previous mapping now;
+            // instructions leaving the ROB before completion (post-commit
+            // execution) hold it until they drain — the register status
+            // stays imprecise exactly as §2.2 describes for VB.
+            if self.rob.entry(idx).completed {
+                self.rename.commit_remap(prev);
+            }
+        }
+        if class == InstClass::Load {
+            if let Some(slot) = lq_slot {
+                self.lsq.free_load(slot);
+                self.rob.entry_mut(idx).lq_slot = None;
+                // The entry leaves the LQ (ECL-committed non-performed
+                // loads included — weak model): clear its lockdown column.
+                self.on_load_no_longer_blocking(slot);
+                // Under the Cherry oracle the load's disambiguation state
+                // is released with the LQ entry; replays are cost-free, so
+                // the load counts as resolved from here on.
+                if self.cfg.commit == CommitKind::Spec && !self.rob.is_safe_self(idx) {
+                    self.rob.mark_safe(idx);
+                }
+            }
+        }
+        if class == InstClass::Store {
+            let entry = self.lsq.commit_store_head(idx);
+            self.rob.entry_mut(idx).sq_slot = None;
+            self.sb
+                .push_back(entry.addr.expect("committing unresolved store"));
+        }
+    }
+
+    fn retire(&mut self, idx: usize) {
+        self.release_resources(idx);
+        if self.rob.entry(idx).completed {
+            self.rob.free(idx);
+        } else {
+            // Post-commit execution (VB/BR/ECL): zombie until ExecDone.
+            self.rob.retire_early(idx);
+        }
+    }
+
+    fn take_exception(&mut self, idx: usize) {
+        let seq = self.rob.entry(idx).seq;
+        self.stats.exceptions += 1;
+        self.handled_faults.insert(seq);
+        self.squash_ge(seq, false);
+        self.fetch
+            .redirect(seq, self.now, self.cfg.pagefault_penalty);
+    }
+
+    fn replay_from(&mut self, idx: usize) {
+        let seq = self.rob.entry(idx).seq;
+        self.stats.replays += 1;
+        self.squash_ge(seq, false);
+        self.fetch.redirect(seq, self.now, self.cfg.redirect_penalty);
+    }
+
+    // ------------------------------------------------------------------
+    // Squash
+    // ------------------------------------------------------------------
+
+    /// Squashes every instruction with `seq >= from`. For a branch
+    /// mispredict pass `branch.seq + 1` (the branch survives); for an
+    /// exception or replay pass the offender's own sequence (it
+    /// re-executes).
+    fn squash_ge(&mut self, from: u64, mispredict: bool) {
+        let idxs = self.rob.from_seq(from);
+        let mut reinject = Vec::new();
+        for idx in idxs {
+            let e = self.rob.free(idx);
+            self.stats.squashed += 1;
+            if let Some((qi, slot)) = e.iq_slot {
+                self.iqs[qi].remove(slot);
+            }
+            if !e.srcs_read {
+                for p in e.srcs.into_iter().flatten() {
+                    self.rename.unread_operand(p);
+                }
+            }
+            if let Some((a, n, p)) = e.dst {
+                self.rename.rollback_dest(a, n, p);
+            }
+            if let Some(slot) = e.lq_slot {
+                self.lsq.free_load(slot);
+                self.on_load_no_longer_blocking(slot);
+            }
+            if e.sq_slot.is_some() {
+                self.lsq.squash_store_tail(idx);
+            }
+            if !e.wrong_path {
+                debug_assert!(!mispredict, "correct-path victim of a mispredict squash");
+                reinject.push(e.dyn_inst.expect("correct-path entry keeps its DynInst"));
+            }
+        }
+        // The fetch/decode queue holds only instructions younger than any
+        // squash point (fetch is in order): drain and re-inject the
+        // correct-path ones.
+        for (f, _) in self.fq.drain(..) {
+            self.stats.squashed += 1;
+            if !f.wrong_path {
+                debug_assert!(f.inst.seq >= from);
+                reinject.push(f.inst);
+            }
+        }
+        self.fetch.clear_wrong_path_owned_by(from.saturating_sub(1));
+        self.fetch.reinject(reinject);
+    }
+
+    // ------------------------------------------------------------------
+    // Issue
+    // ------------------------------------------------------------------
+
+    fn issue(&mut self) {
+        let mut budget = self.fus.budget(self.now);
+        let ready_before: usize = self.iqs.iter().map(IssueQueue::ready_count).sum();
+        self.stats.iq_ready_sum += ready_before as u64;
+        let mut grants = Vec::new();
+        let mut remaining = self.cfg.width;
+        for iq in &mut self.iqs {
+            if remaining == 0 {
+                break;
+            }
+            let g = iq.select(&mut budget, remaining);
+            remaining -= g.len();
+            grants.extend(g);
+        }
+        if ready_before > grants.len() && ready_before > 0 {
+            self.stats.issue_conflict_cycles += 1;
+        }
+        for (_slot, iqe) in grants {
+            let idx = iqe.rob_idx;
+            for p in iqe.srcs.into_iter().flatten() {
+                self.rename.read_operand(p);
+            }
+            let e = self.rob.entry_mut(idx);
+            e.iq_slot = None;
+            e.issued = true;
+            e.srcs_read = true;
+            let class = e.class;
+            if class == InstClass::Store {
+                // The AGU no longer waits for the data register: note
+                // whether it was already available, or arrange to be told.
+                let data_ready = iqe.srcs[1].is_none() || iqe.src_ready[1];
+                e.store_data_ready = data_ready;
+                if !data_ready {
+                    let p = iqe.srcs[1].expect("pending data register");
+                    let gen = self.rob.generation(idx);
+                    let waiters = self.store_data_waiters.entry(p).or_default();
+                    waiters.retain(|&(i, g)| self.rob.is_live(i, g));
+                    waiters.push((idx, gen));
+                }
+            }
+            let lat = exec_latency(class);
+            let until = if is_unpipelined(class) { self.now + lat } else { self.now + 1 };
+            self.fus.occupy(Pool::of(class), self.now, until);
+            let kind = if class.is_mem() { EventKind::AguDone } else { EventKind::ExecDone };
+            self.events.push(Event {
+                at: self.now + lat,
+                kind,
+                rob_idx: idx,
+                gen: self.rob.generation(idx),
+            });
+            self.stats.issued += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch (rename + allocate)
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        let mut used_banks = vec![false; self.cfg.width.max(1)];
+        for _ in 0..self.cfg.width {
+            let Some((f, at)) = self.fq.front() else { break };
+            if *at > self.now {
+                break;
+            }
+            let d = &f.inst;
+            // Atomic resource check; attribute the first exhausted
+            // resource (top-down, §6.2).
+            let pool_q = self.iq_index(Pool::of(d.class));
+            let blocked = if self.rob.free_count() == 0 {
+                Some(Resource::Rob)
+            } else if !self.iqs[pool_q].has_space() {
+                Some(Resource::Iq)
+            } else if d.is_load() && self.lsq.lq_free() == 0 {
+                Some(Resource::Lq)
+            } else if d.is_store() && self.lsq.sq_free() == 0 {
+                Some(Resource::Sq)
+            } else if d.dst.is_some_and(|a| !self.rename.has_free_for(a)) {
+                Some(Resource::RegFile)
+            } else {
+                None
+            };
+            if let Some(r) = blocked {
+                self.stats.dispatch_stalls.record(r);
+                break;
+            }
+            let (f, _) = self.fq.pop_front().expect("checked front");
+            let d = f.inst;
+            // Criticality (correct path only).
+            let critical = match self.crit.as_mut() {
+                Some(ce) if !f.wrong_path => {
+                    let c = ce.is_critical(d.pc);
+                    ce.rename_observe(d.pc, d.src1.into_iter().chain(d.src2));
+                    if let Some(dst) = d.dst {
+                        ce.note_writer(dst, d.pc);
+                    }
+                    c
+                }
+                _ => false,
+            };
+            // Rename.
+            let srcs = [
+                d.src1.map(|a| self.rename.rename_source(a)),
+                d.src2.map(|a| self.rename.rename_source(a)),
+            ];
+            let dst = d.dst.map(|a| {
+                let (new, prev) = self.rename.rename_dest(a).expect("checked free regs");
+                (a, new, prev)
+            });
+            let speculative = match d.class {
+                InstClass::Branch => d.op != Opcode::Jal,
+                InstClass::Load | InstClass::Store | InstClass::Barrier => true,
+                _ => false,
+            };
+            let entry = RobEntry {
+                seq: d.seq,
+                pc: d.pc,
+                op: d.op,
+                class: d.class,
+                wrong_path: f.wrong_path,
+                dst,
+                srcs,
+                srcs_read: false,
+                iq_slot: None,
+                lq_slot: None,
+                sq_slot: None,
+                issued: false,
+                agu_done: false,
+                store_data_ready: false,
+                completed: false,
+                mispredicted: f.mispredicted,
+                fault: false,
+                mem_addr: d.mem_addr,
+                next_pc: d.next_pc,
+                taken: d.taken,
+                critical,
+                retired: false,
+                released: false,
+                dyn_inst: Some(d.clone()),
+            };
+            let seq = d.seq;
+            let class = d.class;
+            let rob_idx = if self.cfg.banked_dispatch {
+                match self.rob.alloc_banked(entry, speculative, &used_banks) {
+                    Some(idx) => {
+                        let b = self.rob.bank_of(idx, used_banks.len());
+                        used_banks[b] = true;
+                        idx
+                    }
+                    None => {
+                        // Write-port conflict: every free slot sits in a
+                        // bank already written this cycle. The instruction
+                        // is already renamed; un-rename and retry next
+                        // cycle.
+                        self.stats.bank_conflict_stalls += 1;
+                        for p in srcs.into_iter().flatten() {
+                            self.rename.unread_operand(p);
+                        }
+                        if let Some((a, n, p)) = dst {
+                            self.rename.rollback_dest(a, n, p);
+                        }
+                        self.fq.push_front((
+                            Fetched { inst: d, wrong_path: f.wrong_path, mispredicted: f.mispredicted },
+                            self.now,
+                        ));
+                        break;
+                    }
+                }
+            } else {
+                self.rob.alloc(entry, speculative).expect("checked ROB space")
+            };
+            // LSQ.
+            let lq_slot = (class == InstClass::Load)
+                .then(|| self.lsq.alloc_load(rob_idx, seq).expect("checked LQ space"));
+            let sq_slot = (class == InstClass::Store)
+                .then(|| self.lsq.alloc_store(rob_idx, seq).expect("checked SQ space"));
+            // IQ.
+            let src_ready = [
+                srcs[0].is_none_or(|p| self.rename.is_ready(p)),
+                srcs[1].is_none_or(|p| self.rename.is_ready(p)),
+            ];
+            let iq_slot = self.iqs[pool_q]
+                .allocate(IqEntry {
+                    rob_idx,
+                    pool: Pool::of(class),
+                    critical,
+                    seq,
+                    srcs,
+                    src_ready,
+                    // Stores issue address generation on the address
+                    // operand alone; the data operand merges later.
+                    wait_on: [true, class != InstClass::Store],
+                })
+                .expect("checked IQ space");
+            let e = self.rob.entry_mut(rob_idx);
+            e.iq_slot = Some((pool_q, iq_slot));
+            e.lq_slot = lq_slot;
+            e.sq_slot = sq_slot;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn fetch_stage(&mut self) {
+        let cap = self.cfg.width * (self.cfg.frontend_depth as usize + 2);
+        if self.fq.len() >= cap {
+            return;
+        }
+        let dispatchable_at = self.now + self.cfg.frontend_depth;
+        for f in self.fetch.fetch(self.now, self.cfg.width) {
+            self.fq.push_back((f, dispatchable_at));
+        }
+    }
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("config", &self.cfg.name)
+            .field("cycle", &self.now)
+            .field("rob", &self.rob.len())
+            .field("iq", &self.iq_len_total())
+            .field("committed", &self.stats.committed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerKind;
+    use orinoco_isa::ProgramBuilder;
+
+    fn tiny_core(cfg: CoreConfig) -> Core {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        b.halt();
+        Core::new(Emulator::new(b.build(), 256), cfg)
+    }
+
+    #[test]
+    fn unified_core_has_one_queue() {
+        let core = tiny_core(CoreConfig::base());
+        assert_eq!(core.iqs.len(), 1);
+        assert_eq!(core.iq_index(Pool::Fp), 0);
+        assert_eq!(core.iq_index(Pool::Mem), 0);
+    }
+
+    #[test]
+    fn split_core_has_one_queue_per_pool() {
+        let core = tiny_core(CoreConfig::base().with_split_iq());
+        assert_eq!(core.iqs.len(), 4);
+        assert_eq!(core.iq_index(Pool::Int), Pool::Int.idx());
+        assert_eq!(core.iq_index(Pool::Mem), Pool::Mem.idx());
+        let caps: usize = core.iqs.iter().map(IssueQueue::capacity).sum();
+        // 40/10/20/30 split of 97, each at least 4
+        assert!(caps <= CoreConfig::base().iq_entries + 12);
+    }
+
+    #[test]
+    fn invalidation_of_unlocked_line_acks_immediately() {
+        let mut core = tiny_core(CoreConfig::base());
+        assert!(core.inject_invalidation(0x4000));
+        assert_eq!(core.active_lockdowns(), 0);
+        assert_eq!(core.any_locked_line(), None);
+    }
+
+    #[test]
+    fn fault_roll_is_deterministic_and_respects_handled_set() {
+        let mut core = tiny_core(CoreConfig {
+            pagefault_per_million: 500_000, // ~half of all rolls fault
+            ..CoreConfig::base()
+        });
+        let first: Vec<bool> = (0..64).map(|s| core.fault_roll(s)).collect();
+        let second: Vec<bool> = (0..64).map(|s| core.fault_roll(s)).collect();
+        assert_eq!(first, second, "roll must be a pure function of seq/seed");
+        assert!(first.iter().any(|&b| b));
+        assert!(first.iter().any(|&b| !b));
+        let victim = (0..64).find(|&s| core.fault_roll(s)).expect("some fault");
+        core.handled_faults.insert(victim);
+        assert!(!core.fault_roll(victim), "handled fault must not re-fire");
+    }
+
+    #[test]
+    fn tiny_program_drains_in_a_few_cycles() {
+        for sched in [SchedulerKind::Age, SchedulerKind::Orinoco] {
+            let mut core = tiny_core(CoreConfig::base().with_scheduler(sched));
+            let stats = core.run(10_000);
+            assert_eq!(stats.committed, 2); // nop + halt
+            assert!(stats.cycles < 100);
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! Counter-based register renaming with a Register Status Table (§5).
+//!
+//! Out-of-order commit releases physical registers early, so the classic
+//! "free the previous mapping when the renaming instruction commits" rule
+//! is extended with consumer counting (the RST): a physical register is
+//! reclaimed only when
+//!
+//! 1. its value has been produced (write-back),
+//! 2. its logical register has been **irrevocably remapped** (the renaming
+//!    instruction committed), and
+//! 3. every consumer has read it (the RST consumer counter drained).
+//!
+//! This is what keeps the register state precise without a collapsible ROB
+//! or post-commit draining.
+
+use orinoco_isa::{ArchReg, NUM_ARCH_REGS};
+use std::fmt;
+
+/// A physical register name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysReg(pub(crate) u16);
+
+impl PhysReg {
+    /// Index into the physical register file.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct PhysState {
+    allocated: bool,
+    /// Value produced (write-back done).
+    ready: bool,
+    /// Outstanding consumers that renamed this register as a source and
+    /// have not yet read it.
+    consumers: u32,
+    /// The logical register this mapping backed has been irrevocably
+    /// remapped (the overwriting instruction committed).
+    remapped: bool,
+}
+
+/// The rename unit: map table, physical register state (RST) and free
+/// lists.
+///
+/// Integer and floating-point destinations draw from **separate** physical
+/// files of `phys_count` registers each (as in the Skylake-like baseline of
+/// Table 1, which has distinct INT and FP PRFs); the RST state is shared.
+///
+/// # Examples
+///
+/// ```
+/// use orinoco_core::RenameUnit;
+/// use orinoco_isa::ArchReg;
+///
+/// let mut rn = RenameUnit::new(80);
+/// let x1 = ArchReg::int(1);
+/// let (new, prev) = rn.rename_dest(x1).unwrap();
+/// rn.writeback(new);
+/// assert!(rn.is_ready(new));
+/// // When the renaming instruction commits, the previous mapping can go.
+/// rn.commit_remap(prev);
+/// # let _ = prev;
+/// ```
+#[derive(Clone, Debug)]
+pub struct RenameUnit {
+    map: [PhysReg; NUM_ARCH_REGS],
+    state: Vec<PhysState>,
+    free_int: Vec<PhysReg>,
+    free_fp: Vec<PhysReg>,
+    /// Physical indices below this belong to the integer file.
+    int_count: usize,
+}
+
+impl RenameUnit {
+    /// Creates a rename unit with `phys_count` physical registers **per
+    /// file** (integer and floating point). The first 32 of each file back
+    /// the architectural registers at reset (ready, no consumers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys_count` does not exceed 32 (the per-file
+    /// architectural count).
+    #[must_use]
+    pub fn new(phys_count: usize) -> Self {
+        const ARCH_PER_FILE: usize = NUM_ARCH_REGS / 2;
+        assert!(
+            phys_count > ARCH_PER_FILE,
+            "need more physical than architectural registers"
+        );
+        let mut state = vec![PhysState::default(); phys_count * 2];
+        let mut map = [PhysReg(0); NUM_ARCH_REGS];
+        for (a, m) in map.iter_mut().enumerate() {
+            // x0..x31 -> int file 0..32; f0..f31 -> fp file base..base+32.
+            let p = if a < ARCH_PER_FILE { a } else { phys_count + (a - ARCH_PER_FILE) };
+            *m = PhysReg(p as u16);
+            state[p] = PhysState { allocated: true, ready: true, consumers: 0, remapped: false };
+        }
+        let free_int = (ARCH_PER_FILE..phys_count)
+            .rev()
+            .map(|i| PhysReg(i as u16))
+            .collect();
+        let free_fp = (phys_count + ARCH_PER_FILE..2 * phys_count)
+            .rev()
+            .map(|i| PhysReg(i as u16))
+            .collect();
+        Self { map, state, free_int, free_fp, int_count: phys_count }
+    }
+
+    /// Number of free physical registers (minimum over the two files —
+    /// the conservative dispatch-gate view).
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        self.free_int.len().min(self.free_fp.len())
+    }
+
+    /// `true` if a destination rename of `arch` can be satisfied.
+    #[must_use]
+    pub fn has_free_for(&self, arch: ArchReg) -> bool {
+        if arch.is_fp() {
+            !self.free_fp.is_empty()
+        } else {
+            !self.free_int.is_empty()
+        }
+    }
+
+    /// Free integer-file registers.
+    #[must_use]
+    pub fn free_int_count(&self) -> usize {
+        self.free_int.len()
+    }
+
+    /// Free floating-point-file registers.
+    #[must_use]
+    pub fn free_fp_count(&self) -> usize {
+        self.free_fp.len()
+    }
+
+    fn free_list_of(&mut self, p: PhysReg) -> &mut Vec<PhysReg> {
+        if p.index() < self.int_count {
+            &mut self.free_int
+        } else {
+            &mut self.free_fp
+        }
+    }
+
+    /// Total physical registers.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Current mapping of `arch`.
+    #[must_use]
+    pub fn lookup(&self, arch: ArchReg) -> PhysReg {
+        self.map[arch.index()]
+    }
+
+    /// Renames a source operand: returns the current mapping and bumps its
+    /// consumer count. The caller must later call
+    /// [`RenameUnit::read_operand`] (at issue) or
+    /// [`RenameUnit::unread_operand`] (on squash before issue).
+    pub fn rename_source(&mut self, arch: ArchReg) -> PhysReg {
+        let p = self.map[arch.index()];
+        self.state[p.index()].consumers += 1;
+        p
+    }
+
+    /// Renames a destination: allocates a new physical register from the
+    /// matching file and returns `(new, previous)`. Returns `None` when
+    /// that file's free list is empty (dispatch must stall — the REG
+    /// resource of the stall breakdown).
+    pub fn rename_dest(&mut self, arch: ArchReg) -> Option<(PhysReg, PhysReg)> {
+        let new = if arch.is_fp() {
+            self.free_fp.pop()?
+        } else {
+            self.free_int.pop()?
+        };
+        debug_assert!(!self.state[new.index()].allocated);
+        self.state[new.index()] =
+            PhysState { allocated: true, ready: false, consumers: 0, remapped: false };
+        let prev = self.map[arch.index()];
+        self.map[arch.index()] = new;
+        Some((new, prev))
+    }
+
+    /// `true` once the register's value has been produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is not allocated.
+    #[must_use]
+    pub fn is_ready(&self, p: PhysReg) -> bool {
+        let s = &self.state[p.index()];
+        assert!(s.allocated, "readiness of unallocated {p:?}");
+        s.ready
+    }
+
+    /// Marks the value produced (write-back).
+    pub fn writeback(&mut self, p: PhysReg) {
+        self.state[p.index()].ready = true;
+        self.try_free(p);
+    }
+
+    /// A consumer read the operand (at issue): decrements the RST counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter is already zero.
+    pub fn read_operand(&mut self, p: PhysReg) {
+        let s = &mut self.state[p.index()];
+        assert!(s.consumers > 0, "consumer underflow on {p:?}");
+        s.consumers -= 1;
+        self.try_free(p);
+    }
+
+    /// A consumer was squashed before reading: identical counter effect to
+    /// a read, kept separate for call-site clarity and statistics.
+    pub fn unread_operand(&mut self, p: PhysReg) {
+        self.read_operand(p);
+    }
+
+    /// The renaming instruction committed: its previous mapping is
+    /// irrevocably dead once consumers drain.
+    pub fn commit_remap(&mut self, prev: PhysReg) {
+        self.state[prev.index()].remapped = true;
+        self.try_free(prev);
+    }
+
+    /// Rolls back a squashed instruction's destination rename: restores
+    /// `arch -> prev` and force-frees `new`.
+    ///
+    /// Squashes must be processed **youngest first** so that consumer
+    /// counts on `new` have already been reverted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new` still has consumers or is not the current mapping.
+    pub fn rollback_dest(&mut self, arch: ArchReg, new: PhysReg, prev: PhysReg) {
+        assert_eq!(
+            self.map[arch.index()],
+            new,
+            "rollback out of order for {arch}"
+        );
+        let s = &mut self.state[new.index()];
+        assert_eq!(s.consumers, 0, "rollback of {new:?} with live consumers");
+        *s = PhysState::default();
+        self.free_list_of(new).push(new);
+        self.map[arch.index()] = prev;
+    }
+
+    fn try_free(&mut self, p: PhysReg) {
+        let s = &mut self.state[p.index()];
+        if s.allocated && s.ready && s.remapped && s.consumers == 0 {
+            *s = PhysState::default();
+            self.free_list_of(p).push(p);
+        }
+    }
+
+    /// Consistency check for tests: every allocated register is either
+    /// mapped or awaiting remap/consumers, and free-list entries are
+    /// unallocated.
+    pub fn assert_consistent(&self) {
+        for p in self.free_int.iter().chain(&self.free_fp) {
+            assert!(!self.state[p.index()].allocated, "{p:?} free but allocated");
+        }
+        let allocated = self.state.iter().filter(|s| s.allocated).count();
+        assert_eq!(
+            allocated + self.free_int.len() + self.free_fp.len(),
+            self.state.len(),
+            "register leak"
+        );
+        for (i, m) in self.map.iter().enumerate() {
+            assert!(
+                self.state[m.index()].allocated,
+                "arch {i} mapped to unallocated {m:?}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    #[test]
+    fn initial_state() {
+        let rn = RenameUnit::new(80);
+        assert_eq!(rn.capacity(), 160); // 80 int + 80 fp
+        assert_eq!(rn.free_int_count(), 80 - 32);
+        assert_eq!(rn.free_fp_count(), 80 - 32);
+        assert_eq!(rn.free_count(), 48);
+        assert!(rn.is_ready(rn.lookup(x(5))));
+        assert!(rn.is_ready(rn.lookup(ArchReg::fp(5))));
+        rn.assert_consistent();
+    }
+
+    #[test]
+    fn int_and_fp_files_are_independent() {
+        let mut rn = RenameUnit::new(33); // one spare per file
+        assert!(rn.rename_dest(x(1)).is_some());
+        assert!(!rn.has_free_for(x(2)));
+        // int file exhausted, fp file still has its spare
+        assert!(rn.has_free_for(ArchReg::fp(2)));
+        assert!(rn.rename_dest(ArchReg::fp(2)).is_some());
+        assert!(rn.rename_dest(ArchReg::fp(3)).is_none());
+        rn.assert_consistent();
+    }
+
+    #[test]
+    fn rename_chain_tracks_readiness() {
+        let mut rn = RenameUnit::new(80);
+        let (p1, _) = rn.rename_dest(x(1)).unwrap();
+        assert!(!rn.is_ready(p1));
+        let src = rn.rename_source(x(1));
+        assert_eq!(src, p1);
+        rn.writeback(p1);
+        assert!(rn.is_ready(p1));
+        rn.assert_consistent();
+    }
+
+    #[test]
+    fn previous_mapping_freed_only_after_remap_read_and_ready() {
+        let mut rn = RenameUnit::new(34); // only 2 spare int regs
+        // i1: x1 = ... (allocates p_a, prev = initial)
+        let (p_a, prev0) = rn.rename_dest(x(1)).unwrap();
+        rn.writeback(p_a);
+        // consumer of x1
+        let s = rn.rename_source(x(1));
+        assert_eq!(s, p_a);
+        // i2: overwrites x1 (allocates p_b, prev = p_a)
+        let (_p_b, prev1) = rn.rename_dest(x(1)).unwrap();
+        assert_eq!(prev1, p_a);
+        assert_eq!(rn.free_count(), 0);
+        // i1 commits: initial mapping irrevocably remapped -> freed (ready,
+        // no consumers).
+        rn.commit_remap(prev0);
+        assert_eq!(rn.free_count(), 1);
+        // i2 commits: p_a remapped but still has 1 consumer -> not freed.
+        rn.commit_remap(prev1);
+        assert_eq!(rn.free_count(), 1);
+        // consumer reads -> p_a freed.
+        rn.read_operand(p_a);
+        assert_eq!(rn.free_count(), 2);
+        rn.assert_consistent();
+    }
+
+    #[test]
+    fn unready_register_not_freed_even_when_remapped() {
+        let mut rn = RenameUnit::new(80);
+        let (p_a, _) = rn.rename_dest(x(2)).unwrap();
+        let (_p_b, prev) = rn.rename_dest(x(2)).unwrap();
+        assert_eq!(prev, p_a);
+        let before = rn.free_count();
+        // Overwriter commits while p_a has not written back (long-latency
+        // producer passed by OoO commit): must NOT free.
+        rn.commit_remap(p_a);
+        assert_eq!(rn.free_count(), before);
+        rn.writeback(p_a);
+        assert_eq!(rn.free_count(), before + 1);
+        rn.assert_consistent();
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut rn = RenameUnit::new(34);
+        assert!(rn.rename_dest(x(1)).is_some());
+        assert!(rn.rename_dest(x(2)).is_some());
+        assert!(rn.rename_dest(x(3)).is_none());
+    }
+
+    #[test]
+    fn rollback_restores_mapping() {
+        let mut rn = RenameUnit::new(80);
+        let m0 = rn.lookup(x(4));
+        let (p_new, prev) = rn.rename_dest(x(4)).unwrap();
+        assert_eq!(prev, m0);
+        let before = rn.free_count();
+        rn.rollback_dest(x(4), p_new, prev);
+        assert_eq!(rn.lookup(x(4)), m0);
+        assert_eq!(rn.free_count(), before + 1);
+        rn.assert_consistent();
+    }
+
+    #[test]
+    fn rollback_nested_youngest_first() {
+        let mut rn = RenameUnit::new(80);
+        let m0 = rn.lookup(x(7));
+        let (p1, prev1) = rn.rename_dest(x(7)).unwrap();
+        let (p2, prev2) = rn.rename_dest(x(7)).unwrap();
+        assert_eq!(prev2, p1);
+        // squash youngest first
+        rn.rollback_dest(x(7), p2, prev2);
+        rn.rollback_dest(x(7), p1, prev1);
+        assert_eq!(rn.lookup(x(7)), m0);
+        rn.assert_consistent();
+    }
+
+    #[test]
+    fn squashed_consumer_reverts_count() {
+        let mut rn = RenameUnit::new(80);
+        rn.assert_consistent();
+        let (p, prev) = rn.rename_dest(x(1)).unwrap();
+        let s = rn.rename_source(x(1));
+        rn.writeback(p);
+        // consumer squashed before issue
+        rn.unread_operand(s);
+        // overwrite + commit frees p
+        let (_n, pv) = rn.rename_dest(x(1)).unwrap();
+        assert_eq!(pv, p);
+        let before = rn.free_count();
+        rn.commit_remap(p);
+        assert_eq!(rn.free_count(), before + 1);
+        let _ = prev;
+        rn.assert_consistent();
+    }
+
+    #[test]
+    #[should_panic(expected = "consumer underflow")]
+    fn double_read_panics() {
+        let mut rn = RenameUnit::new(80);
+        let s = rn.rename_source(x(1));
+        rn.read_operand(s);
+        rn.read_operand(s);
+    }
+
+    #[test]
+    #[should_panic(expected = "rollback out of order")]
+    fn out_of_order_rollback_panics() {
+        let mut rn = RenameUnit::new(80);
+        let (p1, prev1) = rn.rename_dest(x(7)).unwrap();
+        let (_p2, _prev2) = rn.rename_dest(x(7)).unwrap();
+        rn.rollback_dest(x(7), p1, prev1); // p2 is current, not p1
+    }
+}

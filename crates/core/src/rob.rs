@@ -1,0 +1,558 @@
+//! The non-collapsible reorder buffer: free-list allocation, the merged
+//! age-matrix/`SPEC`-vector commit scheduler of §3.2, and the in-order view
+//! needed by the baseline commit policies.
+
+use crate::rename::PhysReg;
+use orinoco_isa::{ArchReg, DynInst, InstClass, Opcode};
+use orinoco_matrix::{BitVec64, CommitScheduler};
+use std::collections::VecDeque;
+
+/// A ROB entry: the instruction's rename state, queue locations and
+/// execution status.
+#[derive(Clone, Debug)]
+pub struct RobEntry {
+    /// Dynamic sequence number (wrong-path instructions get their own).
+    pub seq: u64,
+    /// Byte PC.
+    pub pc: u64,
+    /// Operation.
+    pub op: Opcode,
+    /// Functional-unit class.
+    pub class: InstClass,
+    /// Fetched down a mispredicted path (will be squashed, never commits).
+    pub wrong_path: bool,
+    /// Destination rename: `(arch, new phys, previous phys)`.
+    pub dst: Option<(ArchReg, PhysReg, PhysReg)>,
+    /// Renamed sources.
+    pub srcs: [Option<PhysReg>; 2],
+    /// Operands have been read (consumer counters decremented).
+    pub srcs_read: bool,
+    /// Issue-queue location while waiting to issue: `(queue, slot)` —
+    /// queue 0 is the unified IQ; split-IQ cores use one queue per pool.
+    pub iq_slot: Option<(usize, usize)>,
+    /// LQ slot for loads.
+    pub lq_slot: Option<usize>,
+    /// SQ slot for stores.
+    pub sq_slot: Option<usize>,
+    /// Issued from the IQ.
+    pub issued: bool,
+    /// Address generation finished (memory ops).
+    pub agu_done: bool,
+    /// Store data operand is available (stores complete when both the
+    /// address resolved and the data arrived; the AGU no longer waits for
+    /// the data register).
+    pub store_data_ready: bool,
+    /// Execution finished (loads: data returned).
+    pub completed: bool,
+    /// Branch outcome mismatch detected at fetch; realised at resolution.
+    pub mispredicted: bool,
+    /// Injected page fault (never becomes safe; handled as a precise
+    /// exception when it reaches the oldest position).
+    pub fault: bool,
+    /// Effective address (oracle) for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// Oracle next PC (branch redirect target).
+    pub next_pc: u64,
+    /// Oracle direction for branches.
+    pub taken: bool,
+    /// Criticality tag at dispatch.
+    pub critical: bool,
+    /// Left the logical ROB while still executing (post-commit zombie).
+    pub retired: bool,
+    /// Resources released early but ROB entry still held (the
+    /// "SPEC w/o ROB" ablation, where Cherry reserves ROB entries).
+    pub released: bool,
+    /// The original dynamic instruction, for re-injection after an
+    /// exception or replay squash (`None` only in unit tests).
+    pub dyn_inst: Option<DynInst>,
+}
+
+/// The reorder buffer.
+///
+/// Physical slot storage is twice the logical capacity: policies with
+/// post-commit execution (VB/BR/ECL) *retire* instructions early — the
+/// logical entry is released for dispatch while the in-flight "zombie"
+/// keeps its physical slot until execution completes.
+#[derive(Clone, Debug)]
+pub struct Rob {
+    slots: Vec<Option<RobEntry>>,
+    free: Vec<usize>,
+    sched: CommitScheduler,
+    completed: BitVec64,
+    /// Program-order view (dispatch order) as `(slot, seq)` pairs; a
+    /// pair is stale — skipped lazily — once the slot was freed or
+    /// recycled by a younger instruction.
+    order: VecDeque<(usize, u64)>,
+    /// Per-slot generation counters to invalidate stale events.
+    gens: Vec<u64>,
+    logical_cap: usize,
+    logical_used: usize,
+}
+
+impl Rob {
+    /// Creates a ROB with `cap` (logical) entries.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        let physical = cap * 2;
+        Self {
+            slots: vec![None; physical],
+            free: (0..physical).rev().collect(),
+            sched: CommitScheduler::new(physical),
+            completed: BitVec64::new(physical),
+            order: VecDeque::with_capacity(physical),
+            gens: vec![0; physical],
+            logical_cap: cap,
+            logical_used: 0,
+        }
+    }
+
+    /// Logical capacity in entries (the Table 1 ROB size).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.logical_cap
+    }
+
+    /// Logically occupied entries (dispatched, not yet retired).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.logical_used
+    }
+
+    /// `true` when no live entries remain, including zombies.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.free.len() == self.slots.len()
+    }
+
+    /// Free logical entries.
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        self.logical_cap - self.logical_used
+    }
+
+    /// Retired-but-executing zombies (post-commit execution occupancy).
+    #[must_use]
+    pub fn zombie_count(&self) -> usize {
+        let physical_used = self.slots.len() - self.free.len();
+        physical_used - self.logical_used
+    }
+
+    /// The merged commit scheduler (age matrix + SPEC vector).
+    #[must_use]
+    pub fn scheduler(&self) -> &CommitScheduler {
+        &self.sched
+    }
+
+    /// Generation of `idx`, for event tagging.
+    #[must_use]
+    pub fn generation(&self, idx: usize) -> u64 {
+        self.gens[idx]
+    }
+
+    /// `true` if `(idx, gen)` still names the same instruction.
+    #[must_use]
+    pub fn is_live(&self, idx: usize, gen: u64) -> bool {
+        self.slots[idx].is_some() && self.gens[idx] == gen
+    }
+
+    /// Allocates an entry (random allocation into any free slot). Returns
+    /// the slot, or `None` when the logical capacity is exhausted.
+    /// `speculative` instructions set their `SPEC` bit.
+    pub fn alloc(&mut self, entry: RobEntry, speculative: bool) -> Option<usize> {
+        if self.logical_used == self.logical_cap {
+            return None;
+        }
+        let idx = self.free.pop().expect("zombie slack exhausted");
+        self.install(idx, entry, speculative);
+        Some(idx)
+    }
+
+    /// The horizontal bank (of `nbanks`) that physical slot `idx` belongs
+    /// to (§4.3: the age-matrix SRAM is split into `dispatch width` banks).
+    #[must_use]
+    pub fn bank_of(&self, idx: usize, nbanks: usize) -> usize {
+        idx * nbanks / self.slots.len()
+    }
+
+    /// Allocates like [`Rob::alloc`] but honouring the single-write-port-
+    /// per-bank constraint: the chosen slot's bank must not be in
+    /// `used_banks`. Returns `None` on logical exhaustion **or** when every
+    /// free slot lies in an already-written bank (a dispatch port
+    /// conflict).
+    pub fn alloc_banked(
+        &mut self,
+        entry: RobEntry,
+        speculative: bool,
+        used_banks: &[bool],
+    ) -> Option<usize> {
+        if self.logical_used == self.logical_cap {
+            return None;
+        }
+        let nbanks = used_banks.len();
+        // Prefer the emptiest eligible bank (load balancing, §4.3);
+        // approximation: latest-freed slot in any eligible bank.
+        let pos = self
+            .free
+            .iter()
+            .rposition(|&i| !used_banks[self.bank_of(i, nbanks)])?;
+        let idx = self.free.remove(pos);
+        self.install(idx, entry, speculative);
+        Some(idx)
+    }
+
+    fn install(&mut self, idx: usize, entry: RobEntry, speculative: bool) {
+        self.logical_used += 1;
+        self.sched.dispatch(idx, speculative);
+        self.completed.clear(idx);
+        self.order.push_back((idx, entry.seq));
+        self.slots[idx] = Some(entry);
+    }
+
+    /// Entry accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    #[must_use]
+    pub fn entry(&self, idx: usize) -> &RobEntry {
+        self.slots[idx].as_ref().unwrap_or_else(|| panic!("empty ROB slot {idx}"))
+    }
+
+    /// Mutable entry accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn entry_mut(&mut self, idx: usize) -> &mut RobEntry {
+        self.slots[idx].as_mut().unwrap_or_else(|| panic!("empty ROB slot {idx}"))
+    }
+
+    /// `Some(entry)` if the slot is occupied.
+    #[must_use]
+    pub fn get(&self, idx: usize) -> Option<&RobEntry> {
+        self.slots[idx].as_ref()
+    }
+
+    /// Marks execution complete.
+    pub fn mark_completed(&mut self, idx: usize) {
+        self.entry_mut(idx).completed = true;
+        self.completed.set(idx);
+    }
+
+    /// Clears the `SPEC` bit (the instruction can no longer misspeculate
+    /// or fault).
+    pub fn mark_safe(&mut self, idx: usize) {
+        self.sched.mark_safe(idx);
+    }
+
+    /// Re-sets the `SPEC` bit (replay).
+    pub fn mark_speculative(&mut self, idx: usize) {
+        self.sched.mark_speculative(idx);
+    }
+
+    /// `true` if the instruction's own `SPEC` bit is clear.
+    #[must_use]
+    pub fn is_safe_self(&self, idx: usize) -> bool {
+        !self.sched.is_speculative(idx)
+    }
+
+    /// `true` if no *older* in-flight instruction may misspeculate or
+    /// fault (the row ∧ SPEC reduction-NOR of the merged scheduler).
+    #[must_use]
+    pub fn is_safe_globally(&self, idx: usize) -> bool {
+        self.sched.globally_safe(idx)
+    }
+
+    /// The out-of-order commit grants of the Orinoco policy: up to `width`
+    /// oldest completed instructions whose older speculation has resolved
+    /// and whose own `SPEC` bit is clear.
+    #[must_use]
+    pub fn grants_orinoco(&self, width: usize) -> Vec<usize> {
+        self.sched.commit_grants(&self.completed, width)
+    }
+
+    /// Like [`Rob::grants_orinoco`] but restricted to the `depth` oldest
+    /// live entries — the "limited commit depth" ablation of §6.2 (how far
+    /// the core can scan to find instructions to commit out of order).
+    #[must_use]
+    pub fn grants_orinoco_depth(&self, width: usize, depth: Option<usize>) -> Vec<usize> {
+        match depth {
+            None => self.grants_orinoco(width),
+            Some(d) => {
+                let mut window = BitVec64::new(self.slots.len());
+                for idx in self.in_order(d) {
+                    window.set(idx);
+                }
+                window.and_assign(&self.completed);
+                self.sched.commit_grants(&window, width)
+            }
+        }
+    }
+
+    /// The oldest live, non-retired instruction (the "head" of the logical
+    /// FIFO). Retired zombies are popped lazily — they never block the
+    /// head again.
+    #[must_use]
+    pub fn head(&mut self) -> Option<usize> {
+        while let Some(&(idx, seq)) = self.order.front() {
+            match &self.slots[idx] {
+                Some(e) if e.seq == seq && !e.retired => return Some(idx),
+                Some(e) if e.seq == seq => {
+                    // Retired zombie: never blocks the head again.
+                    self.order.pop_front();
+                }
+                // Freed or recycled slot: stale pair.
+                Some(_) | None => {
+                    self.order.pop_front();
+                }
+            }
+        }
+        None
+    }
+
+    /// The first `k` live, non-retired entries in program order.
+    #[must_use]
+    pub fn in_order(&self, k: usize) -> Vec<usize> {
+        self.order
+            .iter()
+            .filter(|&&(i, q)| {
+                self.slots[i]
+                    .as_ref()
+                    .is_some_and(|e| e.seq == q && !e.retired)
+            })
+            .map(|&(i, _)| i)
+            .take(k)
+            .collect()
+    }
+
+    /// Live entries younger than sequence `seq`, youngest first — the
+    /// squash set. Retired zombies are always older than any squash point
+    /// (commit is non-speculative), so they never appear here.
+    #[must_use]
+    pub fn younger_than_seq(&self, seq: u64) -> Vec<usize> {
+        match seq.checked_add(1) {
+            Some(from) => self.from_seq(from),
+            None => Vec::new(),
+        }
+    }
+
+    /// Live entries with sequence `>= from`, youngest first — the
+    /// inclusive squash set used for exceptions and replay traps.
+    #[must_use]
+    pub fn from_seq(&self, from: u64) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .order
+            .iter()
+            .filter(|&&(i, q)| {
+                self.slots[i]
+                    .as_ref()
+                    .is_some_and(|e| e.seq == q && e.seq >= from)
+            })
+            .map(|&(i, _)| i)
+            .collect();
+        v.sort_by_key(|&i| std::cmp::Reverse(self.entry(i).seq));
+        for &i in &v {
+            debug_assert!(!self.entry(i).retired, "squash of retired zombie");
+        }
+        v
+    }
+
+    /// Retires an instruction early (post-commit execution): its logical
+    /// ROB entry is released for dispatch while the physical slot lives on
+    /// until execution completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty or already retired.
+    pub fn retire_early(&mut self, idx: usize) {
+        let e = self.entry_mut(idx);
+        assert!(!e.retired, "double retire of slot {idx}");
+        e.retired = true;
+        self.logical_used -= 1;
+    }
+
+    /// Frees a committed or squashed entry, bumping its generation so
+    /// in-flight events for it become stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn free(&mut self, idx: usize) -> RobEntry {
+        let entry = self.slots[idx]
+            .take()
+            .unwrap_or_else(|| panic!("free of empty ROB slot {idx}"));
+        if !entry.retired {
+            self.logical_used -= 1;
+        }
+        self.sched.free(idx);
+        self.completed.clear(idx);
+        self.gens[idx] += 1;
+        self.free.push(idx);
+        entry
+    }
+
+    /// Cross-checks the deque-based program order against the age matrix
+    /// (tests only; O(n²)).
+    pub fn assert_order_consistent(&self) {
+        let live: Vec<usize> = self
+            .order
+            .iter()
+            .filter(|&&(i, q)| self.slots[i].as_ref().is_some_and(|e| e.seq == q))
+            .map(|&(i, _)| i)
+            .collect();
+        let matrix_order = self.sched.age().valid_in_age_order();
+        assert_eq!(live, matrix_order, "deque/matrix order divergence");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orinoco_isa::InstClass;
+
+    fn mk(seq: u64) -> RobEntry {
+        RobEntry {
+            seq,
+            pc: seq * 4,
+            op: Opcode::Add,
+            class: InstClass::IntAlu,
+            wrong_path: false,
+            dst: None,
+            srcs: [None, None],
+            srcs_read: false,
+            iq_slot: None,
+            lq_slot: None,
+            sq_slot: None,
+            issued: false,
+            agu_done: false,
+            store_data_ready: false,
+            completed: false,
+            mispredicted: false,
+            fault: false,
+            mem_addr: None,
+            next_pc: seq * 4 + 4,
+            taken: false,
+            critical: false,
+            retired: false,
+            released: false,
+            dyn_inst: None,
+        }
+    }
+
+    #[test]
+    fn alloc_and_head_in_program_order() {
+        let mut rob = Rob::new(8);
+        let a = rob.alloc(mk(0), false).unwrap();
+        let b = rob.alloc(mk(1), false).unwrap();
+        assert_eq!(rob.head(), Some(a));
+        rob.free(a);
+        assert_eq!(rob.head(), Some(b));
+        rob.assert_order_consistent();
+    }
+
+    #[test]
+    fn orinoco_grants_pass_stalled_head() {
+        let mut rob = Rob::new(8);
+        let a = rob.alloc(mk(0), false).unwrap(); // long-latency, incomplete
+        let b = rob.alloc(mk(1), false).unwrap();
+        rob.mark_completed(b);
+        assert_eq!(rob.grants_orinoco(4), vec![b]);
+        let _ = a;
+    }
+
+    #[test]
+    fn spec_bit_blocks_younger_grants() {
+        let mut rob = Rob::new(8);
+        let br = rob.alloc(mk(0), true).unwrap(); // unresolved branch
+        let c = rob.alloc(mk(1), false).unwrap();
+        rob.mark_completed(c);
+        assert!(rob.grants_orinoco(4).is_empty());
+        rob.mark_safe(br);
+        assert_eq!(rob.grants_orinoco(4), vec![c]);
+        assert!(rob.is_safe_globally(c));
+    }
+
+    #[test]
+    fn generation_invalidates_stale_events() {
+        let mut rob = Rob::new(4);
+        let a = rob.alloc(mk(0), false).unwrap();
+        let g = rob.generation(a);
+        assert!(rob.is_live(a, g));
+        rob.free(a);
+        assert!(!rob.is_live(a, g));
+        let a2 = rob.alloc(mk(1), false).unwrap();
+        assert_eq!(a2, a); // slot recycled
+        assert!(!rob.is_live(a, g)); // old generation still stale
+        assert!(rob.is_live(a2, rob.generation(a2)));
+    }
+
+    #[test]
+    fn younger_than_seq_is_youngest_first() {
+        let mut rob = Rob::new(8);
+        for s in 0..5 {
+            rob.alloc(mk(s), false).unwrap();
+        }
+        let squash = rob.younger_than_seq(1);
+        let seqs: Vec<u64> = squash.iter().map(|&i| rob.entry(i).seq).collect();
+        assert_eq!(seqs, vec![4, 3, 2]);
+    }
+
+    #[test]
+    fn in_order_skips_freed() {
+        let mut rob = Rob::new(8);
+        let a = rob.alloc(mk(0), false).unwrap();
+        let b = rob.alloc(mk(1), false).unwrap();
+        let c = rob.alloc(mk(2), false).unwrap();
+        rob.free(b);
+        let order = rob.in_order(8);
+        assert_eq!(order, vec![a, c]);
+        rob.assert_order_consistent();
+    }
+
+    #[test]
+    fn full_rob_rejects() {
+        let mut rob = Rob::new(2);
+        rob.alloc(mk(0), false).unwrap();
+        rob.alloc(mk(1), false).unwrap();
+        assert!(rob.alloc(mk(2), false).is_none());
+        assert_eq!(rob.free_count(), 0);
+    }
+
+    #[test]
+    fn early_retire_releases_logical_capacity() {
+        let mut rob = Rob::new(2);
+        let a = rob.alloc(mk(0), false).unwrap(); // incomplete (post-commit exec)
+        let b = rob.alloc(mk(1), false).unwrap();
+        assert!(rob.alloc(mk(2), false).is_none());
+        rob.retire_early(a);
+        assert_eq!(rob.free_count(), 1);
+        // Zombie no longer blocks the in-order head...
+        assert_eq!(rob.head(), Some(b));
+        // ...and dispatch proceeds while the zombie still executes.
+        let c = rob.alloc(mk(2), false).unwrap();
+        assert_ne!(c, a, "zombie slot must not be reused");
+        // Completion finally frees the physical slot.
+        rob.free(a);
+        assert_eq!(rob.len(), 2);
+        let _ = b;
+    }
+
+    #[test]
+    #[should_panic(expected = "double retire")]
+    fn double_retire_panics() {
+        let mut rob = Rob::new(2);
+        let a = rob.alloc(mk(0), false).unwrap();
+        rob.retire_early(a);
+        rob.retire_early(a);
+    }
+
+    #[test]
+    fn replay_restores_spec_bit() {
+        let mut rob = Rob::new(4);
+        let l = rob.alloc(mk(0), true).unwrap();
+        rob.mark_safe(l);
+        assert!(rob.is_safe_self(l));
+        rob.mark_speculative(l);
+        assert!(!rob.is_safe_self(l));
+    }
+}

@@ -1,0 +1,197 @@
+//! Simulation result statistics.
+
+use crate::fetch::FetchStats;
+use orinoco_mem::MemStats;
+use orinoco_stats::{Histogram, StallBreakdown};
+
+/// Aggregate statistics of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Correct-path instructions committed.
+    pub committed: u64,
+    /// Instructions squashed (wrong path, exceptions, replays).
+    pub squashed: u64,
+    /// Dispatch-blocked cycles attributed per exhausted resource
+    /// ("full window stalls").
+    pub dispatch_stalls: StallBreakdown,
+    /// Cycles with zero commits while the ROB held instructions.
+    pub commit_stall_cycles: u64,
+    /// Of those, cycles where at least one instruction satisfied every
+    /// out-of-order commit condition but was not at the head (the paper's
+    /// 72% observation).
+    pub commit_stall_ooo_ready: u64,
+    /// Cycles where more instructions were ready than could issue
+    /// (arbitration pressure, §2: 18% of cycles).
+    pub issue_conflict_cycles: u64,
+    /// Instructions issued.
+    pub issued: u64,
+    /// Commits that left the ROB while an older instruction remained
+    /// (out-of-order commits).
+    pub ooo_commits: u64,
+    /// Dispatch cycles cut short by a matrix-scheduler bank write-port
+    /// conflict (only with `banked_dispatch`, §4.3).
+    pub bank_conflict_stalls: u64,
+    /// Memory replay traps taken.
+    pub replays: u64,
+    /// Precise exceptions taken.
+    pub exceptions: u64,
+    /// Sum of ROB occupancy over cycles (for averages).
+    pub rob_occ_sum: u64,
+    /// Sum of IQ occupancy over cycles.
+    pub iq_occ_sum: u64,
+    /// Sum over cycles of the number of ready (requesting) IQ entries —
+    /// the age-matrix activity factor used by the power model.
+    pub iq_ready_sum: u64,
+    /// Fetch statistics.
+    pub fetch: FetchStats,
+    /// Memory-system statistics.
+    pub mem: MemStats,
+    /// Distribution of instructions committed per cycle (bucket 16 covers
+    /// any width up to Ultra's CW = 8 with headroom).
+    pub commit_width_hist: Histogram,
+}
+
+impl Default for SimStats {
+    fn default() -> Self {
+        Self {
+            cycles: 0,
+            committed: 0,
+            squashed: 0,
+            dispatch_stalls: StallBreakdown::default(),
+            commit_stall_cycles: 0,
+            commit_stall_ooo_ready: 0,
+            issue_conflict_cycles: 0,
+            issued: 0,
+            ooo_commits: 0,
+            bank_conflict_stalls: 0,
+            replays: 0,
+            exceptions: 0,
+            rob_occ_sum: 0,
+            iq_occ_sum: 0,
+            iq_ready_sum: 0,
+            fetch: FetchStats::default(),
+            mem: MemStats::default(),
+            commit_width_hist: Histogram::new(16),
+        }
+    }
+}
+
+impl SimStats {
+    /// Committed instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean ROB occupancy.
+    #[must_use]
+    pub fn avg_rob_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.rob_occ_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean IQ occupancy.
+    #[must_use]
+    pub fn avg_iq_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.iq_occ_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misses per kilo-instruction.
+    #[must_use]
+    pub fn branch_mpki(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.fetch.mispredicts as f64 * 1000.0 / self.committed as f64
+        }
+    }
+
+    /// L1 misses per kilo-instruction.
+    #[must_use]
+    pub fn l1_mpki(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.mem.l1_misses as f64 * 1000.0 / self.committed as f64
+        }
+    }
+
+    /// Mean instructions committed per committing cycle.
+    #[must_use]
+    pub fn commit_burst_mean(&self) -> f64 {
+        self.commit_width_hist.mean()
+    }
+
+    /// Fraction of cycles that committed at least `k` instructions.
+    #[must_use]
+    pub fn commit_at_least(&self, k: u64) -> f64 {
+        self.commit_width_hist.fraction_at_least(k)
+    }
+
+    /// Fraction of commit-stalled cycles where some instruction met every
+    /// OoO-commit condition away from the head.
+    #[must_use]
+    pub fn ooo_ready_fraction(&self) -> f64 {
+        if self.commit_stall_cycles == 0 {
+            0.0
+        } else {
+            self.commit_stall_ooo_ready as f64 / self.commit_stall_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = SimStats {
+            cycles: 100,
+            committed: 250,
+            rob_occ_sum: 1000,
+            iq_occ_sum: 500,
+            commit_stall_cycles: 40,
+            commit_stall_ooo_ready: 30,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.avg_rob_occupancy() - 10.0).abs() < 1e-12);
+        assert!((s.avg_iq_occupancy() - 5.0).abs() < 1e-12);
+        assert!((s.ooo_ready_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn commit_burst_metrics() {
+        let mut s = SimStats::default();
+        s.commit_width_hist.record(0);
+        s.commit_width_hist.record(4);
+        s.commit_width_hist.record(4);
+        assert!((s.commit_burst_mean() - 8.0 / 3.0).abs() < 1e-12);
+        assert!((s.commit_at_least(4) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.commit_at_least(5), 0.0);
+    }
+
+    #[test]
+    fn zero_cycles_are_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.avg_rob_occupancy(), 0.0);
+        assert_eq!(s.branch_mpki(), 0.0);
+        assert_eq!(s.l1_mpki(), 0.0);
+        assert_eq!(s.ooo_ready_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,520 @@
+//! A textual assembler and disassembler for the micro-ISA.
+//!
+//! The syntax is RISC-V-flavoured: one instruction per line, `#` or `;`
+//! comments, `label:` definitions, `imm(reg)` memory operands and labels
+//! as branch targets.
+//!
+//! ```text
+//!     li   x1, 10
+//! top:
+//!     ld   f0, 8(x10)        # f0 = mem[x10 + 8]
+//!     fadd f1, f1, f0
+//!     st   f1, 0(x11)
+//!     addi x1, x1, -1
+//!     bne  x1, x0, top
+//!     halt
+//! ```
+
+use crate::{ArchReg, Inst, Opcode, Program};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly error with its (1-based) source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, message: message.into() })
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<ArchReg, AsmError> {
+    let (kind, num) = tok.split_at(1);
+    let Ok(n) = num.parse::<u8>() else {
+        return err(line, format!("bad register `{tok}`"));
+    };
+    match kind {
+        "x" if n < 32 => Ok(ArchReg::int(n)),
+        "f" if n < 32 => Ok(ArchReg::fp(n)),
+        _ => err(line, format!("bad register `{tok}`")),
+    }
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    };
+    match value {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(line, format!("bad immediate `{tok}`")),
+    }
+}
+
+/// `imm(reg)` memory operand.
+fn parse_mem(tok: &str, line: usize) -> Result<(i64, ArchReg), AsmError> {
+    let Some(open) = tok.find('(') else {
+        return err(line, format!("expected imm(reg), got `{tok}`"));
+    };
+    let Some(stripped) = tok.ends_with(')').then(|| &tok[open + 1..tok.len() - 1]) else {
+        return err(line, format!("unclosed memory operand `{tok}`"));
+    };
+    let imm = if open == 0 { 0 } else { parse_imm(&tok[..open], line)? };
+    Ok((imm, parse_reg(stripped, line)?))
+}
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for unknown
+/// mnemonics, malformed operands, duplicate or undefined labels.
+///
+/// # Examples
+///
+/// ```
+/// use orinoco_isa::{assemble, Emulator};
+///
+/// let program = assemble(
+///     "    li   x1, 6
+///          li   x2, 7
+///          mul  x3, x1, x2
+///          halt",
+/// )?;
+/// let mut emu = Emulator::new(program, 4096);
+/// emu.run();
+/// assert_eq!(emu.reg(orinoco_isa::ArchReg::int(3)), 42);
+/// # Ok::<(), orinoco_isa::AsmError>(())
+/// ```
+#[allow(clippy::too_many_lines)]
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Pass 1: instruction index of every label.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut index = 0usize;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let name = rest[..colon].trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return err(lineno + 1, format!("bad label `{name}`"));
+            }
+            if labels.insert(name.to_string(), index).is_some() {
+                return err(lineno + 1, format!("duplicate label `{name}`"));
+            }
+            rest = rest[colon + 1..].trim_start();
+        }
+        if !rest.is_empty() {
+            index += 1;
+        }
+    }
+
+    // Pass 2: emit.
+    let mut insts = Vec::with_capacity(index);
+    for (lineno, raw) in source.lines().enumerate() {
+        let n = lineno + 1;
+        let mut line = strip_comment(raw).trim();
+        while let Some(colon) = line.find(':') {
+            line = line[colon + 1..].trim_start();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let (mnemonic, operands) = match line.split_once(char::is_whitespace) {
+            Some((m, ops)) => (m, ops),
+            None => (line, ""),
+        };
+        let ops: Vec<&str> = operands
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let want = |k: usize| -> Result<(), AsmError> {
+            if ops.len() == k {
+                Ok(())
+            } else {
+                err(n, format!("`{mnemonic}` expects {k} operands, got {}", ops.len()))
+            }
+        };
+        let target = |tok: &str| -> Result<i64, AsmError> {
+            labels
+                .get(tok)
+                .map(|&i| i as i64)
+                .map_or_else(|| err(n, format!("undefined label `{tok}`")), Ok)
+        };
+        let m = mnemonic.to_ascii_lowercase();
+        let inst = match m.as_str() {
+            // rrr
+            "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "slt" | "mul" | "div"
+            | "rem" | "fadd" | "fsub" | "fmul" | "fdiv" => {
+                want(3)?;
+                let op = match m.as_str() {
+                    "add" => Opcode::Add,
+                    "sub" => Opcode::Sub,
+                    "and" => Opcode::And,
+                    "or" => Opcode::Or,
+                    "xor" => Opcode::Xor,
+                    "sll" => Opcode::Sll,
+                    "srl" => Opcode::Srl,
+                    "slt" => Opcode::Slt,
+                    "mul" => Opcode::Mul,
+                    "div" => Opcode::Div,
+                    "rem" => Opcode::Rem,
+                    "fadd" => Opcode::Fadd,
+                    "fsub" => Opcode::Fsub,
+                    "fmul" => Opcode::Fmul,
+                    _ => Opcode::Fdiv,
+                };
+                Inst::new(
+                    op,
+                    Some(parse_reg(ops[0], n)?),
+                    Some(parse_reg(ops[1], n)?),
+                    Some(parse_reg(ops[2], n)?),
+                    0,
+                )
+            }
+            // rri
+            "addi" | "andi" | "xori" | "slli" | "srli" | "slti" => {
+                want(3)?;
+                let op = match m.as_str() {
+                    "addi" => Opcode::Addi,
+                    "andi" => Opcode::Andi,
+                    "xori" => Opcode::Xori,
+                    "slli" => Opcode::Slli,
+                    "srli" => Opcode::Srli,
+                    _ => Opcode::Slti,
+                };
+                Inst::new(
+                    op,
+                    Some(parse_reg(ops[0], n)?),
+                    Some(parse_reg(ops[1], n)?),
+                    None,
+                    parse_imm(ops[2], n)?,
+                )
+            }
+            "li" => {
+                want(2)?;
+                Inst::new(Opcode::Li, Some(parse_reg(ops[0], n)?), None, None, parse_imm(ops[1], n)?)
+            }
+            "fcvt" => {
+                want(2)?;
+                Inst::new(Opcode::Fcvt, Some(parse_reg(ops[0], n)?), Some(parse_reg(ops[1], n)?), None, 0)
+            }
+            "fmov" => {
+                want(2)?;
+                Inst::new(Opcode::Fmov, Some(parse_reg(ops[0], n)?), Some(parse_reg(ops[1], n)?), None, 0)
+            }
+            "ld" => {
+                want(2)?;
+                let (imm, base) = parse_mem(ops[1], n)?;
+                Inst::new(Opcode::Ld, Some(parse_reg(ops[0], n)?), Some(base), None, imm)
+            }
+            "st" => {
+                want(2)?;
+                let (imm, base) = parse_mem(ops[1], n)?;
+                Inst::new(Opcode::St, None, Some(base), Some(parse_reg(ops[0], n)?), imm)
+            }
+            "beq" | "bne" | "blt" | "bge" => {
+                want(3)?;
+                let op = match m.as_str() {
+                    "beq" => Opcode::Beq,
+                    "bne" => Opcode::Bne,
+                    "blt" => Opcode::Blt,
+                    _ => Opcode::Bge,
+                };
+                Inst::new(
+                    op,
+                    None,
+                    Some(parse_reg(ops[0], n)?),
+                    Some(parse_reg(ops[1], n)?),
+                    target(ops[2])?,
+                )
+            }
+            "jal" => {
+                want(2)?;
+                Inst::new(Opcode::Jal, Some(parse_reg(ops[0], n)?), None, None, target(ops[1])?)
+            }
+            "jalr" => {
+                want(2)?;
+                Inst::new(Opcode::Jalr, Some(parse_reg(ops[0], n)?), Some(parse_reg(ops[1], n)?), None, 0)
+            }
+            "fence" => {
+                want(0)?;
+                Inst::new(Opcode::Fence, None, None, None, 0)
+            }
+            "nop" => {
+                want(0)?;
+                Inst::new(Opcode::Nop, None, None, None, 0)
+            }
+            "halt" => {
+                want(0)?;
+                Inst::new(Opcode::Halt, None, None, None, 0)
+            }
+            other => return err(n, format!("unknown mnemonic `{other}`")),
+        };
+        insts.push(inst);
+    }
+    let mut b = crate::ProgramBuilder::new();
+    for i in insts {
+        b.push(i);
+    }
+    Ok(b.build())
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line
+        .find('#')
+        .into_iter()
+        .chain(line.find(';'))
+        .min()
+        .unwrap_or(line.len());
+    &line[..cut]
+}
+
+/// Disassembles a program back into assembly text that [`assemble`]
+/// accepts (labels are synthesised as `L<index>:` for branch targets).
+#[must_use]
+pub fn disassemble(program: &Program) -> String {
+    use std::collections::BTreeSet;
+    let mut targets: BTreeSet<usize> = BTreeSet::new();
+    for inst in program.insts() {
+        if matches!(
+            inst.op,
+            Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge | Opcode::Jal
+        ) {
+            targets.insert(inst.imm as usize);
+        }
+    }
+    let mut out = String::new();
+    for (i, inst) in program.insts().iter().enumerate() {
+        if targets.contains(&i) {
+            out.push_str(&format!("L{i}:\n"));
+        }
+        out.push_str("    ");
+        out.push_str(&line_of(inst));
+        out.push('\n');
+    }
+    // trailing label (branch to one-past-the-end is legal)
+    if targets.contains(&program.len()) {
+        out.push_str(&format!("L{}:\n    nop\n", program.len()));
+    }
+    out
+}
+
+fn line_of(inst: &Inst) -> String {
+    let r = |o: Option<ArchReg>| o.expect("operand").to_string();
+    match inst.op {
+        Opcode::Add | Opcode::Sub | Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Sll
+        | Opcode::Srl | Opcode::Slt | Opcode::Mul | Opcode::Div | Opcode::Rem
+        | Opcode::Fadd | Opcode::Fsub | Opcode::Fmul | Opcode::Fdiv => format!(
+            "{} {}, {}, {}",
+            mnemonic(inst.op),
+            r(inst.rd),
+            r(inst.rs1),
+            r(inst.rs2)
+        ),
+        Opcode::Addi | Opcode::Andi | Opcode::Xori | Opcode::Slli | Opcode::Srli
+        | Opcode::Slti => format!(
+            "{} {}, {}, {}",
+            mnemonic(inst.op),
+            r(inst.rd),
+            r(inst.rs1),
+            inst.imm
+        ),
+        Opcode::Li => format!("li {}, {}", r(inst.rd), inst.imm),
+        Opcode::Fcvt | Opcode::Fmov => {
+            format!("{} {}, {}", mnemonic(inst.op), r(inst.rd), r(inst.rs1))
+        }
+        Opcode::Ld => format!("ld {}, {}({})", r(inst.rd), inst.imm, r(inst.rs1)),
+        Opcode::St => format!("st {}, {}({})", r(inst.rs2), inst.imm, r(inst.rs1)),
+        Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge => format!(
+            "{} {}, {}, L{}",
+            mnemonic(inst.op),
+            r(inst.rs1),
+            r(inst.rs2),
+            inst.imm
+        ),
+        Opcode::Jal => format!("jal {}, L{}", r(inst.rd), inst.imm),
+        Opcode::Jalr => format!("jalr {}, {}", r(inst.rd), r(inst.rs1)),
+        Opcode::Fence => "fence".to_string(),
+        Opcode::Nop => "nop".to_string(),
+        Opcode::Halt => "halt".to_string(),
+    }
+}
+
+fn mnemonic(op: Opcode) -> &'static str {
+    match op {
+        Opcode::Add => "add",
+        Opcode::Sub => "sub",
+        Opcode::And => "and",
+        Opcode::Or => "or",
+        Opcode::Xor => "xor",
+        Opcode::Sll => "sll",
+        Opcode::Srl => "srl",
+        Opcode::Slt => "slt",
+        Opcode::Addi => "addi",
+        Opcode::Andi => "andi",
+        Opcode::Xori => "xori",
+        Opcode::Slli => "slli",
+        Opcode::Srli => "srli",
+        Opcode::Slti => "slti",
+        Opcode::Li => "li",
+        Opcode::Mul => "mul",
+        Opcode::Div => "div",
+        Opcode::Rem => "rem",
+        Opcode::Fadd => "fadd",
+        Opcode::Fsub => "fsub",
+        Opcode::Fmul => "fmul",
+        Opcode::Fdiv => "fdiv",
+        Opcode::Fcvt => "fcvt",
+        Opcode::Fmov => "fmov",
+        Opcode::Ld => "ld",
+        Opcode::St => "st",
+        Opcode::Beq => "beq",
+        Opcode::Bne => "bne",
+        Opcode::Blt => "blt",
+        Opcode::Bge => "bge",
+        Opcode::Jal => "jal",
+        Opcode::Jalr => "jalr",
+        Opcode::Fence => "fence",
+        Opcode::Nop => "nop",
+        Opcode::Halt => "halt",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Emulator;
+
+    #[test]
+    fn assembles_and_runs_a_loop() {
+        let p = assemble(
+            "    li x1, 5        # counter
+                 li x2, 0
+             top:
+                 addi x2, x2, 3
+                 addi x1, x1, -1
+                 bne  x1, x0, top
+                 halt",
+        )
+        .expect("assembles");
+        let mut emu = Emulator::new(p, 4096);
+        emu.run();
+        assert_eq!(emu.reg(ArchReg::int(2)), 15);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble(
+            "    li x1, 64
+                 li x2, 99
+                 st x2, 8(x1)
+                 ld x3, 8(x1)
+                 ld x4, (x1)
+                 halt",
+        )
+        .expect("assembles");
+        let mut emu = Emulator::new(p, 4096);
+        emu.run();
+        assert_eq!(emu.reg(ArchReg::int(3)), 99);
+        assert_eq!(emu.reg(ArchReg::int(4)), 0);
+    }
+
+    #[test]
+    fn fp_and_hex_immediates() {
+        let p = assemble(
+            "    li x1, 0x10
+                 fcvt f0, x1
+                 fadd f1, f0, f0
+                 fmov x2, f1
+                 halt",
+        )
+        .expect("assembles");
+        let mut emu = Emulator::new(p, 4096);
+        emu.run();
+        assert_eq!(emu.reg(ArchReg::int(2)), 32);
+    }
+
+    #[test]
+    fn forward_labels_and_calls() {
+        let p = assemble(
+            "    jal x1, func
+                 halt
+             func:
+                 li x5, 7
+                 jalr x0, x1",
+        )
+        .expect("assembles");
+        let mut emu = Emulator::new(p, 4096);
+        emu.run();
+        assert_eq!(emu.reg(ArchReg::int(5)), 7);
+        assert_eq!(emu.halt_reason(), Some(crate::HaltReason::Halted));
+    }
+
+    #[test]
+    fn roundtrip_through_disassembler() {
+        let src = "    li x1, 10
+             top:
+                 ld f0, 8(x2)
+                 fadd f1, f1, f0
+                 st f1, 0(x3)
+                 addi x1, x1, -1
+                 bne x1, x0, top
+                 fence
+                 halt";
+        let p1 = assemble(src).expect("assembles");
+        let text = disassemble(&p1);
+        let p2 = assemble(&text).expect("roundtrip assembles");
+        assert_eq!(p1.insts(), p2.insts(), "asm:\n{text}");
+    }
+
+    #[test]
+    fn error_reporting_names_the_line() {
+        let e = assemble("nop\nbogus x1, x2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+        let e = assemble("beq x1, x2, nowhere").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+        let e = assemble("top:\ntop:\nnop").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+        let e = assemble("add x1, x2").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+        let e = assemble("ld x1, 8[x2]").unwrap_err();
+        assert!(e.message.contains("imm(reg)") || e.message.contains("unclosed"));
+        let e = assemble("li q1, 3").unwrap_err();
+        assert!(e.message.contains("bad register"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = assemble("# header\n\n  ; alt comment\n nop # trailing\n halt\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn label_on_same_line_as_instruction() {
+        let p = assemble("top: addi x1, x1, 1\n bne x1, x2, top\n halt").unwrap();
+        assert_eq!(p.get(1).unwrap().imm, 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Multibanking of the matrix schedulers (§4.3).
+//!
+//! True multi-ported SRAM is too expensive, so the schedulers' arrays are
+//! split horizontally into `n` single-ported banks, where `n` is the
+//! dispatch width. Each dispatched instruction must be steered to a
+//! *different* bank (one row write per bank per cycle); the read vectors are
+//! broadcast to all banks and the bit lines stay integrated, so reads are
+//! unaffected. Functionally the only observable consequence is the
+//! dispatch-steering constraint modelled by [`BankAllocator`].
+
+use crate::BitVec64;
+
+/// Steers dispatching instructions to free entries of a banked matrix
+/// scheduler, at most one per bank per cycle, in a load-balancing manner.
+///
+/// # Examples
+///
+/// ```
+/// use orinoco_matrix::{BankAllocator, BitVec64};
+///
+/// let alloc = BankAllocator::new(8, 4); // 8 entries, 4 banks of 2
+/// let free = BitVec64::from_indices(8, [0, 1, 2, 7]);
+/// // Entries 0 and 1 share bank 0, so a 3-wide dispatch picks one entry
+/// // from each of banks 0, 1 and 3.
+/// let slots = alloc.steer(&free, 3);
+/// assert_eq!(slots.len(), 3);
+/// let banks: Vec<_> = slots.iter().map(|&s| alloc.bank_of(s)).collect();
+/// assert!(banks.windows(2).all(|w| w[0] != w[1]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BankAllocator {
+    capacity: usize,
+    banks: usize,
+    rows_per_bank: usize,
+}
+
+impl BankAllocator {
+    /// Creates an allocator for `capacity` entries split into `banks`
+    /// horizontal banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is zero or exceeds `capacity`.
+    #[must_use]
+    pub fn new(capacity: usize, banks: usize) -> Self {
+        assert!(banks > 0, "at least one bank required");
+        assert!(banks <= capacity, "more banks than entries");
+        Self {
+            capacity,
+            banks,
+            rows_per_bank: capacity.div_ceil(banks),
+        }
+    }
+
+    /// Number of banks.
+    #[must_use]
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Total entry capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The bank an entry belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of bounds.
+    #[must_use]
+    pub fn bank_of(&self, slot: usize) -> usize {
+        assert!(slot < self.capacity, "slot {slot} out of bounds");
+        slot / self.rows_per_bank
+    }
+
+    /// Picks up to `want` free entries, each in a distinct bank, preferring
+    /// the banks with the most free entries (load balancing, §4.3). Returns
+    /// fewer than `want` when write-port conflicts make full-width dispatch
+    /// impossible this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `free.len()` differs from the capacity.
+    #[must_use]
+    pub fn steer(&self, free: &BitVec64, want: usize) -> Vec<usize> {
+        assert_eq!(free.len(), self.capacity, "free-vector length mismatch");
+        // Gather the free entries of each bank.
+        let mut per_bank: Vec<Vec<usize>> = vec![Vec::new(); self.banks];
+        for slot in free.iter_ones() {
+            per_bank[self.bank_of(slot)].push(slot);
+        }
+        // Emptiest-first: banks with more free entries are drained first so
+        // occupancy stays balanced and future wide dispatches succeed.
+        let mut order: Vec<usize> = (0..self.banks).collect();
+        order.sort_by_key(|&b| std::cmp::Reverse(per_bank[b].len()));
+        order
+            .into_iter()
+            .filter_map(|b| per_bank[b].first().copied())
+            .take(want)
+            .collect()
+    }
+
+    /// Convenience: the largest dispatch width satisfiable from `free`
+    /// (number of banks with at least one free entry, capped by `want`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `free.len()` differs from the capacity.
+    #[must_use]
+    pub fn available_width(&self, free: &BitVec64, want: usize) -> usize {
+        self.steer(free, want).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_mapping_is_contiguous() {
+        let a = BankAllocator::new(16, 4);
+        assert_eq!(a.bank_of(0), 0);
+        assert_eq!(a.bank_of(3), 0);
+        assert_eq!(a.bank_of(4), 1);
+        assert_eq!(a.bank_of(15), 3);
+    }
+
+    #[test]
+    fn steer_never_reuses_a_bank() {
+        let a = BankAllocator::new(16, 4);
+        let free = BitVec64::ones(16);
+        let slots = a.steer(&free, 4);
+        assert_eq!(slots.len(), 4);
+        let mut banks: Vec<_> = slots.iter().map(|&s| a.bank_of(s)).collect();
+        banks.sort_unstable();
+        banks.dedup();
+        assert_eq!(banks.len(), 4);
+    }
+
+    #[test]
+    fn steer_reports_port_conflicts() {
+        let a = BankAllocator::new(8, 4);
+        // all free entries in bank 0
+        let free = BitVec64::from_indices(8, [0, 1]);
+        let slots = a.steer(&free, 4);
+        assert_eq!(slots.len(), 1); // only one write port in bank 0
+        assert_eq!(a.available_width(&free, 4), 1);
+    }
+
+    #[test]
+    fn steer_prefers_emptier_banks() {
+        let a = BankAllocator::new(8, 4);
+        // bank 1 has two free entries, bank 3 has one
+        let free = BitVec64::from_indices(8, [2, 3, 6]);
+        let slots = a.steer(&free, 1);
+        assert_eq!(slots.len(), 1);
+        assert_eq!(a.bank_of(slots[0]), 1);
+    }
+
+    #[test]
+    fn steer_empty_free_set() {
+        let a = BankAllocator::new(8, 2);
+        assert!(a.steer(&BitVec64::new(8), 2).is_empty());
+    }
+
+    #[test]
+    fn single_bank_is_one_dispatch_per_cycle() {
+        let a = BankAllocator::new(8, 1);
+        let free = BitVec64::ones(8);
+        assert_eq!(a.steer(&free, 4).len(), 1);
+    }
+
+    #[test]
+    fn non_divisible_capacity() {
+        let a = BankAllocator::new(10, 4); // rows_per_bank = 3
+        assert_eq!(a.bank_of(9), 3);
+        let free = BitVec64::ones(10);
+        assert_eq!(a.steer(&free, 4).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_panics() {
+        let _ = BankAllocator::new(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more banks than entries")]
+    fn too_many_banks_panics() {
+        let _ = BankAllocator::new(2, 4);
+    }
+}

@@ -1,0 +1,220 @@
+//! The memory disambiguation matrix (§3.3, Figure 6).
+//!
+//! Rows are load-queue entries, columns are store-queue entries. When a
+//! load issues it records the older stores whose addresses are still
+//! unresolved; when a store resolves it clears its column for the loads it
+//! does not conflict with (conflicting loads are squashed or forwarded by
+//! the LSQ, outside this matrix). A load whose row reduction-NORs to zero
+//! is past all possible aliases and becomes **non-speculative**, which in
+//! turn clears its `SPEC` bit in the ROB and unlocks early, out-of-order
+//! commit of loads.
+
+use crate::{BitMatrix, BitVec64};
+
+/// Memory disambiguation matrix over an `lq × sq` load/store queue pair.
+///
+/// # Examples
+///
+/// ```
+/// use orinoco_matrix::{BitVec64, MemDisambigMatrix};
+///
+/// let mut mdm = MemDisambigMatrix::new(8, 4);
+/// // A load in LQ slot 2 issues past two unresolved stores (SQ 0 and 1).
+/// mdm.load_issue(2, &BitVec64::from_indices(4, [0, 1]));
+/// assert!(!mdm.load_nonspeculative(2));
+/// // Store 0 resolves, no conflict with load 2.
+/// mdm.store_resolved(0, &BitVec64::from_indices(8, [2]));
+/// assert!(!mdm.load_nonspeculative(2));
+/// // Store 1 resolves too.
+/// mdm.store_resolved(1, &BitVec64::from_indices(8, [2]));
+/// assert!(mdm.load_nonspeculative(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemDisambigMatrix {
+    m: BitMatrix,
+}
+
+impl MemDisambigMatrix {
+    /// Creates a matrix for `lq` load-queue and `sq` store-queue entries.
+    #[must_use]
+    pub fn new(lq: usize, sq: usize) -> Self {
+        Self { m: BitMatrix::new(lq, sq) }
+    }
+
+    /// Load-queue capacity (rows).
+    #[must_use]
+    pub fn lq_capacity(&self) -> usize {
+        self.m.rows()
+    }
+
+    /// Store-queue capacity (columns).
+    #[must_use]
+    pub fn sq_capacity(&self) -> usize {
+        self.m.cols()
+    }
+
+    /// A load issues from LQ entry `lq_slot`: record the older stores with
+    /// unresolved addresses it speculates past.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lq_slot` is out of bounds or the vector length is not the
+    /// SQ capacity.
+    pub fn load_issue(&mut self, lq_slot: usize, unresolved_older_stores: &BitVec64) {
+        self.m.write_row(lq_slot, unresolved_older_stores);
+    }
+
+    /// The store in SQ entry `sq_slot` resolved its address and found **no
+    /// conflict** with the loads in `no_conflict_loads`: clear those bits of
+    /// its column. Conflicting loads keep their bit (they are squashed or
+    /// replayed by the LSQ and re-issue later).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sq_slot` is out of bounds or the mask length is not the
+    /// LQ capacity.
+    pub fn store_resolved(&mut self, sq_slot: usize, no_conflict_loads: &BitVec64) {
+        self.m.clear_col_masked(sq_slot, no_conflict_loads);
+    }
+
+    /// Unconditionally clears the store's column (e.g. the store was
+    /// squashed, so nobody can conflict with it any more).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sq_slot` is out of bounds.
+    pub fn store_cleared(&mut self, sq_slot: usize) {
+        self.m.clear_col(sq_slot);
+    }
+
+    /// Clears a load's row (the load was squashed or its LQ entry is being
+    /// recycled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lq_slot` is out of bounds.
+    pub fn load_cleared(&mut self, lq_slot: usize) {
+        self.m.clear_row(lq_slot);
+    }
+
+    /// `true` if the load's row reduction-NORs to zero: every older store
+    /// has resolved its address without requiring a replay, so the load is
+    /// non-speculative (§3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lq_slot` is out of bounds.
+    #[must_use]
+    pub fn load_nonspeculative(&self, lq_slot: usize) -> bool {
+        self.m.row_is_zero(lq_slot)
+    }
+
+    /// Number of unresolved older stores the load still waits on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lq_slot` is out of bounds.
+    #[must_use]
+    pub fn pending_stores(&self, lq_slot: usize) -> u32 {
+        self.m.row_count(lq_slot)
+    }
+
+    /// The speculative loads tracked against store `sq_slot` (its column
+    /// read) — the set the store must check for conflicts when its address
+    /// resolves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sq_slot` is out of bounds.
+    #[must_use]
+    pub fn loads_waiting_on(&self, sq_slot: usize) -> BitVec64 {
+        self.m.read_col(sq_slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_dimensions_match_paper() {
+        let mdm = MemDisambigMatrix::new(72, 56);
+        assert_eq!(mdm.lq_capacity(), 72);
+        assert_eq!(mdm.sq_capacity(), 56);
+    }
+
+    #[test]
+    fn load_with_no_unresolved_stores_is_immediately_nonspeculative() {
+        let mut mdm = MemDisambigMatrix::new(4, 4);
+        mdm.load_issue(0, &BitVec64::new(4));
+        assert!(mdm.load_nonspeculative(0));
+        assert_eq!(mdm.pending_stores(0), 0);
+    }
+
+    #[test]
+    fn store_resolution_releases_loads_incrementally() {
+        let mut mdm = MemDisambigMatrix::new(4, 4);
+        mdm.load_issue(1, &BitVec64::from_indices(4, [0, 2, 3]));
+        assert_eq!(mdm.pending_stores(1), 3);
+        mdm.store_resolved(2, &BitVec64::from_indices(4, [1]));
+        assert_eq!(mdm.pending_stores(1), 2);
+        mdm.store_resolved(0, &BitVec64::from_indices(4, [1]));
+        mdm.store_resolved(3, &BitVec64::from_indices(4, [1]));
+        assert!(mdm.load_nonspeculative(1));
+    }
+
+    #[test]
+    fn conflicting_load_keeps_waiting() {
+        let mut mdm = MemDisambigMatrix::new(4, 4);
+        mdm.load_issue(1, &BitVec64::from_indices(4, [0]));
+        mdm.load_issue(2, &BitVec64::from_indices(4, [0]));
+        // Store 0 resolves; load 2 conflicts (it is not in the no-conflict
+        // mask), load 1 does not.
+        mdm.store_resolved(0, &BitVec64::from_indices(4, [1]));
+        assert!(mdm.load_nonspeculative(1));
+        assert!(!mdm.load_nonspeculative(2));
+    }
+
+    #[test]
+    fn column_read_lists_tracked_loads() {
+        let mut mdm = MemDisambigMatrix::new(8, 4);
+        mdm.load_issue(3, &BitVec64::from_indices(4, [1]));
+        mdm.load_issue(6, &BitVec64::from_indices(4, [1, 2]));
+        let waiting = mdm.loads_waiting_on(1);
+        assert_eq!(waiting.iter_ones().collect::<Vec<_>>(), vec![3, 6]);
+        assert_eq!(
+            mdm.loads_waiting_on(2).iter_ones().collect::<Vec<_>>(),
+            vec![6]
+        );
+    }
+
+    #[test]
+    fn squashed_store_releases_everyone() {
+        let mut mdm = MemDisambigMatrix::new(4, 4);
+        mdm.load_issue(0, &BitVec64::from_indices(4, [3]));
+        mdm.load_issue(1, &BitVec64::from_indices(4, [3]));
+        mdm.store_cleared(3);
+        assert!(mdm.load_nonspeculative(0));
+        assert!(mdm.load_nonspeculative(1));
+    }
+
+    #[test]
+    fn squashed_load_clears_row() {
+        let mut mdm = MemDisambigMatrix::new(4, 4);
+        mdm.load_issue(2, &BitVec64::from_indices(4, [0, 1]));
+        mdm.load_cleared(2);
+        assert!(mdm.load_nonspeculative(2));
+        assert!(mdm.loads_waiting_on(0).is_zero());
+    }
+
+    #[test]
+    fn reissue_overwrites_previous_row() {
+        let mut mdm = MemDisambigMatrix::new(4, 4);
+        mdm.load_issue(2, &BitVec64::from_indices(4, [0, 1]));
+        // replayed load re-issues later when only store 1 is unresolved
+        mdm.load_issue(2, &BitVec64::from_indices(4, [1]));
+        assert_eq!(mdm.pending_stores(2), 1);
+        mdm.store_resolved(1, &BitVec64::from_indices(4, [2]));
+        assert!(mdm.load_nonspeculative(2));
+    }
+}

@@ -1,0 +1,224 @@
+//! The wakeup matrix (§3.4, Figure 8): a CAM-free IQ wakeup scheme.
+//!
+//! Register renaming already discovers producer→consumer dependences in the
+//! front-end, so they can be recorded as *positions* instead of tags: at
+//! dispatch an instruction sets, in its row, the bits of the IQ entries
+//! that produce its source operands; at issue a producer clears its column.
+//! An instruction whose row reduction-NORs to zero has all operands
+//! available and is woken up — no associative tag broadcast required.
+
+use crate::{BitMatrix, BitVec64};
+
+/// Wakeup matrix over an `n`-entry instruction queue.
+///
+/// # Examples
+///
+/// ```
+/// use orinoco_matrix::{BitVec64, WakeupMatrix};
+///
+/// let mut wm = WakeupMatrix::new(8);
+/// wm.dispatch(0, &BitVec64::new(8));               // producer, no deps
+/// wm.dispatch(1, &BitVec64::from_indices(8, [0])); // consumer of slot 0
+/// assert!(wm.is_ready(0));
+/// assert!(!wm.is_ready(1));
+/// let woken = wm.issue(0);
+/// assert_eq!(woken, vec![1]); // issuing 0 wakes 1 up
+/// assert!(wm.is_ready(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct WakeupMatrix {
+    m: BitMatrix,
+    /// Entries currently waiting in the IQ (dispatched, not yet issued).
+    waiting: BitVec64,
+}
+
+impl WakeupMatrix {
+    /// Creates a wakeup matrix for an `n`-entry IQ.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            m: BitMatrix::new(n, n),
+            waiting: BitVec64::new(n),
+        }
+    }
+
+    /// IQ capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.m.rows()
+    }
+
+    /// Entries currently resident (dispatched, not yet issued/squashed).
+    #[must_use]
+    pub fn waiting(&self) -> &BitVec64 {
+        &self.waiting
+    }
+
+    /// Dispatches an instruction into `slot` with the given in-IQ
+    /// producers. Producers that already issued (or never entered the IQ —
+    /// operands read from the register file) are simply not in the vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is live, the vector length mismatches, or the
+    /// instruction lists itself as a producer.
+    pub fn dispatch(&mut self, slot: usize, producers: &BitVec64) {
+        assert!(!self.waiting.get(slot), "dispatch into live slot {slot}");
+        assert!(!producers.get(slot), "instruction cannot produce its own source");
+        self.m.write_row(slot, producers);
+        self.m.clear_col(slot);
+        self.waiting.set(slot);
+    }
+
+    /// Issues the instruction in `slot`: clears its column (waking its
+    /// consumers) and removes it from the waiting set. Returns the slots
+    /// that became ready *because of this issue*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not waiting.
+    pub fn issue(&mut self, slot: usize) -> Vec<usize> {
+        assert!(self.waiting.get(slot), "issue of empty slot {slot}");
+        let dependents = self.m.read_col(slot);
+        self.m.clear_col(slot);
+        self.waiting.clear(slot);
+        dependents
+            .and(&self.waiting)
+            .iter_ones()
+            .filter(|&s| self.m.row_is_zero(s))
+            .collect()
+    }
+
+    /// Removes a squashed instruction without waking dependents (they are
+    /// being squashed too).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not waiting.
+    pub fn squash(&mut self, slot: usize) {
+        assert!(self.waiting.get(slot), "squash of empty slot {slot}");
+        self.waiting.clear(slot);
+        self.m.clear_row(slot);
+    }
+
+    /// `true` if the instruction has all operands available (row
+    /// reduction-NORs to zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of bounds.
+    #[must_use]
+    pub fn is_ready(&self, slot: usize) -> bool {
+        self.waiting.get(slot) && self.m.row_is_zero(slot)
+    }
+
+    /// All currently ready waiting entries — the `BID` vector fed to the
+    /// age matrix for select.
+    #[must_use]
+    pub fn ready_set(&self) -> BitVec64 {
+        let mut out = BitVec64::new(self.capacity());
+        for slot in self.waiting.iter_ones() {
+            if self.m.row_is_zero(slot) {
+                out.set(slot);
+            }
+        }
+        out
+    }
+
+    /// Outstanding producer count for `slot` (diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of bounds.
+    #[must_use]
+    pub fn pending_producers(&self, slot: usize) -> u32 {
+        self.m.row_count(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dependency_chain_wakes_in_order() {
+        let mut wm = WakeupMatrix::new(4);
+        wm.dispatch(0, &BitVec64::new(4));
+        wm.dispatch(1, &BitVec64::from_indices(4, [0]));
+        wm.dispatch(2, &BitVec64::from_indices(4, [1]));
+        assert_eq!(wm.ready_set().iter_ones().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(wm.issue(0), vec![1]);
+        assert_eq!(wm.issue(1), vec![2]);
+        assert_eq!(wm.issue(2), Vec::<usize>::new());
+        assert!(wm.waiting().is_zero());
+    }
+
+    #[test]
+    fn two_operand_instruction_waits_for_both() {
+        let mut wm = WakeupMatrix::new(4);
+        wm.dispatch(0, &BitVec64::new(4));
+        wm.dispatch(1, &BitVec64::new(4));
+        wm.dispatch(2, &BitVec64::from_indices(4, [0, 1]));
+        assert_eq!(wm.pending_producers(2), 2);
+        assert_eq!(wm.issue(0), Vec::<usize>::new()); // still waiting on 1
+        assert_eq!(wm.issue(1), vec![2]);
+    }
+
+    #[test]
+    fn one_producer_wakes_multiple_consumers() {
+        let mut wm = WakeupMatrix::new(4);
+        wm.dispatch(3, &BitVec64::new(4));
+        wm.dispatch(0, &BitVec64::from_indices(4, [3]));
+        wm.dispatch(1, &BitVec64::from_indices(4, [3]));
+        let mut woken = wm.issue(3);
+        woken.sort_unstable();
+        assert_eq!(woken, vec![0, 1]);
+    }
+
+    #[test]
+    fn slot_reuse_is_clean() {
+        let mut wm = WakeupMatrix::new(4);
+        wm.dispatch(0, &BitVec64::new(4));
+        wm.dispatch(1, &BitVec64::from_indices(4, [0]));
+        wm.issue(0);
+        // slot 0 recycled by an instruction depending on slot 1
+        wm.dispatch(0, &BitVec64::from_indices(4, [1]));
+        assert!(!wm.is_ready(0));
+        assert_eq!(wm.issue(1), vec![0]);
+    }
+
+    #[test]
+    fn squash_does_not_wake_dependents() {
+        let mut wm = WakeupMatrix::new(4);
+        wm.dispatch(0, &BitVec64::new(4));
+        wm.dispatch(1, &BitVec64::from_indices(4, [0]));
+        wm.squash(1);
+        assert!(!wm.is_ready(1));
+        assert_eq!(wm.issue(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn ready_set_equals_per_slot_checks() {
+        let mut wm = WakeupMatrix::new(8);
+        wm.dispatch(2, &BitVec64::new(8));
+        wm.dispatch(5, &BitVec64::from_indices(8, [2]));
+        wm.dispatch(7, &BitVec64::new(8));
+        let ready = wm.ready_set();
+        for s in 0..8 {
+            assert_eq!(ready.get(s), wm.is_ready(s), "slot {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "produce its own source")]
+    fn self_dependency_panics() {
+        let mut wm = WakeupMatrix::new(4);
+        wm.dispatch(1, &BitVec64::from_indices(4, [1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "issue of empty slot")]
+    fn issue_empty_panics() {
+        WakeupMatrix::new(4).issue(0);
+    }
+}

@@ -1,0 +1,150 @@
+//! A simple integer histogram for occupancy and latency distributions.
+
+/// Histogram over `u64` samples with unit-width buckets up to a cap.
+///
+/// # Examples
+///
+/// ```
+/// use orinoco_stats::Histogram;
+///
+/// let mut h = Histogram::new(16);
+/// for v in [1, 1, 2, 30] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bucket(1), 2);
+/// assert_eq!(h.overflow(), 1); // 30 lands past the cap
+/// assert_eq!(h.mean(), (1.0 + 1.0 + 2.0 + 30.0) / 4.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `cap` unit buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "need at least one bucket");
+        Self {
+            buckets: vec![0; cap],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, value: u64) {
+        match self.buckets.get_mut(value as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples in bucket `value`.
+    #[must_use]
+    pub fn bucket(&self, value: usize) -> u64 {
+        self.buckets.get(value).copied().unwrap_or(0)
+    }
+
+    /// Samples beyond the bucket cap.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Mean of all samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Fraction of samples at or above `value` (overflow counts as above
+    /// everything in range).
+    #[must_use]
+    pub fn fraction_at_least(&self, value: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let in_range: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| (i as u64) >= value)
+            .map(|(_, &c)| c)
+            .sum();
+        (in_range + self.overflow) as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new(4);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.fraction_at_least(0), 0.0);
+    }
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut h = Histogram::new(8);
+        for v in [0, 1, 1, 7, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.bucket(7), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.max(), 9);
+        assert!((h.mean() - 3.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_at_least_includes_overflow() {
+        let mut h = Histogram::new(4);
+        for v in [0, 2, 3, 100] {
+            h.record(v);
+        }
+        assert!((h.fraction_at_least(2) - 0.75).abs() < 1e-9);
+        assert!((h.fraction_at_least(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_cap_panics() {
+        let _ = Histogram::new(0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Top-down stall attribution: which back-end resource clogged dispatch.
+//!
+//! The paper's §6.2 argues in these terms — "67% of ROB exhaustion is
+//! unclogged, ... LQ is unclogged by 55% and REG is now barely clogged" —
+//! so the simulator attributes every dispatch-blocked cycle to the first
+//! exhausted resource.
+
+use std::fmt;
+
+/// A back-end resource whose exhaustion can block dispatch (a "full window
+/// stall").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    /// Reorder buffer entries.
+    Rob,
+    /// Instruction queue entries.
+    Iq,
+    /// Load queue entries.
+    Lq,
+    /// Store queue entries.
+    Sq,
+    /// Physical registers.
+    RegFile,
+}
+
+impl Resource {
+    /// All resources, in reporting order.
+    pub const ALL: [Resource; 5] = [
+        Resource::Rob,
+        Resource::Iq,
+        Resource::Lq,
+        Resource::Sq,
+        Resource::RegFile,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            Resource::Rob => 0,
+            Resource::Iq => 1,
+            Resource::Lq => 2,
+            Resource::Sq => 3,
+            Resource::RegFile => 4,
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Resource::Rob => "ROB",
+            Resource::Iq => "IQ",
+            Resource::Lq => "LQ",
+            Resource::Sq => "SQ",
+            Resource::RegFile => "REG",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-resource stall-cycle counters.
+///
+/// # Examples
+///
+/// ```
+/// use orinoco_stats::{Resource, StallBreakdown};
+///
+/// let mut s = StallBreakdown::default();
+/// s.record(Resource::Rob);
+/// s.record(Resource::Rob);
+/// s.record(Resource::Lq);
+/// assert_eq!(s.count(Resource::Rob), 2);
+/// assert_eq!(s.full_window_stalls(), 3);
+/// assert!((s.fraction(Resource::Rob) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    counts: [u64; 5],
+}
+
+impl StallBreakdown {
+    /// Records one stalled cycle attributed to `resource`.
+    pub fn record(&mut self, resource: Resource) {
+        self.counts[resource.idx()] += 1;
+    }
+
+    /// Records `n` stalled cycles attributed to `resource` (aggregation).
+    pub fn record_n(&mut self, resource: Resource, n: u64) {
+        self.counts[resource.idx()] += n;
+    }
+
+    /// Stall cycles attributed to `resource`.
+    #[must_use]
+    pub fn count(&self, resource: Resource) -> u64 {
+        self.counts[resource.idx()]
+    }
+
+    /// Total full-window stall cycles.
+    #[must_use]
+    pub fn full_window_stalls(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of all stall cycles attributed to `resource` (0.0 when
+    /// there are no stalls).
+    #[must_use]
+    pub fn fraction(&self, resource: Resource) -> f64 {
+        let total = self.full_window_stalls();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(resource) as f64 / total as f64
+        }
+    }
+
+    /// Relative reduction of stalls attributed to `resource` versus a
+    /// baseline breakdown: `1 - new/old` (the paper's "X% unclogged").
+    /// Returns 0.0 when the baseline had no such stalls.
+    #[must_use]
+    pub fn unclog_vs(&self, baseline: &StallBreakdown, resource: Resource) -> f64 {
+        let old = baseline.count(resource);
+        if old == 0 {
+            0.0
+        } else {
+            1.0 - self.count(resource) as f64 / old as f64
+        }
+    }
+}
+
+impl fmt::Display for StallBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stalls{{")?;
+        for (i, r) in Resource::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}:{}", self.count(*r))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let mut s = StallBreakdown::default();
+        for _ in 0..5 {
+            s.record(Resource::Iq);
+        }
+        s.record(Resource::RegFile);
+        assert_eq!(s.count(Resource::Iq), 5);
+        assert_eq!(s.count(Resource::Rob), 0);
+        assert_eq!(s.full_window_stalls(), 6);
+    }
+
+    #[test]
+    fn fractions() {
+        let s = StallBreakdown::default();
+        assert_eq!(s.fraction(Resource::Rob), 0.0);
+        let mut s = StallBreakdown::default();
+        s.record(Resource::Sq);
+        assert_eq!(s.fraction(Resource::Sq), 1.0);
+    }
+
+    #[test]
+    fn unclog_computation() {
+        let mut base = StallBreakdown::default();
+        for _ in 0..100 {
+            base.record(Resource::Rob);
+        }
+        let mut new = StallBreakdown::default();
+        for _ in 0..33 {
+            new.record(Resource::Rob);
+        }
+        assert!((new.unclog_vs(&base, Resource::Rob) - 0.67).abs() < 1e-12);
+        assert_eq!(new.unclog_vs(&base, Resource::Lq), 0.0);
+    }
+
+    #[test]
+    fn display_contains_all_resources() {
+        let s = StallBreakdown::default();
+        let text = s.to_string();
+        for r in Resource::ALL {
+            assert!(text.contains(&r.to_string()));
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Aggregation helpers: means, geometric means and speedups.
+
+/// Arithmetic mean (0.0 for an empty slice).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean, the conventional aggregate for per-benchmark speedups
+/// (0.0 for an empty slice).
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use orinoco_stats::geomean;
+/// assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Relative speedup of `new` over `base` as a factor (1.0 = no change).
+///
+/// # Panics
+///
+/// Panics if `base` is not positive.
+#[must_use]
+pub fn speedup(new: f64, base: f64) -> f64 {
+    assert!(base > 0.0, "baseline must be positive");
+    new / base
+}
+
+/// Speedup expressed as a percentage improvement (e.g. `14.8` for +14.8%).
+///
+/// # Panics
+///
+/// Panics if `base` is not positive.
+#[must_use]
+pub fn improvement_pct(new: f64, base: f64) -> f64 {
+    (speedup(new, base) - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_below_arithmetic_mean() {
+        let v = [1.0, 10.0, 100.0];
+        assert!(geomean(&v) < mean(&v));
+    }
+
+    #[test]
+    fn speedup_and_pct() {
+        assert!((speedup(1.148, 1.0) - 1.148).abs() < 1e-12);
+        assert!((improvement_pct(1.148, 1.0) - 14.8).abs() < 1e-9);
+        assert!((improvement_pct(0.9, 1.0) + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline must be positive")]
+    fn speedup_rejects_zero_base() {
+        let _ = speedup(1.0, 0.0);
+    }
+}

@@ -1,0 +1,494 @@
+//! The kernel builders. Each returns a ready-to-run [`Emulator`] with
+//! program and data initialised; iteration counts target 100–300k dynamic
+//! instructions at `scale = 1`.
+
+use crate::{f, finish, x};
+use orinoco_isa::{ArchReg, Emulator, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+const LINE: u64 = 64;
+
+/// Writes a single-cycle random permutation ("next" pointers, one node per
+/// cache line) into `[base, base + nodes*64)`.
+fn init_chase_region(emu: &mut Emulator, base: u64, nodes: usize, rng: &mut StdRng) {
+    let mut order: Vec<u64> = (0..nodes as u64).collect();
+    order.shuffle(rng);
+    for k in 0..nodes {
+        let cur = base + order[k] * LINE;
+        let next = base + order[(k + 1) % nodes] * LINE;
+        emu.store_word(cur, next);
+    }
+}
+
+/// `mcf_like` (ways = 1): a dependent pointer chase over a 4 MiB ring —
+/// zero MLP, recurrence-bound, insensitive to scheduling and commit policy
+/// (the memory round trip *is* the critical path).
+///
+/// `linkedlist_like` (ways > 1): traversal of an **array of node
+/// pointers** ("arcs array" flavour): each iteration streams the next
+/// pointer from a sequential array and dereferences it into a 4 MiB node
+/// pool — the dereferences are independent DRAM misses, so memory-level
+/// parallelism scales with how far the in-flight window reaches, which is
+/// exactly what early resource reclamation extends.
+pub(crate) fn pointer_chase(rng: &mut StdRng, scale: u32, ways: usize) -> Emulator {
+    let mem: usize = 16 << 20;
+    if ways == 1 {
+        let iters = 40_000 * i64::from(scale);
+        let nodes = (4 << 20) / LINE as usize;
+        let mut b = ProgramBuilder::new();
+        let ctr = x(1);
+        b.li(ctr, iters);
+        let top = b.label();
+        b.bind(top);
+        b.ld(x(10), x(10), 0);
+        b.addi(ctr, ctr, -1);
+        b.bne(ctr, ArchReg::ZERO, top);
+        return finish(b, mem, |emu| {
+            init_chase_region(emu, 0, nodes, rng);
+            emu.set_reg(x(10), 0);
+        });
+    }
+    // Array-of-pointers gather: pointer array at [8 MiB, 12 MiB), node
+    // pool in [0, 4 MiB).
+    let iters = 16_000 * i64::from(scale);
+    let arr_base: u64 = 8 << 20;
+    let mut b = ProgramBuilder::new();
+    let (ctr, ap, p, v, acc) = (x(1), x(10), x(11), x(12), x(13));
+    let (t0, t1, t2) = (x(20), x(21), x(22));
+    b.li(ctr, iters);
+    let top = b.label();
+    b.bind(top);
+    b.ld(p, ap, 0); // next node pointer (sequential, prefetch-friendly)
+    b.ld(v, p, 0); // independent random dereference (DRAM miss)
+    // A swarm of node-value processing wakes at once when the miss
+    // returns; arbitrating these bursts oldest-first keeps the commit
+    // window moving (Figure 14), while their independence across nodes
+    // preserves the MLP that out-of-order commit extends (Figure 15).
+    b.xor(t0, v, acc);
+    b.slli(t1, v, 3);
+    b.add(t2, t0, t1);
+    b.srli(t0, v, 7);
+    b.xor(acc, acc, t2);
+    b.add(acc, acc, t0);
+    // Independent pointer bookkeeping.
+    b.addi(ap, ap, 8);
+    b.andi(ap, ap, (4 << 20) - 8); // offset within the 4 MiB array
+    b.add(ap, ap, x(23)); // rebase (x23 holds the array base)
+    b.addi(ctr, ctr, -1);
+    b.bne(ctr, ArchReg::ZERO, top);
+    finish(b, mem, |emu| {
+        let nodes = (4u64 << 20) / LINE;
+        for i in 0..(1u64 << 19) {
+            let node = rng.gen_range(0..nodes) * LINE;
+            emu.store_word(arr_base + i * 8, node);
+        }
+        // node pool contents
+        for i in 0..nodes {
+            emu.store_word(i * LINE, rng.gen::<u64>());
+        }
+        emu.set_reg(x(10), arr_base);
+        emu.set_reg(x(23), arr_base);
+    })
+}
+
+/// `stream_like`: `a[i] = b[i] + c[i]` over 1 MiB arrays — unit-stride,
+/// prefetcher-friendly, high MLP.
+pub(crate) fn stream(rng: &mut StdRng, scale: u32) -> Emulator {
+    let mem = 4 << 20;
+    let n = 20_000 * i64::from(scale);
+    let (pa, pb, pc, ctr) = (x(10), x(11), x(12), x(1));
+    let mut b = ProgramBuilder::new();
+    b.li(ctr, n);
+    let top = b.label();
+    b.bind(top);
+    b.ld(f(0), pb, 0);
+    b.ld(f(1), pc, 0);
+    b.fadd(f(2), f(0), f(1));
+    b.st(f(2), pa, 0);
+    b.addi(pa, pa, 8);
+    b.addi(pb, pb, 8);
+    b.addi(pc, pc, 8);
+    b.addi(ctr, ctr, -1);
+    b.bne(ctr, ArchReg::ZERO, top);
+    finish(b, mem, |emu| {
+        emu.set_reg(x(10), 0);
+        emu.set_reg(x(11), 1 << 20);
+        emu.set_reg(x(12), 2 << 20);
+        for i in 0..(1 << 17) {
+            emu.store_word((1 << 20) + i * 8, f64::from(rng.gen_range(0..100)).to_bits());
+            emu.store_word((2 << 20) + i * 8, f64::from(rng.gen_range(0..100)).to_bits());
+        }
+    })
+}
+
+/// `gemm_like`: N×N×N FP matrix multiply (N = 28) with register-blocked
+/// inner product — compute-dense, cache-resident.
+pub(crate) fn gemm(rng: &mut StdRng, scale: u32) -> Emulator {
+    let n: i64 = 28;
+    let mem = 1 << 20;
+    let (a_base, b_base, c_base) = (0u64, 64 << 10, 128 << 10);
+    let mut b = ProgramBuilder::new();
+    let (i, j, k) = (x(1), x(2), x(3));
+    let (pa, pb, pcm) = (x(10), x(11), x(12));
+    let (acc, va, vb) = (f(0), f(1), f(2));
+    let reps = x(4);
+    b.li(reps, i64::from(scale));
+    let rep_top = b.label();
+    b.bind(rep_top);
+    b.li(i, n);
+    let i_top = b.label();
+    b.bind(i_top);
+    b.li(j, n);
+    let j_top = b.label();
+    b.bind(j_top);
+    // acc = 0; pa = &A[i][0]; pb = &B[0][j] — pointer arithmetic kept in
+    // registers (x20 = row base of A, x21 = column base of B).
+    b.fcvt(acc, ArchReg::ZERO);
+    b.add(pa, x(20), ArchReg::ZERO);
+    b.add(pb, x(21), ArchReg::ZERO);
+    b.li(k, n);
+    let k_top = b.label();
+    b.bind(k_top);
+    b.ld(va, pa, 0);
+    b.ld(vb, pb, 0);
+    b.fmul(va, va, vb);
+    b.fadd(acc, acc, va);
+    b.addi(pa, pa, 8);
+    b.addi(pb, pb, 8 * n);
+    b.addi(k, k, -1);
+    b.bne(k, ArchReg::ZERO, k_top);
+    b.st(acc, pcm, 0);
+    b.addi(pcm, pcm, 8);
+    b.addi(x(21), x(21), 8); // next column of B
+    b.addi(j, j, -1);
+    b.bne(j, ArchReg::ZERO, j_top);
+    b.addi(x(20), x(20), 8 * n); // next row of A
+    b.li(x(21), b_base as i64); // reset column base
+    b.addi(i, i, -1);
+    b.bne(i, ArchReg::ZERO, i_top);
+    // reset pointers for the next repetition
+    b.li(x(20), a_base as i64);
+    b.li(x(21), b_base as i64);
+    b.li(pcm, c_base as i64);
+    b.addi(reps, reps, -1);
+    b.bne(reps, ArchReg::ZERO, rep_top);
+    finish(b, mem, |emu| {
+        emu.set_reg(x(20), a_base);
+        emu.set_reg(x(21), b_base);
+        emu.set_reg(x(12), c_base);
+        for idx in 0..(n * n) as u64 {
+            emu.store_word(a_base + idx * 8, f64::from(rng.gen_range(1..10)).to_bits());
+            emu.store_word(b_base + idx * 8, f64::from(rng.gen_range(1..10)).to_bits());
+        }
+    })
+}
+
+/// `hashjoin_like`: hash-probe gathers over a 512 KiB key table with a
+/// data-dependent (50/50) branch per probe.
+pub(crate) fn hashjoin(rng: &mut StdRng, scale: u32) -> Emulator {
+    let mem = 4 << 20;
+    let table_bits = 16; // 2^16 keys * 8 B = 512 KiB
+    let probes = 20_000 * i64::from(scale);
+    let mut b = ProgramBuilder::new();
+    let (ctr, h, idx, addr, key, hits, mult) = (x(1), x(2), x(3), x(4), x(5), x(6), x(7));
+    b.li(ctr, probes);
+    b.li(h, rng.gen_range(1..i64::MAX));
+    b.li(mult, 0x27BB_2EE6_87B0_B0FD_u64 as i64);
+    let top = b.label();
+    let miss = b.label();
+    b.bind(top);
+    // h = h * LCG_MULT + 0xB504F32D
+    b.mul(h, h, mult);
+    b.addi(h, h, 0xB504_F32D);
+    b.srli(idx, h, 64 - table_bits);
+    b.slli(idx, idx, 3);
+    b.add(addr, idx, x(10)); // table base
+    b.ld(key, addr, 0);
+    b.andi(key, key, 63);
+    b.bne(key, ArchReg::ZERO, miss); // rare match (~1.6%): predictable
+    b.addi(hits, hits, 1);
+    b.bind(miss);
+    b.addi(ctr, ctr, -1);
+    b.bne(ctr, ArchReg::ZERO, top);
+    finish(b, mem, |emu| {
+        emu.set_reg(x(10), 0);
+        for i in 0..(1u64 << table_bits) {
+            emu.store_word(i * 8, rng.gen::<u64>());
+        }
+    })
+}
+
+/// `exchange_like`: register-resident integer crunching with perfectly
+/// predictable short loops (`exchange2`-style puzzle solving).
+pub(crate) fn exchange(rng: &mut StdRng, scale: u32) -> Emulator {
+    let outer = 2_200 * i64::from(scale);
+    let chains: usize = 6;
+    let mut b = ProgramBuilder::new();
+    let (ctr, inner) = (x(1), x(2));
+    // Six independent accumulator chains keep more instructions ready
+    // than the integer issue ports every cycle, so select-order quality
+    // (Figure 14) matters.
+    for c in 0..chains {
+        b.li(x(3 + c as u8), rng.gen_range(1..1000));
+    }
+    b.li(ctr, outer);
+    let top = b.label();
+    b.bind(top);
+    b.li(inner, 6);
+    let in_top = b.label();
+    b.bind(in_top);
+    for c in 0..chains as u8 {
+        let (a, t) = (x(3 + c), x(12 + c));
+        b.xor(t, a, inner);
+        b.sll(t, t, inner);
+        b.add(a, a, t);
+        b.srli(a, a, 1 + i64::from(c % 3));
+    }
+    b.addi(inner, inner, -1);
+    b.bne(inner, ArchReg::ZERO, in_top);
+    b.mul(x(3), x(3), x(4));
+    b.st(x(3), x(10), 0);
+    b.addi(x(10), x(10), 8);
+    b.andi(x(10), x(10), 0xFFF8);
+    b.addi(ctr, ctr, -1);
+    b.bne(ctr, ArchReg::ZERO, top);
+    finish(b, 1 << 16, |emu| {
+        emu.set_reg(x(10), 0);
+    })
+}
+
+/// `perl_like`: interpreter-style dispatch ladder over random byte codes —
+/// many data-dependent, poorly predictable branches.
+pub(crate) fn perl(rng: &mut StdRng, scale: u32) -> Emulator {
+    let mem = 1 << 20;
+    let n = 15_000 * i64::from(scale);
+    let mut b = ProgramBuilder::new();
+    let (ctr, pcur, val, op, acc) = (x(1), x(10), x(2), x(3), x(4));
+    let (t1, t2) = (x(5), x(6));
+    b.li(ctr, n);
+    let top = b.label();
+    let case1 = b.label();
+    let case2 = b.label();
+    let case3 = b.label();
+    let done = b.label();
+    b.bind(top);
+    b.ld(val, pcur, 0);
+    b.addi(pcur, pcur, 8);
+    b.andi(pcur, pcur, 0x7_FFF8); // wrap in 512 KiB
+    b.andi(op, val, 3);
+    b.li(t1, 1);
+    b.beq(op, t1, case1);
+    b.li(t2, 2);
+    b.beq(op, t2, case2);
+    b.li(t2, 3);
+    b.beq(op, t2, case3);
+    // case 0
+    b.add(acc, acc, val);
+    b.jal(ArchReg::ZERO, done);
+    b.bind(case1);
+    b.xor(acc, acc, val);
+    b.jal(ArchReg::ZERO, done);
+    b.bind(case2);
+    b.sub(acc, acc, val);
+    b.jal(ArchReg::ZERO, done);
+    b.bind(case3);
+    b.srli(t2, val, 7);
+    b.add(acc, acc, t2);
+    b.bind(done);
+    b.addi(ctr, ctr, -1);
+    b.bne(ctr, ArchReg::ZERO, top);
+    finish(b, mem, |emu| {
+        emu.set_reg(x(10), 0);
+        for i in 0..(1u64 << 16) {
+            emu.store_word(i * 8, rng.gen::<u64>());
+        }
+    })
+}
+
+/// `xz_like`: integer mixing with loads and stores over a 256 KiB buffer,
+/// strided semi-sequentially (match-finder flavour).
+pub(crate) fn xz(rng: &mut StdRng, scale: u32) -> Emulator {
+    let mem = 1 << 20;
+    let n = 16_000 * i64::from(scale);
+    let mut b = ProgramBuilder::new();
+    let (ctr, p, q, a, c) = (x(1), x(10), x(11), x(2), x(3));
+    b.li(ctr, n);
+    let top = b.label();
+    b.bind(top);
+    b.ld(a, p, 0);
+    b.ld(c, q, 0);
+    b.xor(a, a, c);
+    b.slli(c, a, 13);
+    b.xor(a, a, c);
+    b.srli(c, a, 7);
+    b.xor(a, a, c);
+    b.st(a, p, 0);
+    b.addi(p, p, 24);
+    b.andi(p, p, 0x3_FFF8);
+    b.addi(q, q, 40);
+    b.andi(q, q, 0x3_FFF8);
+    b.addi(ctr, ctr, -1);
+    b.bne(ctr, ArchReg::ZERO, top);
+    finish(b, mem, |emu| {
+        emu.set_reg(x(10), 0);
+        emu.set_reg(x(11), 128);
+        for i in 0..(1u64 << 15) {
+            emu.store_word(i * 8, rng.gen::<u64>());
+        }
+    })
+}
+
+/// `lbm_like`: FP-heavy streaming with stores over a 2 MiB grid.
+pub(crate) fn lbm(rng: &mut StdRng, scale: u32) -> Emulator {
+    let mem = 4 << 20;
+    let n = 11_000 * i64::from(scale);
+    let mut b = ProgramBuilder::new();
+    let (ctr, p, q) = (x(1), x(10), x(11));
+    b.li(ctr, n);
+    let top = b.label();
+    b.bind(top);
+    b.ld(f(0), p, 0);
+    b.ld(f(1), p, 8);
+    b.ld(f(2), q, 0);
+    b.fadd(f(3), f(0), f(1));
+    b.fmul(f(4), f(3), f(2));
+    b.fsub(f(5), f(4), f(0));
+    b.fadd(f(6), f(5), f(2));
+    b.fmul(f(7), f(6), f(1));
+    b.st(f(7), p, 0);
+    b.st(f(6), q, 0);
+    b.addi(p, p, 16);
+    b.andi(p, p, 0x1F_FFF8);
+    b.addi(q, q, 16);
+    b.andi(q, q, 0x1F_FFF8);
+    b.addi(ctr, ctr, -1);
+    b.bne(ctr, ArchReg::ZERO, top);
+    finish(b, mem, |emu| {
+        emu.set_reg(x(10), 0);
+        emu.set_reg(x(11), 2 << 20);
+        for i in 0..(1u64 << 18) {
+            emu.store_word(i * 8, f64::from(rng.gen_range(1..5)).to_bits());
+        }
+    })
+}
+
+/// `deepsjeng_like`: board-logic flavour — bit manipulation, table
+/// lookups from 512 KiB, and a mix of predictable and data-dependent
+/// branches.
+pub(crate) fn deepsjeng(rng: &mut StdRng, scale: u32) -> Emulator {
+    let mem = 1 << 20;
+    let n = 14_000 * i64::from(scale);
+    let mut b = ProgramBuilder::new();
+    let (ctr, bb, t1, t2, addr, sc, sc2) = (x(1), x(2), x(3), x(4), x(5), x(6), x(7));
+    b.li(bb, rng.gen::<i64>().wrapping_abs() | 1);
+    b.li(ctr, n);
+    let top = b.label();
+    let skip = b.label();
+    let neg = b.label();
+    let cont = b.label();
+    b.bind(top);
+    // bitboard mixing (independent of the score chains)
+    b.slli(t1, bb, 17);
+    b.xor(bb, bb, t1);
+    b.srli(t1, bb, 29);
+    b.xor(bb, bb, t1);
+    // table lookup keyed by the bitboard (64 KiB table: mostly L1/L2)
+    b.srli(addr, bb, 51);
+    b.slli(addr, addr, 3);
+    b.ld(t2, addr, 0);
+    // data-dependent branch on the fetched entry
+    b.andi(t1, t2, 7);
+    b.beq(t1, ArchReg::ZERO, skip);
+    b.add(sc, sc, t2);
+    b.bind(skip);
+    // predictable sign test on the second accumulator
+    b.blt(sc2, ArchReg::ZERO, neg);
+    b.addi(sc2, sc2, 1);
+    b.jal(ArchReg::ZERO, cont);
+    b.bind(neg);
+    b.sub(sc2, ArchReg::ZERO, sc2);
+    b.bind(cont);
+    b.xor(sc2, sc2, bb);
+    b.addi(ctr, ctr, -1);
+    b.bne(ctr, ArchReg::ZERO, top);
+    finish(b, mem, |emu| {
+        for i in 0..(1u64 << 13) {
+            emu.store_word(i * 8, rng.gen::<u64>());
+        }
+    })
+}
+
+/// `stencil_like`: 3-point FP stencil `b[i] = k*(a[i-1]+a[i]+a[i+1])` over
+/// a 512 KiB grid.
+pub(crate) fn stencil(rng: &mut StdRng, scale: u32) -> Emulator {
+    let mem = 2 << 20;
+    let n = 13_000 * i64::from(scale);
+    let mut b = ProgramBuilder::new();
+    let (ctr, p, q) = (x(1), x(10), x(11));
+    b.li(ctr, n);
+    let top = b.label();
+    b.bind(top);
+    b.ld(f(0), p, 0);
+    b.ld(f(1), p, 8);
+    b.ld(f(2), p, 16);
+    b.fadd(f(3), f(0), f(1));
+    b.fadd(f(3), f(3), f(2));
+    b.fmul(f(4), f(3), f(8)); // f8 = 1/3
+    b.st(f(4), q, 0);
+    b.addi(p, p, 8);
+    b.andi(p, p, 0x7_FFF8);
+    b.addi(q, q, 8);
+    b.andi(q, q, 0x7_FFF8);
+    b.addi(ctr, ctr, -1);
+    b.bne(ctr, ArchReg::ZERO, top);
+    finish(b, mem, |emu| {
+        emu.set_reg(x(10), 0);
+        emu.set_reg(x(11), 1 << 20);
+        emu.set_reg(f(8), (1.0f64 / 3.0).to_bits());
+        for i in 0..(1u64 << 16) {
+            emu.store_word(i * 8, f64::from(rng.gen_range(0..10)).to_bits());
+        }
+    })
+}
+
+/// `mix_like`: serial divide chains interleaved with independent loads —
+/// long-latency instructions park at the ROB head and strangle in-order
+/// commit, while independent work behind them completes.
+pub(crate) fn divmix(rng: &mut StdRng, scale: u32) -> Emulator {
+    let mem = 4 << 20;
+    let n = 4_500 * i64::from(scale);
+    let mut b = ProgramBuilder::new();
+    let (ctr, dv, three, h, addr, acc, mult) = (x(1), x(2), x(3), x(4), x(5), x(6), x(7));
+    b.li(ctr, n);
+    b.li(three, 3);
+    b.li(h, rng.gen_range(1..i64::MAX));
+    b.li(mult, 0x27BB_2EE6_87B0_B0FD_u64 as i64);
+    let top = b.label();
+    b.bind(top);
+    // One long-latency op per iteration that parks at the ROB head under
+    // in-order commit (latency-critical, not divider-throughput-bound)...
+    b.li(dv, 1_000_000_007);
+    b.div(dv, dv, three);
+    // ...followed by a burst of independent random loads whose xorshift
+    // address generation stays off the divider's pool.
+    for _ in 0..8 {
+        b.slli(mult, h, 13);
+        b.xor(h, h, mult);
+        b.srli(mult, h, 7);
+        b.xor(h, h, mult);
+        b.slli(mult, h, 17);
+        b.xor(h, h, mult);
+        b.srli(addr, h, 46); // 2 MiB reach: a mix of LLC hits and misses
+        b.slli(addr, addr, 3);
+        b.ld(acc, addr, 0);
+    }
+    b.addi(ctr, ctr, -1);
+    b.bne(ctr, ArchReg::ZERO, top);
+    finish(b, mem, |emu| {
+        for i in 0..(1u64 << 15) {
+            emu.store_word(i * 8 * 16, rng.gen::<u64>());
+        }
+    })
+}

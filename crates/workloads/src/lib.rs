@@ -1,0 +1,280 @@
+//! Synthetic SPEC-CPU2017-like kernels for the Orinoco evaluation.
+//!
+//! The paper evaluates on SPEC CPU2017 SimPoint regions, which are not
+//! redistributable; these kernels span the same behaviour axes that drive
+//! the paper's per-benchmark spread — memory-boundness (MLP), compute
+//! density (ILP), branch predictability, long-latency dependence chains —
+//! so the *relative* results of the scheduler and commit policies keep
+//! their shape. Each kernel builds a micro-ISA program plus initialised
+//! data and returns a ready-to-run [`Emulator`].
+//!
+//! # Example
+//!
+//! ```
+//! use orinoco_workloads::Workload;
+//!
+//! let mut emu = Workload::StreamLike.build(7, 1);
+//! let trace = emu.run();
+//! assert!(trace.len() > 1_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use orinoco_isa::{ArchReg, Emulator, InstClass, ProgramBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+mod kernels;
+
+/// The workload suite (one entry per synthetic SPEC-like kernel).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Single dependent pointer chase over a 4 MiB ring — `mcf`-like
+    /// memory-bound behaviour with no MLP.
+    McfLike,
+    /// Streaming `a[i] = b[i] + c[i]` — prefetcher-friendly, high MLP.
+    StreamLike,
+    /// Blocked FP matrix multiply — compute-dense with data reuse.
+    GemmLike,
+    /// Hash-join probe: random gathers with data-dependent branches.
+    HashjoinLike,
+    /// Four independent pointer chases interleaved — `mcf`-like misses but
+    /// with exploitable MLP.
+    LinkedlistLike,
+    /// Integer compute-dense with well-predicted branches (`exchange2`).
+    ExchangeLike,
+    /// Branchy interpreter-style dispatch with data-dependent,
+    /// hard-to-predict branches (`perlbench`).
+    PerlLike,
+    /// Integer mixing/shifting over a medium working set with stores
+    /// (`xz`).
+    XzLike,
+    /// FP streaming with stores over a grid (`lbm`).
+    LbmLike,
+    /// Irregular integer logic with moderate loads and mixed branches
+    /// (`deepsjeng`).
+    DeepsjengLike,
+    /// Three-point FP stencil over a 1-D grid.
+    StencilLike,
+    /// Long-latency divide chains interleaved with independent loads —
+    /// the in-order-commit worst case.
+    MixLike,
+}
+
+impl Workload {
+    /// Every workload, in reporting order.
+    pub const ALL: [Workload; 12] = [
+        Workload::McfLike,
+        Workload::StreamLike,
+        Workload::GemmLike,
+        Workload::HashjoinLike,
+        Workload::LinkedlistLike,
+        Workload::ExchangeLike,
+        Workload::PerlLike,
+        Workload::XzLike,
+        Workload::LbmLike,
+        Workload::DeepsjengLike,
+        Workload::StencilLike,
+        Workload::MixLike,
+    ];
+
+    /// Short name used in figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::McfLike => "mcf_like",
+            Workload::StreamLike => "stream_like",
+            Workload::GemmLike => "gemm_like",
+            Workload::HashjoinLike => "hashjoin_like",
+            Workload::LinkedlistLike => "linkedlist_like",
+            Workload::ExchangeLike => "exchange_like",
+            Workload::PerlLike => "perl_like",
+            Workload::XzLike => "xz_like",
+            Workload::LbmLike => "lbm_like",
+            Workload::DeepsjengLike => "deepsjeng_like",
+            Workload::StencilLike => "stencil_like",
+            Workload::MixLike => "mix_like",
+        }
+    }
+
+    /// Builds the kernel with deterministic data from `seed`. `scale`
+    /// multiplies the iteration count (1 ≈ 100–300k dynamic
+    /// instructions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    #[must_use]
+    pub fn build(self, seed: u64, scale: u32) -> Emulator {
+        assert!(scale > 0, "scale must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD_EF01_2345_6789);
+        match self {
+            Workload::McfLike => kernels::pointer_chase(&mut rng, scale, 1),
+            Workload::LinkedlistLike => kernels::pointer_chase(&mut rng, scale, 4),
+            Workload::StreamLike => kernels::stream(&mut rng, scale),
+            Workload::GemmLike => kernels::gemm(&mut rng, scale),
+            Workload::HashjoinLike => kernels::hashjoin(&mut rng, scale),
+            Workload::ExchangeLike => kernels::exchange(&mut rng, scale),
+            Workload::PerlLike => kernels::perl(&mut rng, scale),
+            Workload::XzLike => kernels::xz(&mut rng, scale),
+            Workload::LbmLike => kernels::lbm(&mut rng, scale),
+            Workload::DeepsjengLike => kernels::deepsjeng(&mut rng, scale),
+            Workload::StencilLike => kernels::stencil(&mut rng, scale),
+            Workload::MixLike => kernels::divmix(&mut rng, scale),
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Convenience: integer register helper shared by the kernel builders.
+pub(crate) fn x(i: u8) -> ArchReg {
+    ArchReg::int(i)
+}
+
+/// Convenience: FP register helper shared by the kernel builders.
+pub(crate) fn f(i: u8) -> ArchReg {
+    ArchReg::fp(i)
+}
+
+/// Shared builder finaliser: emit `halt`, build, construct the emulator
+/// and hand memory to the initialiser.
+pub(crate) fn finish(
+    mut b: ProgramBuilder,
+    mem_bytes: usize,
+    init: impl FnOnce(&mut Emulator),
+) -> Emulator {
+    b.halt();
+    let mut emu = Emulator::new(b.build(), mem_bytes);
+    init(&mut emu);
+    emu
+}
+
+/// Class mix of a dynamic trace, for tests and workload characterisation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ClassMix {
+    /// Total dynamic instructions.
+    pub total: u64,
+    /// Fraction of loads.
+    pub load: f64,
+    /// Fraction of stores.
+    pub store: f64,
+    /// Fraction of branches.
+    pub branch: f64,
+    /// Fraction of FP operations.
+    pub fp: f64,
+    /// Fraction of long-latency (div) operations.
+    pub div: f64,
+}
+
+/// Runs the workload functionally and reports its dynamic class mix.
+#[must_use]
+pub fn characterize(w: Workload, seed: u64, scale: u32) -> ClassMix {
+    let mut emu = w.build(seed, scale);
+    let mut mix = ClassMix::default();
+    let (mut load, mut store, mut branch, mut fp, mut div) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    while let Some(d) = emu.step() {
+        mix.total += 1;
+        match d.class {
+            InstClass::Load => load += 1,
+            InstClass::Store => store += 1,
+            InstClass::Branch => branch += 1,
+            InstClass::FpAlu | InstClass::FpMul => fp += 1,
+            InstClass::FpDiv | InstClass::IntDiv => div += 1,
+            _ => {}
+        }
+    }
+    let t = mix.total.max(1) as f64;
+    mix.load = load as f64 / t;
+    mix.store = store as f64 / t;
+    mix.branch = branch as f64 / t;
+    mix.fp = fp as f64 / t;
+    mix.div = div as f64 / t;
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_build_and_halt() {
+        for w in Workload::ALL {
+            let mut emu = w.build(1, 1);
+            emu.set_step_limit(3_000_000);
+            let n = emu.by_ref().count();
+            assert!(
+                emu.halt_reason() == Some(orinoco_isa::HaltReason::Halted),
+                "{w} did not halt cleanly: {:?} after {n}",
+                emu.halt_reason()
+            );
+            assert!(
+                (20_000..=2_000_000).contains(&n),
+                "{w} dynamic length {n} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for w in [Workload::McfLike, Workload::PerlLike, Workload::GemmLike] {
+            let a = characterize(w, 42, 1);
+            let b = characterize(w, 42, 1);
+            assert_eq!(a, b, "{w} not deterministic");
+        }
+    }
+
+    #[test]
+    fn seeds_change_data_not_shape() {
+        let a = characterize(Workload::HashjoinLike, 1, 1);
+        let b = characterize(Workload::HashjoinLike, 2, 1);
+        // Same static program: class mix nearly identical even though the
+        // data (and thus branch outcomes/addresses) differ.
+        assert!((a.load - b.load).abs() < 0.05);
+    }
+
+    #[test]
+    fn scale_multiplies_length() {
+        let a = characterize(Workload::StreamLike, 3, 1);
+        let b = characterize(Workload::StreamLike, 3, 2);
+        let ratio = b.total as f64 / a.total as f64;
+        assert!((1.5..=2.5).contains(&ratio), "scale ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_bound_kernels_are_load_heavy() {
+        for w in [Workload::McfLike, Workload::LinkedlistLike] {
+            let m = characterize(w, 5, 1);
+            assert!(m.load > 0.15, "{w} load fraction {}", m.load);
+        }
+    }
+
+    #[test]
+    fn compute_kernels_have_fp_or_div() {
+        assert!(characterize(Workload::GemmLike, 5, 1).fp > 0.15);
+        assert!(characterize(Workload::LbmLike, 5, 1).fp > 0.15);
+        assert!(characterize(Workload::MixLike, 5, 1).div > 0.01);
+    }
+
+    #[test]
+    fn branchy_kernels_branch_often() {
+        for w in [Workload::PerlLike, Workload::DeepsjengLike] {
+            let m = characterize(w, 5, 1);
+            assert!(m.branch > 0.10, "{w} branch fraction {}", m.branch);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for w in Workload::ALL {
+            assert!(seen.insert(w.name()));
+            assert_eq!(w.to_string(), w.name());
+        }
+    }
+}

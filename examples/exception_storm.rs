@@ -1,0 +1,50 @@
+//! Exception storm: inject page faults at an aggressive rate and watch
+//! the non-collapsible ROB deliver precise exceptions under out-of-order
+//! commit — the §3.2 machinery (oldest-finding via the age matrix, squash
+//! of younger instructions, re-injection and exact re-execution).
+//!
+//! The simulator asserts internally that every correct-path instruction
+//! commits exactly once, so a completed run *is* the precision proof.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example exception_storm
+//! ```
+
+use orinoco::core::{CommitKind, Core, CoreConfig, SchedulerKind};
+use orinoco::workloads::Workload;
+
+fn main() {
+    let workload = Workload::StreamLike;
+    println!("workload: {workload}, page faults injected at 2000 per million memory ops");
+    println!();
+    println!("{:<28} {:>8} {:>10} {:>9} {:>9}", "config", "IPC", "exceptions", "replays", "squashed");
+    for (label, commit) in [
+        ("in-order commit", CommitKind::InOrder),
+        ("Orinoco unordered commit", CommitKind::Orinoco),
+        ("validation buffer", CommitKind::Vb),
+    ] {
+        let mut emu = workload.build(7, 1);
+        emu.set_step_limit(80_000);
+        let mut cfg = CoreConfig::base()
+            .with_scheduler(SchedulerKind::Orinoco)
+            .with_commit(commit);
+        cfg.pagefault_per_million = 2_000;
+        let stats = Core::new(emu, cfg).run(1_000_000_000);
+        println!(
+            "{label:<28} {:>8.3} {:>10} {:>9} {:>9}",
+            stats.ipc(),
+            stats.exceptions,
+            stats.replays,
+            stats.squashed
+        );
+    }
+    println!();
+    println!(
+        "Every run re-executed each faulting instruction exactly once after its\n\
+         precise squash (enforced by the core's commit-sequence checksum). With\n\
+         unordered commit the fault is taken only once the faulting instruction\n\
+         is the *oldest* in flight, so all older instructions have committed —\n\
+         the architectural state is precise without a collapsible ROB."
+    );
+}

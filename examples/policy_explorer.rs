@@ -1,0 +1,63 @@
+//! Policy explorer: sweep one workload across every issue scheduler and
+//! commit policy and print the IPC matrix — a small interactive version of
+//! Figures 14 and 15.
+//!
+//! Run with (workload name optional):
+//! ```text
+//! cargo run --release --example policy_explorer -- hashjoin_like
+//! ```
+
+use orinoco::core::{CommitKind, Core, CoreConfig, SchedulerKind};
+use orinoco::stats::TextTable;
+use orinoco::workloads::Workload;
+
+fn simulate(w: Workload, cfg: CoreConfig) -> f64 {
+    let mut emu = w.build(7, 1);
+    emu.set_step_limit(60_000);
+    Core::new(emu, cfg).run(1_000_000_000).ipc()
+}
+
+fn main() {
+    let wanted = std::env::args().nth(1);
+    let workload = match wanted {
+        Some(name) => Workload::ALL
+            .into_iter()
+            .find(|w| w.name() == name)
+            .unwrap_or_else(|| {
+                eprintln!("unknown workload {name}; choices:");
+                for w in Workload::ALL {
+                    eprintln!("  {w}");
+                }
+                std::process::exit(1);
+            }),
+        None => Workload::XzLike,
+    };
+    println!("IPC of {workload} on the Base core, scheduler x commit policy:");
+    println!();
+    let schedulers = [
+        SchedulerKind::Rand,
+        SchedulerKind::Circ,
+        SchedulerKind::Age,
+        SchedulerKind::Mult,
+        SchedulerKind::Orinoco,
+    ];
+    let commits = [CommitKind::InOrder, CommitKind::Orinoco, CommitKind::Vb];
+    let mut header = vec!["scheduler".to_string()];
+    header.extend(commits.iter().map(|c| c.label().to_string()));
+    let mut t = TextTable::new(header);
+    for s in schedulers {
+        let ipcs: Vec<f64> = commits
+            .iter()
+            .map(|&c| {
+                simulate(
+                    workload,
+                    CoreConfig::base().with_scheduler(s).with_commit(c),
+                )
+            })
+            .collect();
+        t.row_f64(s.label(), &ipcs, 3);
+    }
+    println!("{t}");
+    println!("Rows: issue schedulers (§6.2 Fig. 14). Columns: commit policies (Fig. 15).");
+    println!("The bottom-right cell is the full Orinoco-or-better design point.");
+}

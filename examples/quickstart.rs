@@ -1,0 +1,63 @@
+//! Quickstart: simulate one workload on the paper's Base core, first with
+//! the baseline design (AGE scheduler + in-order commit), then with the
+//! full Orinoco design (bit-count ordered issue + unordered commit), and
+//! compare.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use orinoco::core::{CommitKind, Core, CoreConfig, SchedulerKind};
+use orinoco::workloads::Workload;
+
+fn main() {
+    let workload = Workload::MixLike;
+    println!("workload: {workload} (long-latency divides + independent loads)");
+    println!();
+
+    // Baseline: classic age matrix (single oldest prioritised), in-order
+    // commit — the configuration the paper's Figure 15 normalises to.
+    let mut emu = workload.build(42, 1);
+    emu.set_step_limit(100_000);
+    let baseline = Core::new(emu, CoreConfig::base()).run(1_000_000_000);
+
+    // Orinoco: ordered issue via the bit count encoding + non-speculative
+    // out-of-order commit over non-collapsible queues.
+    let mut emu = workload.build(42, 1);
+    emu.set_step_limit(100_000);
+    let cfg = CoreConfig::base()
+        .with_scheduler(SchedulerKind::Orinoco)
+        .with_commit(CommitKind::Orinoco);
+    let orinoco = Core::new(emu, cfg).run(1_000_000_000);
+
+    println!("                       baseline      Orinoco");
+    println!(
+        "IPC                    {:8.3}     {:8.3}",
+        baseline.ipc(),
+        orinoco.ipc()
+    );
+    println!(
+        "cycles                 {:8}     {:8}",
+        baseline.cycles, orinoco.cycles
+    );
+    println!(
+        "avg ROB occupancy      {:8.1}     {:8.1}",
+        baseline.avg_rob_occupancy(),
+        orinoco.avg_rob_occupancy()
+    );
+    println!(
+        "full-window stalls     {:8}     {:8}",
+        baseline.dispatch_stalls.full_window_stalls(),
+        orinoco.dispatch_stalls.full_window_stalls()
+    );
+    println!(
+        "out-of-order commits   {:8}     {:8}",
+        baseline.ooo_commits, orinoco.ooo_commits
+    );
+    println!();
+    println!(
+        "speedup: {:+.1}%",
+        (orinoco.ipc() / baseline.ipc() - 1.0) * 100.0
+    );
+}
