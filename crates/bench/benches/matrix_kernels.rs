@@ -1,11 +1,12 @@
-//! Criterion microbenchmarks of the matrix-scheduler kernels: the
-//! software-throughput proxies for the PIM operations of §4 (select,
-//! commit-grant, disambiguation, wakeup) at the Table 2 geometries.
+//! Microbenchmarks of the matrix-scheduler kernels: the software-
+//! throughput proxies for the PIM operations of §4 (select, commit-grant,
+//! disambiguation, wakeup) at the Table 2 geometries.
+//!
+//! `harness = false`: this is a plain binary on the in-workspace
+//! [`orinoco_util::bench`] timer (run with `cargo bench -p orinoco-bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use orinoco_matrix::{
-    AgeMatrix, BitVec64, CommitScheduler, MemDisambigMatrix, WakeupMatrix,
-};
+use orinoco_matrix::{AgeMatrix, BitVec64, CommitScheduler, MemDisambigMatrix, WakeupMatrix};
+use orinoco_util::bench::Bench;
 use std::hint::black_box;
 
 /// An age matrix with `n` entries dispatched and a request vector with
@@ -19,22 +20,19 @@ fn age_fixture(n: usize) -> (AgeMatrix, BitVec64) {
     (age, ready)
 }
 
-fn bench_age_select(c: &mut Criterion) {
-    let mut g = c.benchmark_group("age_matrix_select");
+fn bench_age_select(b: &Bench) {
     for &n in &[96usize, 224, 512] {
         let (age, ready) = age_fixture(n);
-        g.bench_with_input(BenchmarkId::new("bitcount_iw4", n), &n, |b, _| {
-            b.iter(|| black_box(age.select_oldest(black_box(&ready), 4)));
+        b.run(&format!("age_select/bitcount_iw4/{n}"), || {
+            black_box(age.select_oldest(black_box(&ready), 4))
         });
-        g.bench_with_input(BenchmarkId::new("single_oldest", n), &n, |b, _| {
-            b.iter(|| black_box(age.select_single_oldest(black_box(&ready))));
+        b.run(&format!("age_select/single_oldest/{n}"), || {
+            black_box(age.select_single_oldest(black_box(&ready)))
         });
     }
-    g.finish();
 }
 
-fn bench_commit_grants(c: &mut Criterion) {
-    let mut g = c.benchmark_group("commit_scheduler");
+fn bench_commit_grants(b: &Bench) {
     for &n in &[224usize, 512] {
         let mut rob = CommitScheduler::new(n);
         for i in 0..n {
@@ -44,69 +42,62 @@ fn bench_commit_grants(c: &mut Criterion) {
             rob.mark_safe(i);
         }
         let completed = BitVec64::from_indices(n, (0..n).step_by(2));
-        g.bench_with_input(BenchmarkId::new("grants_cw4", n), &n, |b, _| {
-            b.iter(|| black_box(rob.commit_grants(black_box(&completed), 4)));
+        b.run(&format!("commit/grants_cw4/{n}"), || {
+            black_box(rob.commit_grants(black_box(&completed), 4))
         });
-        g.bench_with_input(BenchmarkId::new("grants_in_order", n), &n, |b, _| {
-            b.iter(|| black_box(rob.commit_grants_in_order(black_box(&completed), 4)));
+        b.run(&format!("commit/grants_in_order/{n}"), || {
+            black_box(rob.commit_grants_in_order(black_box(&completed), 4))
         });
     }
-    g.finish();
 }
 
-fn bench_memdis(c: &mut Criterion) {
+fn bench_memdis(b: &Bench) {
     let mut mdm = MemDisambigMatrix::new(72, 56);
     for l in 0..72 {
         mdm.load_issue(l, &BitVec64::from_indices(56, (0..l % 56).step_by(3)));
     }
     let no_conflict = BitVec64::ones(72);
-    c.bench_function("memdis_store_resolve", |b| {
-        b.iter(|| {
-            let mut m = mdm.clone();
-            for s in 0..56 {
-                m.store_resolved(black_box(s), &no_conflict);
-            }
-            black_box(m)
-        });
-    });
-}
-
-fn bench_wakeup(c: &mut Criterion) {
-    c.bench_function("wakeup_chain_96", |b| {
-        b.iter(|| {
-            let mut wm = WakeupMatrix::new(96);
-            wm.dispatch(0, &BitVec64::new(96));
-            for i in 1..96 {
-                wm.dispatch(i, &BitVec64::from_indices(96, [i - 1]));
-            }
-            for i in 0..96 {
-                black_box(wm.issue(i));
-            }
-        });
-    });
-}
-
-fn bench_dispatch_churn(c: &mut Criterion) {
-    c.bench_function("age_dispatch_free_churn_224", |b| {
-        let mut age = AgeMatrix::new(224);
-        for i in 0..224 {
-            age.dispatch(i);
+    b.run("memdis_store_resolve", || {
+        let mut m = mdm.clone();
+        for s in 0..56 {
+            m.store_resolved(black_box(s), &no_conflict);
         }
-        let mut next = 0usize;
-        b.iter(|| {
-            age.free(next);
-            age.dispatch(next);
-            next = (next + 37) % 224;
-        });
+        black_box(m)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_age_select,
-    bench_commit_grants,
-    bench_memdis,
-    bench_wakeup,
-    bench_dispatch_churn
-);
-criterion_main!(benches);
+fn bench_wakeup(b: &Bench) {
+    b.run("wakeup_chain_96", || {
+        let mut wm = WakeupMatrix::new(96);
+        wm.dispatch(0, &BitVec64::new(96));
+        for i in 1..96 {
+            wm.dispatch(i, &BitVec64::from_indices(96, [i - 1]));
+        }
+        for i in 0..96 {
+            black_box(wm.issue(i));
+        }
+        black_box(wm)
+    });
+}
+
+fn bench_dispatch_churn(b: &Bench) {
+    let mut age = AgeMatrix::new(224);
+    for i in 0..224 {
+        age.dispatch(i);
+    }
+    let mut next = 0usize;
+    b.run("age_dispatch_free_churn_224", || {
+        age.free(next);
+        age.dispatch(next);
+        next = (next + 37) % 224;
+    });
+}
+
+fn main() {
+    let b = Bench::new();
+    bench_age_select(&b);
+    bench_commit_grants(&b);
+    bench_memdis(&b);
+    bench_wakeup(&b);
+    bench_dispatch_churn(&b);
+}

@@ -1,9 +1,12 @@
-//! Criterion benchmarks of whole-pipeline simulation throughput: cycles
-//! and instructions simulated per second for representative workloads and
-//! the two headline configurations.
+//! Benchmarks of whole-pipeline simulation throughput: cycles and
+//! instructions simulated per second for representative workloads and the
+//! two headline configurations.
+//!
+//! `harness = false`: plain binary on the in-workspace
+//! [`orinoco_util::bench`] timer (run with `cargo bench -p orinoco-bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use orinoco_core::{CommitKind, Core, CoreConfig, SchedulerKind};
+use orinoco_util::bench::Bench;
 use orinoco_workloads::Workload;
 use std::hint::black_box;
 
@@ -16,44 +19,27 @@ fn sim(workload: Workload, cfg: CoreConfig) -> u64 {
     stats.cycles
 }
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline_sim");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(INSTRS));
+fn main() {
+    let b = Bench::new().samples(5);
     for w in [Workload::ExchangeLike, Workload::HashjoinLike, Workload::GemmLike] {
-        g.bench_with_input(BenchmarkId::new("age_ioc", w.name()), &w, |b, &w| {
-            b.iter(|| black_box(sim(w, CoreConfig::base())));
+        b.run(&format!("pipeline/age_ioc/{}", w.name()), || {
+            black_box(sim(w, CoreConfig::base()))
         });
-        g.bench_with_input(BenchmarkId::new("orinoco_full", w.name()), &w, |b, &w| {
-            b.iter(|| {
-                black_box(sim(
-                    w,
-                    CoreConfig::base()
-                        .with_scheduler(SchedulerKind::Orinoco)
-                        .with_commit(CommitKind::Orinoco),
-                ))
-            });
-        });
-    }
-    g.finish();
-}
-
-fn bench_ultra(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline_sim_ultra");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(INSTRS));
-    g.bench_function("ultra_orinoco_gemm", |b| {
-        b.iter(|| {
+        b.run(&format!("pipeline/orinoco_full/{}", w.name()), || {
             black_box(sim(
-                Workload::GemmLike,
-                CoreConfig::ultra()
+                w,
+                CoreConfig::base()
                     .with_scheduler(SchedulerKind::Orinoco)
                     .with_commit(CommitKind::Orinoco),
             ))
         });
+    }
+    b.run("pipeline/ultra_orinoco_gemm", || {
+        black_box(sim(
+            Workload::GemmLike,
+            CoreConfig::ultra()
+                .with_scheduler(SchedulerKind::Orinoco)
+                .with_commit(CommitKind::Orinoco),
+        ))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_pipeline, bench_ultra);
-criterion_main!(benches);

@@ -58,7 +58,7 @@ pub use crit::CriticalityEngine;
 pub use fetch::{FetchStats, FetchUnit, Fetched};
 pub use iq::{IqEntry, IssueQueue};
 pub use lsq::{LoadSearch, Lsq};
-pub use pipeline::Core;
+pub use pipeline::{CommitEvent, Core};
 pub use rename::{PhysReg, RenameUnit};
 pub use rob::{Rob, RobEntry};
 pub use stats::SimStats;

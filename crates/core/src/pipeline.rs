@@ -11,7 +11,7 @@ use crate::lsq::{LoadSearch, Lsq};
 use crate::rename::RenameUnit;
 use crate::rob::{Rob, RobEntry};
 use crate::stats::SimStats;
-use orinoco_isa::{Emulator, InstClass, Opcode};
+use orinoco_isa::{DynInst, Emulator, InstClass, Opcode};
 use orinoco_matrix::{LockdownMatrix, LockdownTable};
 use orinoco_mem::{AccessKind, HitLevel, MemorySystem};
 use orinoco_stats::Resource;
@@ -20,6 +20,33 @@ use std::collections::{HashSet, VecDeque};
 /// Number of lockdown-table rows (committed-but-unordered loads tracked
 /// for TSO, §3.3).
 const LDT_ROWS: usize = 64;
+
+/// One architectural commit, as observed by the commit-trace hook
+/// ([`Core::enable_commit_trace`]). Commits may be reported out of program
+/// order (that is the point of Orinoco); `seq` restores program order and
+/// `oldest_live_seq` records how far ahead of the ROB head the commit ran.
+#[derive(Clone, Debug)]
+pub struct CommitEvent {
+    /// Program-order sequence number of the committed instruction.
+    pub seq: u64,
+    /// Cycle at which the commit happened.
+    pub cycle: u64,
+    /// Sequence number of the oldest live ROB entry at commit time
+    /// (`None` if this commit emptied the ROB). Equal to `seq` for an
+    /// in-order commit; greater depth means an unordered commit.
+    pub oldest_live_seq: Option<u64>,
+    /// The committed dynamic instruction (from the oracle-driven fetch).
+    pub dyn_inst: DynInst,
+}
+
+impl CommitEvent {
+    /// `true` if this instruction committed while an older instruction
+    /// was still live in the ROB (an out-of-order commit).
+    #[must_use]
+    pub fn out_of_order(&self) -> bool {
+        self.oldest_live_seq.is_some_and(|h| h < self.seq)
+    }
+}
 
 /// The simulated core.
 pub struct Core {
@@ -53,6 +80,15 @@ pub struct Core {
     stats: SimStats,
     committed_count: u64,
     committed_seq_sum: u128,
+    /// Commit-event trace consumed by the differential oracle
+    /// (`None` = tracing disabled, zero per-commit overhead).
+    trace: Option<Vec<CommitEvent>>,
+    /// Fault-injection hook: clears the SPEC bit of the n-th speculative
+    /// dispatch, emulating a stuck-at/upset fault in the commit matrix's
+    /// SPEC column. `None` once fired or never armed.
+    chaos_spec_flip: Option<u64>,
+    /// Speculative dispatches so far (drives `chaos_spec_flip`).
+    spec_dispatched: u64,
 }
 
 impl Core {
@@ -97,6 +133,9 @@ impl Core {
             stats: SimStats::default(),
             committed_count: 0,
             committed_seq_sum: 0,
+            trace: None,
+            chaos_spec_flip: None,
+            spec_dispatched: 0,
             now: 0,
             cfg,
         }
@@ -174,6 +213,81 @@ impl Core {
         self.now += 1;
     }
 
+    /// Read access to the oracle emulator driving fetch. After the
+    /// pipeline drains, this holds the final architectural state the
+    /// pipeline committed — the object a differential checker compares
+    /// against an independently-run golden model.
+    #[must_use]
+    pub fn emulator(&self) -> &Emulator {
+        self.fetch.emulator()
+    }
+
+    /// Turns on the commit-event trace: every subsequent architectural
+    /// commit is appended to an internal buffer drained with
+    /// [`Core::drain_commit_trace`]. Used by the lockstep differential
+    /// oracle in `orinoco-verif`.
+    pub fn enable_commit_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Removes and returns the commit events recorded since the last
+    /// drain (empty if tracing is disabled or nothing committed).
+    pub fn drain_commit_trace(&mut self) -> Vec<CommitEvent> {
+        match self.trace.as_mut() {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// Arms the commit-matrix fault injector: the `nth` (1-based)
+    /// speculative dispatch has its SPEC bit cleared immediately,
+    /// emulating a flipped bit in the commit scheduler's SPEC column.
+    /// The differential oracle must catch the resulting misbehaviour
+    /// (wrong-path or premature commits); used to prove the oracle is
+    /// actually load-bearing.
+    pub fn inject_spec_flip(&mut self, nth: u64) {
+        assert!(nth > 0, "speculative dispatches are counted from 1");
+        self.chaos_spec_flip = Some(nth);
+    }
+
+    /// `true` once an armed [`Core::inject_spec_flip`] has fired.
+    #[must_use]
+    pub fn spec_flip_fired(&self) -> bool {
+        self.chaos_spec_flip.is_none() && self.spec_dispatched > 0
+    }
+
+    /// Naive O(n²) cross-check of the unordered-commit invariants,
+    /// independent of the matrix logic (integration tests): every entry
+    /// the commit scheduler currently grants must have **no older live
+    /// speculative instruction**, and the ROB's order bookkeeping must be
+    /// self-consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any granted entry has an older live entry that is still
+    /// possibly-excepting/misspeculating, or the order state is corrupt.
+    #[doc(hidden)]
+    pub fn debug_verify_commit_invariants(&self) {
+        self.rob.assert_order_consistent();
+        let live = self.rob.in_order(self.rob.capacity());
+        for idx in self.rob.grants_orinoco(usize::MAX) {
+            let g = self.rob.entry(idx);
+            assert!(g.completed, "granted entry seq {} not completed", g.seq);
+            assert!(!g.wrong_path, "granted entry seq {} is wrong-path", g.seq);
+            for &o in &live {
+                let oe = self.rob.entry(o);
+                assert!(
+                    oe.seq >= g.seq || self.rob.is_safe_self(o),
+                    "seq {} granted commit while older seq {} is unresolved",
+                    g.seq,
+                    oe.seq,
+                );
+            }
+        }
+    }
+
     /// Debug probe: the head instruction's `(class, completed, safe_self,
     /// issued)` state, for bottleneck analysis in the harness.
     #[doc(hidden)]
@@ -216,6 +330,13 @@ impl Core {
     #[must_use]
     pub fn any_locked_line(&self) -> Option<u64> {
         self.ldt_line.iter().flatten().next().map(|&l| l * 64)
+    }
+
+    /// All currently locked-down line addresses, sorted (lockdown
+    /// observability for the TSO litmus harness).
+    #[must_use]
+    pub fn locked_lines(&self) -> Vec<u64> {
+        self.ldt.locked_lines().into_iter().map(|l| l * 64).collect()
     }
 
     /// The issue queue serving `pool` (queue 0 when unified).
@@ -696,6 +817,18 @@ impl Core {
         let (seq, class, dst, lq_slot, wrong_path) =
             (e.seq, e.class, e.dst, e.lq_slot, e.wrong_path);
         assert!(!wrong_path, "retiring a wrong-path instruction");
+        if self.trace.is_some() {
+            let dyn_inst = self
+                .rob
+                .entry(idx)
+                .dyn_inst
+                .clone()
+                .expect("correct-path commit without a dynamic instruction");
+            let oldest_live_seq = self.rob.head().map(|h| self.rob.entry(h).seq);
+            if let Some(trace) = self.trace.as_mut() {
+                trace.push(CommitEvent { seq, cycle: self.now, oldest_live_seq, dyn_inst });
+            }
+        }
         self.stats.committed += 1;
         self.committed_count += 1;
         self.committed_seq_sum += u128::from(seq);
@@ -983,6 +1116,15 @@ impl Core {
             } else {
                 self.rob.alloc(entry, speculative).expect("checked ROB space")
             };
+            if speculative {
+                self.spec_dispatched += 1;
+                if self.chaos_spec_flip == Some(self.spec_dispatched) {
+                    // Injected commit-matrix fault: the SPEC bit this
+                    // dispatch just set is flipped back off.
+                    self.chaos_spec_flip = None;
+                    self.rob.mark_safe(rob_idx);
+                }
+            }
             // LSQ.
             let lq_slot = (class == InstClass::Load)
                 .then(|| self.lsq.alloc_load(rob_idx, seq).expect("checked LQ space"));

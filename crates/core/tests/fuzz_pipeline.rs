@@ -7,8 +7,7 @@
 
 use orinoco_core::{CommitKind, Core, CoreConfig, SchedulerKind};
 use orinoco_isa::{ArchReg, Emulator, ProgramBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use orinoco_util::Rng;
 
 fn x(i: u8) -> ArchReg {
     ArchReg::int(i)
@@ -20,7 +19,7 @@ fn f(i: u8) -> ArchReg {
 /// Builds a random structured program: straight-line blocks of random
 /// ALU/FP/memory ops wrapped in counted loops (always terminating), with
 /// data-dependent inner branches.
-fn random_program(rng: &mut StdRng) -> Emulator {
+fn random_program(rng: &mut Rng) -> Emulator {
     let mut b = ProgramBuilder::new();
     // Initialise a small register pool.
     for i in 1..10u8 {
@@ -102,7 +101,7 @@ fn reference_regs(mut emu: Emulator) -> Vec<u64> {
 
 #[test]
 fn random_programs_survive_every_policy() {
-    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let mut rng = Rng::seed_from_u64(0xF00D);
     for trial in 0..12 {
         let seed_emu = random_program(&mut rng);
         let want = reference_regs(seed_emu.clone());
@@ -130,7 +129,7 @@ fn random_programs_survive_every_policy() {
 
 #[test]
 fn random_programs_with_fault_injection() {
-    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut rng = Rng::seed_from_u64(0xBEEF);
     for _ in 0..6 {
         let emu = random_program(&mut rng);
         for commit in [CommitKind::InOrder, CommitKind::Orinoco, CommitKind::Vb] {
@@ -146,7 +145,7 @@ fn random_programs_with_fault_injection() {
 #[test]
 fn random_programs_under_tiny_queues() {
     // Starved configurations shake out free-list/rollback corner cases.
-    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let mut rng = Rng::seed_from_u64(0xCAFE);
     for _ in 0..6 {
         let emu = random_program(&mut rng);
         let mut cfg = CoreConfig::base()

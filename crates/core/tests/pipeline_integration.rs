@@ -414,7 +414,7 @@ fn tso_lockdowns_withhold_and_release_invalidation_acks() {
         if core.active_lockdowns() > 0 {
             engaged = true;
         }
-        if core.cycle() % 32 == 0 {
+        if core.cycle().is_multiple_of(32) {
             if let Some(line) = core.any_locked_line() {
                 // An invalidation to a locked line must NOT be acked now.
                 assert!(!core.inject_invalidation(line), "lockdown leaked an ack");

@@ -65,6 +65,19 @@ pub enum HaltReason {
     StepLimit,
 }
 
+/// A point-in-time copy of the architectural state, as captured by
+/// [`Emulator::snapshot`]. Two executions are architecturally equivalent
+/// at a commit point iff their snapshots (plus memory images) are equal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArchSnapshot {
+    /// Architectural register file (integer + FP).
+    pub regs: [u64; NUM_ARCH_REGS],
+    /// Static index of the next instruction.
+    pub pc_index: usize,
+    /// Dynamic instructions executed so far.
+    pub executed: u64,
+}
+
 /// Architectural-state interpreter for micro-ISA [`Program`]s.
 ///
 /// Memory is a flat byte array; addresses are masked to its (power-of-two)
@@ -188,6 +201,47 @@ impl Emulator {
     #[must_use]
     pub fn executed(&self) -> u64 {
         self.seq
+    }
+
+    /// Static index of the next instruction to execute.
+    #[must_use]
+    pub fn pc_index(&self) -> usize {
+        self.pc_index
+    }
+
+    /// Captures the complete architectural state (registers, next PC,
+    /// instruction count) for differential checking. Memory is summarised
+    /// separately by [`Emulator::mem_fingerprint`]; byte-exact comparison
+    /// uses [`Emulator::memory`].
+    #[must_use]
+    pub fn snapshot(&self) -> ArchSnapshot {
+        ArchSnapshot {
+            regs: self.regs,
+            pc_index: self.pc_index,
+            executed: self.seq,
+        }
+    }
+
+    /// FNV-1a fingerprint of the full memory image — cheap equality
+    /// evidence for two architectural memories without copying either.
+    #[must_use]
+    pub fn mem_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for chunk in self.memory.chunks_exact(8) {
+            let w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs to completion invoking `hook` after every instruction with the
+    /// executed instruction and the post-step emulator state (step-hook
+    /// form of [`Emulator::run`] for lockstep observers).
+    pub fn run_with(&mut self, mut hook: impl FnMut(&DynInst, &Emulator)) {
+        while let Some(d) = self.step() {
+            hook(&d, self);
+        }
     }
 
     /// Executes one instruction; `None` once halted.

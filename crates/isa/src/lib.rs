@@ -45,7 +45,7 @@ mod program;
 mod reg;
 
 pub use asm::{assemble, disassemble, AsmError};
-pub use emulator::{DynInst, Emulator, HaltReason};
+pub use emulator::{ArchSnapshot, DynInst, Emulator, HaltReason};
 pub use inst::{Inst, InstClass, Opcode};
 pub use program::{Label, Program, ProgramBuilder};
 pub use reg::{ArchReg, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};

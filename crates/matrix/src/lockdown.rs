@@ -99,6 +99,29 @@ impl LockdownMatrix {
     pub fn pending(&self, ldt_slot: usize) -> u32 {
         self.m.row_count(ldt_slot)
     }
+
+    /// Observability: every `(ldt_slot, pending)` pair with a non-zero
+    /// pending count — the lockdowns still waiting on older loads. Used
+    /// by the verification harness to watch the matrix state evolve.
+    #[must_use]
+    pub fn pending_rows(&self) -> Vec<(usize, u32)> {
+        (0..self.m.rows())
+            .filter_map(|r| {
+                let c = self.m.row_count(r);
+                (c > 0).then_some((r, c))
+            })
+            .collect()
+    }
+
+    /// Observability: the LQ slots a lockdown row is still waiting on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ldt_slot` is out of bounds.
+    #[must_use]
+    pub fn waiting_on(&self, ldt_slot: usize) -> Vec<usize> {
+        self.m.read_row(ldt_slot).iter_ones().collect()
+    }
 }
 
 /// Lockdown table: per-address reference counts of active lockdowns, with
@@ -166,6 +189,21 @@ impl LockdownTable {
     #[must_use]
     pub fn active(&self) -> usize {
         self.locks.values().map(|&c| c as usize).sum()
+    }
+
+    /// Observability: the currently locked-down line addresses, sorted
+    /// (deterministic for test assertions and trace output).
+    #[must_use]
+    pub fn locked_lines(&self) -> Vec<u64> {
+        let mut lines: Vec<u64> = self.locks.keys().copied().collect();
+        lines.sort_unstable();
+        lines
+    }
+
+    /// Observability: acknowledgements currently withheld for `line`.
+    #[must_use]
+    pub fn withheld_count(&self, line: u64) -> u32 {
+        self.withheld.get(&line).copied().unwrap_or(0)
     }
 }
 

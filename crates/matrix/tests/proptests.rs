@@ -1,11 +1,14 @@
 //! Property-based tests: every matrix scheduler is checked against a naive
 //! oracle that tracks instructions with explicit sequence numbers (the
 //! "timestamps" the paper argues hardware cannot afford — software can).
+//!
+//! Runs on the in-workspace [`orinoco_util::prop`] harness: each property
+//! executes 256 deterministic cases and prints a replay seed on failure.
 
 use orinoco_matrix::{
     AgeMatrix, BankAllocator, BitVec64, CommitDepMatrix, CommitScheduler, WakeupMatrix,
 };
-use proptest::prelude::*;
+use orinoco_util::{prop, Rng};
 
 const N: usize = 48;
 
@@ -42,8 +45,9 @@ impl Oracle {
 }
 
 /// A random interleaving of dispatches and frees that keeps occupancy legal.
-fn ops_strategy() -> impl Strategy<Value = Vec<(bool, usize)>> {
-    prop::collection::vec((any::<bool>(), 0..N), 1..200)
+fn random_ops(rng: &mut Rng) -> Vec<(bool, usize)> {
+    let len = rng.gen_range(1..200usize);
+    (0..len).map(|_| (rng.gen::<bool>(), rng.gen_range(0..N))).collect()
 }
 
 fn apply_ops(ops: &[(bool, usize)]) -> (AgeMatrix, Oracle) {
@@ -63,139 +67,184 @@ fn apply_ops(ops: &[(bool, usize)]) -> (AgeMatrix, Oracle) {
     (age, oracle)
 }
 
-proptest! {
-    /// The bit count encoding grants exactly the `width` oldest requesting
-    /// valid entries, in age order, for any allocation history and any
-    /// request set.
-    #[test]
-    fn select_oldest_matches_oracle(
-        ops in ops_strategy(),
-        request in prop::collection::vec(0..N, 0..N),
-        width in 0..10usize,
-    ) {
-        let (age, oracle) = apply_ops(&ops);
-        let mut req_slots: Vec<usize> = request.clone();
-        req_slots.sort_unstable();
-        req_slots.dedup();
-        let req = BitVec64::from_indices(N, req_slots.iter().copied());
+/// Random request set over `0..N` as (sorted dedup'd slots, bit vector).
+fn random_request(rng: &mut Rng) -> (Vec<usize>, BitVec64) {
+    let len = rng.gen_range(0..N);
+    let mut req_slots: Vec<usize> = (0..len).map(|_| rng.gen_range(0..N)).collect();
+    req_slots.sort_unstable();
+    req_slots.dedup();
+    let req = BitVec64::from_indices(N, req_slots.iter().copied());
+    (req_slots, req)
+}
+
+/// The bit count encoding grants exactly the `width` oldest requesting
+/// valid entries, in age order, for any allocation history and any
+/// request set.
+#[test]
+fn select_oldest_matches_oracle() {
+    prop::check("select_oldest_matches_oracle", 0xA9E1, |rng| {
+        let (age, oracle) = apply_ops(&random_ops(rng));
+        let (req_slots, req) = random_request(rng);
+        let width = rng.gen_range(0..10usize);
         let got = age.select_oldest(&req, width);
         let want = oracle.oldest(&req_slots, width);
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    /// Classic single-oldest AGE equals the head of the bit-count grant.
-    #[test]
-    fn single_oldest_is_first_grant(
-        ops in ops_strategy(),
-        request in prop::collection::vec(0..N, 0..N),
-    ) {
-        let (age, _) = apply_ops(&ops);
-        let req = BitVec64::from_indices(N, request.iter().copied());
+/// `select_oldest` equals a *naive O(n²)* reference computed purely from
+/// pairwise `is_older` comparisons — no sequence numbers involved — for
+/// random dispatch/free/mask sequences. (Checks the bit-count encoding
+/// against the matrix's own transitive order, independently of the
+/// timestamp oracle above.)
+#[test]
+fn select_oldest_matches_naive_pairwise_reference() {
+    prop::check("select_oldest_naive_reference", 0xA9E2, |rng| {
+        let (age, _) = apply_ops(&random_ops(rng));
+        let (req_slots, req) = random_request(rng);
+        let width = rng.gen_range(0..10usize);
+        // Naive O(n²): a requesting valid entry is granted iff fewer than
+        // `width` requesting valid entries are older than it; grants are
+        // ordered by their count of older requesters.
+        let live: Vec<usize> =
+            req_slots.iter().copied().filter(|&s| age.is_valid(s)).collect();
+        let mut ranked: Vec<(usize, usize)> = live
+            .iter()
+            .map(|&s| {
+                let older = live.iter().filter(|&&o| o != s && age.is_older(o, s)).count();
+                (older, s)
+            })
+            .filter(|&(older, _)| older < width)
+            .collect();
+        ranked.sort_unstable();
+        let want: Vec<usize> = ranked.into_iter().map(|(_, s)| s).collect();
+        assert_eq!(age.select_oldest(&req, width), want);
+    });
+}
+
+/// Classic single-oldest AGE equals the head of the bit-count grant.
+#[test]
+fn single_oldest_is_first_grant() {
+    prop::check("single_oldest_is_first_grant", 0xA9E3, |rng| {
+        let (age, _) = apply_ops(&random_ops(rng));
+        let (_, req) = random_request(rng);
         let single = age.select_single_oldest(&req);
         let multi = age.select_oldest(&req, 1);
-        prop_assert_eq!(single, multi.first().copied());
-    }
+        assert_eq!(single, multi.first().copied());
+    });
+}
 
-    /// `oldest_valid` always returns the entry with the smallest sequence
-    /// number.
-    #[test]
-    fn oldest_valid_matches_oracle(ops in ops_strategy()) {
-        let (age, oracle) = apply_ops(&ops);
+/// `oldest_valid` always returns the entry with the smallest sequence
+/// number.
+#[test]
+fn oldest_valid_matches_oracle() {
+    prop::check("oldest_valid_matches_oracle", 0xA9E4, |rng| {
+        let (age, oracle) = apply_ops(&random_ops(rng));
         let all: Vec<usize> = (0..N).collect();
         let want = oracle.oldest(&all, 1).first().copied();
-        prop_assert_eq!(age.oldest_valid(), want);
-    }
+        assert_eq!(age.oldest_valid(), want);
+    });
+}
 
-    /// `younger_than(s)` is exactly the valid entries with larger sequence
-    /// numbers.
-    #[test]
-    fn younger_than_matches_oracle(ops in ops_strategy()) {
-        let (age, oracle) = apply_ops(&ops);
+/// `younger_than(s)` is exactly the valid entries with larger sequence
+/// numbers.
+#[test]
+fn younger_than_matches_oracle() {
+    prop::check("younger_than_matches_oracle", 0xA9E5, |rng| {
+        let (age, oracle) = apply_ops(&random_ops(rng));
         for s in 0..N {
-            if !age.is_valid(s) { continue; }
+            if !age.is_valid(s) {
+                continue;
+            }
             let sq = oracle.seq[s].unwrap();
             let want: Vec<usize> = (0..N)
                 .filter(|&t| oracle.seq[t].is_some_and(|q| q > sq))
                 .collect();
             let got: Vec<usize> = age.younger_than(s).iter_ones().collect();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
         }
-    }
+    });
+}
 
-    /// `is_older` agrees with sequence numbers for every live pair.
-    #[test]
-    fn pairwise_order_matches_oracle(ops in ops_strategy()) {
-        let (age, oracle) = apply_ops(&ops);
+/// `is_older` agrees with sequence numbers for every live pair.
+#[test]
+fn pairwise_order_matches_oracle() {
+    prop::check("pairwise_order_matches_oracle", 0xA9E6, |rng| {
+        let (age, oracle) = apply_ops(&random_ops(rng));
         let live: Vec<usize> = (0..N).filter(|&s| age.is_valid(s)).collect();
         for &a in &live {
             for &b in &live {
-                if a == b { continue; }
+                if a == b {
+                    continue;
+                }
                 let want = oracle.seq[a].unwrap() < oracle.seq[b].unwrap();
-                prop_assert_eq!(age.is_older(a, b), want, "a={} b={}", a, b);
+                assert_eq!(age.is_older(a, b), want, "a={a} b={b}");
             }
         }
-    }
+    });
+}
 
-    /// Merged commit scheduler (age matrix + SPEC vector) is equivalent to
-    /// the standalone commit dependency matrix for any dispatch order and
-    /// any safety-resolution order.
-    #[test]
-    fn merged_commit_equals_standalone(
-        spec_flags in prop::collection::vec(any::<bool>(), 1..32),
-        resolve_order in prop::collection::vec(0..32usize, 0..64),
-    ) {
+/// Merged commit scheduler (age matrix + SPEC vector) is equivalent to
+/// the standalone commit dependency matrix for any dispatch order and
+/// any safety-resolution order.
+#[test]
+fn merged_commit_equals_standalone() {
+    prop::check("merged_commit_equals_standalone", 0xA9E7, |rng| {
         let n = 32;
+        let live = rng.gen_range(1..n);
+        let spec_flags: Vec<bool> = (0..live).map(|_| rng.gen::<bool>()).collect();
+        let resolves = rng.gen_range(0..64usize);
         let mut merged = CommitScheduler::new(n);
         let mut standalone = CommitDepMatrix::new(n);
         let mut spec_now = BitVec64::new(n);
         for (slot, &speculative) in spec_flags.iter().enumerate() {
             standalone.dispatch(slot, &spec_now);
             merged.dispatch(slot, speculative);
-            if speculative { spec_now.set(slot); }
+            if speculative {
+                spec_now.set(slot);
+            }
         }
-        let live = spec_flags.len();
-        for &r in &resolve_order {
+        for _ in 0..resolves {
+            let r = rng.gen_range(0..n);
             if r < live && merged.is_speculative(r) {
                 merged.mark_safe(r);
                 standalone.clear_safe(r);
             }
             for slot in 0..live {
-                prop_assert_eq!(
+                assert_eq!(
                     merged.globally_safe(slot),
                     standalone.can_commit(slot),
-                    "slot {}", slot
+                    "slot {slot}"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Out-of-order commit grants: (a) only completed, valid, globally safe
-    /// and locally safe entries; (b) exactly the CW oldest such entries;
-    /// (c) never an entry with an older live speculative instruction.
-    #[test]
-    fn commit_grants_sound_and_maximal(
-        spec_flags in prop::collection::vec(any::<bool>(), 1..32),
-        completed in prop::collection::vec(any::<bool>(), 32),
-        safe_subset in prop::collection::vec(any::<bool>(), 32),
-        width in 1..8usize,
-    ) {
+/// Out-of-order commit grants: (a) only completed, valid, globally safe
+/// and locally safe entries; (b) exactly the CW oldest such entries;
+/// (c) never an entry with an older live speculative instruction.
+#[test]
+fn commit_grants_sound_and_maximal() {
+    prop::check("commit_grants_sound_and_maximal", 0xA9E8, |rng| {
         let n = 32;
+        let live = rng.gen_range(1..n);
+        let spec_flags: Vec<bool> = (0..live).map(|_| rng.gen::<bool>()).collect();
+        let completed: Vec<bool> = (0..n).map(|_| rng.gen::<bool>()).collect();
+        let safe_subset: Vec<bool> = (0..n).map(|_| rng.gen::<bool>()).collect();
+        let width = rng.gen_range(1..8usize);
         let mut rob = CommitScheduler::new(n);
         for (slot, &sp) in spec_flags.iter().enumerate() {
             rob.dispatch(slot, sp);
         }
-        let live = spec_flags.len();
         for slot in 0..live {
             if spec_flags[slot] && safe_subset[slot] {
                 rob.mark_safe(slot);
             }
         }
-        let comp = BitVec64::from_indices(
-            n,
-            (0..live).filter(|&s| completed[s]),
-        );
+        let comp = BitVec64::from_indices(n, (0..live).filter(|&s| completed[s]));
         let grants = rob.commit_grants(&comp, width);
-        prop_assert!(grants.len() <= width);
+        assert!(grants.len() <= width);
         // Oracle: dispatch order is slot order here.
         let committable: Vec<usize> = (0..live)
             .filter(|&s| {
@@ -205,21 +254,21 @@ proptest! {
             })
             .collect();
         let want: Vec<usize> = committable.into_iter().take(width).collect();
-        prop_assert_eq!(grants, want);
-    }
+        assert_eq!(grants, want);
+    });
+}
 
-    /// Wakeup matrix: an instruction is ready iff all its producers have
-    /// issued, under any issue order.
-    #[test]
-    fn wakeup_matches_dataflow(
-        deps in prop::collection::vec(prop::collection::vec(any::<bool>(), 16), 16),
-    ) {
+/// Wakeup matrix: an instruction is ready iff all its producers have
+/// issued, under any issue order.
+#[test]
+fn wakeup_matches_dataflow() {
+    prop::check("wakeup_matches_dataflow", 0xA9E9, |rng| {
         let n = 16;
         let mut wm = WakeupMatrix::new(n);
         // Build a DAG: instruction i may depend only on j < i.
         let mut producers: Vec<Vec<usize>> = Vec::new();
-        for (i, row) in deps.iter().enumerate() {
-            let p: Vec<usize> = (0..i).filter(|&j| row[j]).collect();
+        for i in 0..n {
+            let p: Vec<usize> = (0..i).filter(|_| rng.gen::<bool>()).collect();
             wm.dispatch(i, &BitVec64::from_indices(n, p.iter().copied()));
             producers.push(p);
         }
@@ -230,54 +279,60 @@ proptest! {
             let ready = wm.ready_set();
             for i in 0..n {
                 let want = !issued[i] && producers[i].iter().all(|&p| issued[p]);
-                prop_assert_eq!(ready.get(i), want, "slot {}", i);
+                assert_eq!(ready.get(i), want, "slot {i}");
             }
             match ready.iter_ones().next() {
-                Some(i) => { wm.issue(i); issued[i] = true; }
+                Some(i) => {
+                    wm.issue(i);
+                    issued[i] = true;
+                }
                 None => break,
             }
         }
-        prop_assert!(issued.iter().all(|&b| b));
-    }
+        assert!(issued.iter().all(|&b| b));
+    });
+}
 
-    /// Bank steering: grants are free, bank-disjoint, and maximal
-    /// (min(want, number of banks holding a free entry)).
-    #[test]
-    fn bank_steering_is_maximal_matching(
-        free_bits in prop::collection::vec(any::<bool>(), 32),
-        want in 0..8usize,
-        banks in 1..8usize,
-    ) {
+/// Bank steering: grants are free, bank-disjoint, and maximal
+/// (min(want, number of banks holding a free entry)).
+#[test]
+fn bank_steering_is_maximal_matching() {
+    prop::check("bank_steering_is_maximal_matching", 0xA9EA, |rng| {
         let n = 32;
+        let free_bits: Vec<bool> = (0..n).map(|_| rng.gen::<bool>()).collect();
+        let want = rng.gen_range(0..8usize);
+        let banks = rng.gen_range(1..8usize);
         let alloc = BankAllocator::new(n, banks);
         let free = BitVec64::from_indices(n, (0..n).filter(|&i| free_bits[i]));
         let grants = alloc.steer(&free, want);
         // all free
         for &g in &grants {
-            prop_assert!(free.get(g));
+            assert!(free.get(g));
         }
         // bank-disjoint
         let mut used: Vec<usize> = grants.iter().map(|&g| alloc.bank_of(g)).collect();
         used.sort_unstable();
         let len_before = used.len();
         used.dedup();
-        prop_assert_eq!(used.len(), len_before);
+        assert_eq!(used.len(), len_before);
         // maximal
         let mut nonempty = std::collections::HashSet::new();
         for i in free.iter_ones() {
             nonempty.insert(alloc.bank_of(i));
         }
-        prop_assert_eq!(grants.len(), want.min(nonempty.len()));
-    }
+        assert_eq!(grants.len(), want.min(nonempty.len()));
+    });
+}
 
-    /// Criticality dispatch: criticals always outrank non-criticals while
-    /// each class stays in temporal order.
-    #[test]
-    fn criticality_total_order(
-        flags in prop::collection::vec(any::<bool>(), 1..24),
-        width in 1..6usize,
-    ) {
+/// Criticality dispatch: criticals always outrank non-criticals while
+/// each class stays in temporal order.
+#[test]
+fn criticality_total_order() {
+    prop::check("criticality_total_order", 0xA9EB, |rng| {
         let n = 24;
+        let live = rng.gen_range(1..n);
+        let flags: Vec<bool> = (0..live).map(|_| rng.gen::<bool>()).collect();
+        let width = rng.gen_range(1..6usize);
         let mut age = AgeMatrix::new(n);
         let mut cri = BitVec64::new(n);
         for (slot, &critical) in flags.iter().enumerate() {
@@ -288,7 +343,6 @@ proptest! {
                 age.dispatch(slot);
             }
         }
-        let live = flags.len();
         let req = BitVec64::from_indices(n, 0..live);
         let got = age.select_oldest(&req, width);
         // Oracle order: criticals by slot (== dispatch) order, then
@@ -296,33 +350,33 @@ proptest! {
         let mut want: Vec<usize> = (0..live).filter(|&s| flags[s]).collect();
         want.extend((0..live).filter(|&s| !flags[s]));
         want.truncate(width);
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
 }
 
-proptest! {
-    /// Memory disambiguation matrix vs a naive oracle: a load is
-    /// non-speculative iff every older-at-issue unresolved store has since
-    /// resolved without being marked conflicting for it.
-    #[test]
-    fn memdis_matches_oracle(
-        // (load slot, stores-it-waits-on bitmask) issue events
-        loads in prop::collection::vec((0..16usize, 0u16..), 1..24),
-        // store resolution order with per-load conflict masks
-        resolves in prop::collection::vec((0..16usize, 0u32..), 0..32),
-    ) {
-        use orinoco_matrix::MemDisambigMatrix;
+/// Memory disambiguation matrix vs a naive oracle: a load is
+/// non-speculative iff every older-at-issue unresolved store has since
+/// resolved without being marked conflicting for it.
+#[test]
+fn memdis_matches_oracle() {
+    use orinoco_matrix::MemDisambigMatrix;
+    prop::check("memdis_matches_oracle", 0xA9EC, |rng| {
         let (lq, sq) = (32usize, 16usize);
+        let nloads = rng.gen_range(1..24usize);
+        let nresolves = rng.gen_range(0..32usize);
         let mut mdm = MemDisambigMatrix::new(lq, sq);
         // oracle: per load, the set of stores still pending
         let mut pending: Vec<Option<u16>> = vec![None; lq];
-        for (i, &(_, mask)) in loads.iter().enumerate() {
-            let slot = i; // distinct LQ slots
-            let stores = BitVec64::from_indices(sq, (0..16).filter(|&b| mask >> b & 1 == 1));
+        for (slot, p) in pending.iter_mut().enumerate().take(nloads) {
+            let mask = rng.gen::<u16>();
+            let stores =
+                BitVec64::from_indices(sq, (0..16).filter(|&b| mask >> b & 1 == 1));
             mdm.load_issue(slot, &stores);
-            pending[slot] = Some(mask);
+            *p = Some(mask);
         }
-        for &(store, conflict_mask) in &resolves {
+        for _ in 0..nresolves {
+            let store = rng.gen_range(0..sq);
+            let conflict_mask = rng.gen::<u32>();
             // loads NOT in the conflict mask are released
             let mut ok = BitVec64::new(lq);
             for slot in 0..lq {
@@ -340,58 +394,60 @@ proptest! {
             }
             for (slot, p) in pending.iter().enumerate() {
                 if let Some(m) = p {
-                    prop_assert_eq!(
-                        mdm.load_nonspeculative(slot),
-                        *m == 0,
-                        "slot {}", slot
-                    );
+                    assert_eq!(mdm.load_nonspeculative(slot), *m == 0, "slot {slot}");
                 }
             }
         }
-    }
+    });
+}
 
-    /// Lockdown matrix vs oracle: a committed load is ordered iff every
-    /// older non-performed load it recorded has performed.
-    #[test]
-    fn lockdown_matches_oracle(
-        commits in prop::collection::vec((0..8usize, 0u16..), 1..12),
-        performs in prop::collection::vec(0..16usize, 0..24),
-    ) {
-        use orinoco_matrix::LockdownMatrix;
+/// Lockdown matrix vs oracle: a committed load is ordered iff every
+/// older non-performed load it recorded has performed.
+#[test]
+fn lockdown_matches_oracle() {
+    use orinoco_matrix::LockdownMatrix;
+    prop::check("lockdown_matches_oracle", 0xA9ED, |rng| {
         let (ldt, lq) = (8usize, 16usize);
+        let ncommits = rng.gen_range(1..12usize);
+        let nperforms = rng.gen_range(0..24usize);
         let mut ldm = LockdownMatrix::new(ldt, lq);
         let mut oracle: Vec<Option<u16>> = vec![None; ldt];
-        for (i, &(_, mask)) in commits.iter().enumerate() {
+        for i in 0..ncommits {
+            let mask = rng.gen::<u16>();
             let row = i % ldt;
             let older = BitVec64::from_indices(lq, (0..16).filter(|&b| mask >> b & 1 == 1));
             ldm.commit_load(row, &older);
             oracle[row] = Some(mask);
         }
-        for &lq_slot in &performs {
+        for _ in 0..nperforms {
+            let lq_slot = rng.gen_range(0..lq);
             ldm.load_performed(lq_slot);
             for o in oracle.iter_mut().flatten() {
                 *o &= !(1 << lq_slot);
             }
             for (row, o) in oracle.iter().enumerate() {
                 if let Some(m) = o {
-                    prop_assert_eq!(ldm.ordered(row), *m == 0, "row {}", row);
+                    assert_eq!(ldm.ordered(row), *m == 0, "row {row}");
                 }
             }
         }
-    }
+    });
+}
 
-    /// Lockdown table: acknowledgements are withheld while any lockdown on
-    /// the line is live and all withheld acks flush on the last release.
-    #[test]
-    fn lockdown_table_refcount_oracle(
-        ops in prop::collection::vec((0..3u8, 0..4u64), 1..64),
-    ) {
-        use orinoco_matrix::LockdownTable;
-        use std::collections::HashMap;
+/// Lockdown table: acknowledgements are withheld while any lockdown on
+/// the line is live and all withheld acks flush on the last release.
+#[test]
+fn lockdown_table_refcount_oracle() {
+    use orinoco_matrix::LockdownTable;
+    use std::collections::HashMap;
+    prop::check("lockdown_table_refcount_oracle", 0xA9EE, |rng| {
+        let nops = rng.gen_range(1..64usize);
         let mut ldt = LockdownTable::new();
         let mut live: HashMap<u64, u32> = HashMap::new();
         let mut withheld: HashMap<u64, u32> = HashMap::new();
-        for &(op, line) in &ops {
+        for _ in 0..nops {
+            let op = rng.gen_range(0..3u8);
+            let line = rng.gen_range(0..4u64);
             match op {
                 0 => {
                     ldt.acquire(line);
@@ -405,16 +461,16 @@ proptest! {
                         if *l == 0 {
                             live.remove(&line);
                             let want = withheld.remove(&line).unwrap_or(0);
-                            prop_assert_eq!(released, want);
+                            assert_eq!(released, want);
                         } else {
-                            prop_assert_eq!(released, 0);
+                            assert_eq!(released, 0);
                         }
                     }
                 }
                 _ => {
                     let acked = ldt.incoming_invalidation(line);
                     let locked = live.contains_key(&line);
-                    prop_assert_eq!(acked, !locked);
+                    assert_eq!(acked, !locked);
                     if locked {
                         *withheld.entry(line).or_default() += 1;
                     }
@@ -422,25 +478,24 @@ proptest! {
             }
         }
         let total_live: usize = live.values().map(|&v| v as usize).sum();
-        prop_assert_eq!(ldt.active(), total_live);
-    }
+        assert_eq!(ldt.active(), total_live);
+    });
 }
 
-proptest! {
-    /// The wakeup matrix handles arbitrary DAGs with slot reuse: after a
-    /// producer issues, its recycled slot must never spuriously wake (or
-    /// block) a consumer of the *old* occupant.
-    #[test]
-    fn wakeup_slot_reuse_oracle(
-        rounds in prop::collection::vec(
-            (0..12usize, prop::collection::vec(0..12usize, 0..3)), 1..60
-        ),
-    ) {
+/// The wakeup matrix handles arbitrary DAGs with slot reuse: after a
+/// producer issues, its recycled slot must never spuriously wake (or
+/// block) a consumer of the *old* occupant.
+#[test]
+fn wakeup_slot_reuse_oracle() {
+    prop::check("wakeup_slot_reuse_oracle", 0xA9EF, |rng| {
         let n = 12;
+        let nrounds = rng.gen_range(1..60usize);
         let mut wm = WakeupMatrix::new(n);
         // oracle: per slot, the set of producer slots still pending
         let mut deps: Vec<Option<Vec<usize>>> = vec![None; n];
-        for (slot, producers) in rounds {
+        for _ in 0..nrounds {
+            let slot = rng.gen_range(0..n);
+            let nproducers = rng.gen_range(0..3usize);
             if deps[slot].is_some() {
                 // occupied: issue it if ready, else skip the round
                 if wm.is_ready(slot) {
@@ -453,8 +508,8 @@ proptest! {
                 continue;
             }
             // producers must be live, distinct and not self
-            let ps: Vec<usize> = producers
-                .into_iter()
+            let ps: Vec<usize> = (0..nproducers)
+                .map(|_| rng.gen_range(0..n))
                 .filter(|&p| p != slot && deps[p].is_some())
                 .collect();
             let mut uniq = ps.clone();
@@ -465,9 +520,9 @@ proptest! {
             // invariant check across all live entries
             for (s, dep) in deps.iter().enumerate() {
                 if let Some(d) = dep {
-                    prop_assert_eq!(wm.is_ready(s), d.is_empty(), "slot {}", s);
+                    assert_eq!(wm.is_ready(s), d.is_empty(), "slot {s}");
                 }
             }
         }
-    }
+    });
 }

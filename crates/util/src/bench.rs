@@ -1,0 +1,108 @@
+//! Minimal wall-clock micro-benchmark runner replacing `criterion` for
+//! the `harness = false` bench targets: warm up, sample, report median
+//! and spread on stdout. No statistics beyond what a human needs to
+//! compare two kernels by eye.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark group; prints a header on creation and aligned rows per
+/// [`Bench::run`] call.
+pub struct Bench {
+    samples: usize,
+    min_iters: u64,
+    target: Duration,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bench {
+    /// Runner with 15 samples of ≥10 ms (or ≥16 iterations) each.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            samples: 15,
+            min_iters: 16,
+            target: Duration::from_millis(10),
+        }
+    }
+
+    /// Overrides the sample count (e.g. for slow whole-pipeline runs).
+    #[must_use]
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Times `f`, printing `name`, the median per-iteration time, and the
+    /// min–max spread across samples. Returns the median in nanoseconds.
+    pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) -> f64 {
+        // Calibrate: how many iterations fill the per-sample target?
+        let mut iters = self.min_iters;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= self.target || iters >= 1 << 24 {
+                break;
+            }
+            iters = (iters * 2).max((iters as f64 * 1.5) as u64);
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+        println!(
+            "{name:<44} {:>12}/iter  (spread {} .. {}, {iters} iters/sample)",
+            fmt_ns(median),
+            fmt_ns(lo),
+            fmt_ns(hi),
+        );
+        median
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_returns_positive_median() {
+        let b = Bench::new().samples(3);
+        let median = b.run("noop_sum", || (0..100u64).sum::<u64>());
+        assert!(median > 0.0);
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("µs"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Miniature property-test harness: run a check over many deterministic
+//! random cases and report the failing case's seed so it replays exactly.
+//!
+//! This replaces the `proptest` dependency. It deliberately does *not*
+//! shrink — the matrix properties it serves are cheap enough that the
+//! failing seed plus the case index is a sufficient repro artifact (the
+//! verif crate has its own structural shrinker for whole programs).
+
+use crate::Rng;
+
+/// Default number of cases per property, matching proptest's default.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Runs `body` for `cases` deterministic cases derived from `seed`.
+///
+/// Each case gets its own [`Rng`] (seeded from `seed` and the case index)
+/// so a failure is reproduced by the printed per-case seed alone.
+///
+/// # Panics
+///
+/// Re-raises the body's panic, prefixed with the property name and the
+/// replay seed.
+pub fn forall(name: &str, seed: u64, cases: u32, mut body: impl FnMut(&mut Rng)) {
+    for case in 0..cases {
+        let case_seed = seed ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!(
+                "property `{name}` failed at case {case}/{cases} \
+                 (replay: case seed {case_seed:#x})"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// [`forall`] with [`DEFAULT_CASES`] cases.
+pub fn check(name: &str, seed: u64, body: impl FnMut(&mut Rng)) {
+    forall(name, seed, DEFAULT_CASES, body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut n = 0;
+        forall("count", 1, 17, |_| n += 1);
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn failing_property_reports_and_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            forall("boom", 2, 8, |rng| {
+                let v = rng.gen_range(0..100u64);
+                assert!(v < 1_000); // passes
+                if v % 2 < 2 {
+                    panic!("always fails");
+                }
+            });
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! Deterministic seeded program generation with automatic shrinking.
+//!
+//! Programs are described by a tiny structural IR ([`ProgSpec`]): counted
+//! loop blocks of straight-line ALU/FP/memory/branch operations. The IR is
+//! what makes shrinking tractable — a failing program is minimised by
+//! deleting blocks, halving trip counts and dropping individual operations
+//! while the failure reproduces, instead of bisecting raw instruction
+//! bytes.
+//!
+//! Everything is derived from a single `u64` seed through the in-workspace
+//! [`orinoco_util::Rng`] — no ambient entropy — so `verif replay <seed>`
+//! reconstructs the exact program, data image and core configuration of
+//! any reported failure.
+
+use orinoco_isa::{ArchReg, Emulator, ProgramBuilder};
+use orinoco_util::Rng;
+
+/// Salt separating structural randomness from data randomness, so
+/// shrinking (which edits structure but keeps the seed) leaves register
+/// and memory initialisation untouched.
+const STRUCT_SALT: u64 = 0x5EED_57C7;
+const DATA_SALT: u64 = 0x5EED_DA7A;
+
+fn x(i: u8) -> ArchReg {
+    ArchReg::int(i)
+}
+fn f(i: u8) -> ArchReg {
+    ArchReg::fp(i)
+}
+
+/// One straight-line operation inside a counted loop block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `rd = rs1 + rs2`
+    Add(u8, u8, u8),
+    /// `rd = rs1 - rs2`
+    Sub(u8, u8, u8),
+    /// `rd = rs1 ^ rs2`
+    Xor(u8, u8, u8),
+    /// `rd = rs1 * rs2` (long-latency)
+    Mul(u8, u8, u8),
+    /// `rd = rs1 / rs2` (unpipelined)
+    Div(u8, u8, u8),
+    /// `rd = rs1 << sh`
+    Slli(u8, u8, i64),
+    /// `rd = mem[x10 + off]`
+    Ld(u8, i64),
+    /// `mem[x10 + off] = rs`
+    St(u8, i64),
+    /// FP convert + accumulate chain through `f4`
+    FpChain(u8, u8),
+    /// Data-dependent forward branch skipping an `addi rd, rd, 7`
+    BranchSkip(u8, u8),
+    /// Bump and re-mask the memory pointer `x10`
+    PtrBump(i64),
+    /// Full memory fence
+    Fence,
+}
+
+/// A counted loop: `trips` iterations over `ops`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Loop trip count (always ≥ 1 — programs terminate by construction).
+    pub trips: i64,
+    /// Straight-line body.
+    pub ops: Vec<Op>,
+}
+
+/// Structural program specification: the unit of generation and
+/// shrinking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgSpec {
+    /// Seed this spec was generated from; also derives the data image.
+    pub seed: u64,
+    /// Sequential loop blocks.
+    pub blocks: Vec<Block>,
+}
+
+impl ProgSpec {
+    /// Rough dynamic-instruction count — the metric shrinking minimises.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| (b.trips as u64) * (b.ops.len() as u64 + 2) + 1)
+            .sum()
+    }
+
+    /// Total static operation count across blocks.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.ops.len()).sum()
+    }
+
+    /// Materialises the spec into a ready-to-run [`Emulator`]: emits the
+    /// instruction stream and installs the seed-derived register pool and
+    /// memory image.
+    #[must_use]
+    pub fn build(&self) -> Emulator {
+        let mut data = Rng::seed_from_u64(self.seed ^ DATA_SALT);
+        let mut b = ProgramBuilder::new();
+        for i in 1..10u8 {
+            b.li(x(i), data.gen_range(-1000..1000i64));
+        }
+        b.li(x(10), data.gen_range(0..4096i64) & !7);
+        for blk in &self.blocks {
+            b.li(x(15), blk.trips);
+            let top = b.label();
+            b.bind(top);
+            for &op in &blk.ops {
+                emit(&mut b, op);
+            }
+            b.addi(x(15), x(15), -1);
+            b.bne(x(15), ArchReg::ZERO, top);
+        }
+        b.halt();
+        let mut emu = Emulator::new(b.build(), 1 << 16);
+        for i in 0..(1u64 << 10) {
+            emu.store_word(i * 8, data.gen::<u64>());
+        }
+        emu
+    }
+}
+
+fn emit(b: &mut ProgramBuilder, op: Op) {
+    match op {
+        Op::Add(rd, rs1, rs2) => {
+            b.add(x(rd), x(rs1), x(rs2));
+        }
+        Op::Sub(rd, rs1, rs2) => {
+            b.sub(x(rd), x(rs1), x(rs2));
+        }
+        Op::Xor(rd, rs1, rs2) => {
+            b.xor(x(rd), x(rs1), x(rs2));
+        }
+        Op::Mul(rd, rs1, rs2) => {
+            b.mul(x(rd), x(rs1), x(rs2));
+        }
+        Op::Div(rd, rs1, rs2) => {
+            b.div(x(rd), x(rs1), x(rs2));
+        }
+        Op::Slli(rd, rs1, sh) => {
+            b.slli(x(rd), x(rs1), sh);
+        }
+        Op::Ld(rd, off) => {
+            b.ld(x(rd), x(10), off);
+        }
+        Op::St(rs, off) => {
+            b.st(x(rs), x(10), off);
+        }
+        Op::FpChain(fd, rs1) => {
+            b.fcvt(f(fd), x(rs1));
+            b.fadd(f(4), f(4), f(fd));
+        }
+        Op::BranchSkip(rd, rs1) => {
+            let skip = b.label();
+            b.andi(x(11), x(rs1), 3);
+            b.bne(x(11), ArchReg::ZERO, skip);
+            b.addi(x(rd), x(rd), 7);
+            b.bind(skip);
+        }
+        Op::PtrBump(d) => {
+            b.addi(x(10), x(10), d);
+            b.andi(x(10), x(10), 0xFFF8);
+        }
+        Op::Fence => {
+            b.fence();
+        }
+    }
+}
+
+fn random_op(rng: &mut Rng) -> Op {
+    let rd = rng.gen_range(1..10u8);
+    let rs1 = rng.gen_range(1..11u8);
+    let rs2 = rng.gen_range(1..11u8);
+    match rng.gen_range(0..12u32) {
+        0 => Op::Add(rd, rs1, rs2),
+        1 => Op::Xor(rd, rs1, rs2),
+        2 => Op::Mul(rd, rs1, rs2),
+        3 => Op::Div(rd, rs1, rs2),
+        4 => Op::Slli(rd, rs1, rng.gen_range(0..8i64)),
+        5 => Op::Ld(rd, rng.gen_range(0..256i64) * 8),
+        6 => Op::St(rs1, rng.gen_range(0..256i64) * 8),
+        7 => Op::FpChain(rng.gen_range(0..4u8), rs1),
+        8 => Op::BranchSkip(rd, rs1),
+        9 => Op::PtrBump(rng.gen_range(-64..64i64) * 8),
+        10 => Op::Fence,
+        _ => Op::Sub(rd, rs1, rs2),
+    }
+}
+
+/// Generates the program spec for `seed`: 1–3 counted loop blocks of
+/// 3–17 mixed operations each, 3–39 trips per block.
+#[must_use]
+pub fn generate(seed: u64) -> ProgSpec {
+    let mut rng = Rng::seed_from_u64(seed ^ STRUCT_SALT);
+    let nblocks = rng.gen_range(1..4usize);
+    let blocks = (0..nblocks)
+        .map(|_| {
+            let trips = rng.gen_range(3..40i64);
+            let nops = rng.gen_range(3..18usize);
+            Block { trips, ops: (0..nops).map(|_| random_op(&mut rng)).collect() }
+        })
+        .collect();
+    ProgSpec { seed, blocks }
+}
+
+/// All one-step reductions of `s`, largest first: drop a block, halve a
+/// trip count, drop a single op.
+fn candidates(s: &ProgSpec) -> Vec<ProgSpec> {
+    let mut v = Vec::new();
+    if s.blocks.len() > 1 {
+        for i in 0..s.blocks.len() {
+            let mut c = s.clone();
+            c.blocks.remove(i);
+            v.push(c);
+        }
+    }
+    for i in 0..s.blocks.len() {
+        if s.blocks[i].trips > 1 {
+            let mut c = s.clone();
+            c.blocks[i].trips /= 2;
+            v.push(c);
+        }
+    }
+    for i in 0..s.blocks.len() {
+        for j in 0..s.blocks[i].ops.len() {
+            let mut c = s.clone();
+            c.blocks[i].ops.remove(j);
+            v.push(c);
+        }
+    }
+    v
+}
+
+/// Greedy shrink: repeatedly applies the first one-step reduction that
+/// still reproduces the failure (per `still_fails`), until no reduction
+/// reproduces it or `budget` re-tests are spent. Returns the minimised
+/// spec and the number of re-tests used.
+pub fn shrink(
+    mut spec: ProgSpec,
+    mut still_fails: impl FnMut(&ProgSpec) -> bool,
+    budget: usize,
+) -> (ProgSpec, usize) {
+    let mut tried = 0;
+    'outer: loop {
+        for cand in candidates(&spec) {
+            if tried >= budget {
+                break 'outer;
+            }
+            tried += 1;
+            if still_fails(&cand) {
+                spec = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (spec, tried)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(7);
+        let b = generate(7);
+        assert_eq!(a, b);
+        assert_ne!(a, generate(8));
+        // And so is the built machine state.
+        let (ea, eb) = (a.build(), b.build());
+        assert_eq!(ea.regs(), eb.regs());
+        assert_eq!(ea.mem_fingerprint(), eb.mem_fingerprint());
+    }
+
+    #[test]
+    fn generated_programs_terminate() {
+        for seed in 0..8u64 {
+            let mut emu = generate(seed).build();
+            emu.set_step_limit(2_000_000);
+            emu.run();
+            assert!(
+                emu.halt_reason().is_some(),
+                "seed {seed} did not halt"
+            );
+        }
+    }
+
+    #[test]
+    fn shrink_minimises_while_failure_reproduces() {
+        let spec = generate(3);
+        assert!(spec.size() > 4);
+        // "Failure": the program contains at least one load op.
+        let has_ld = |s: &ProgSpec| {
+            s.blocks.iter().any(|b| b.ops.iter().any(|o| matches!(o, Op::Ld(..))))
+        };
+        if !has_ld(&spec) {
+            return;
+        }
+        let (small, _) = shrink(spec.clone(), has_ld, 10_000);
+        assert!(has_ld(&small));
+        assert!(small.size() <= spec.size());
+        // Fully shrunk: exactly one block, one op, one trip.
+        assert_eq!(small.blocks.len(), 1);
+        assert_eq!(small.blocks[0].ops.len(), 1);
+        assert_eq!(small.blocks[0].trips, 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! `orinoco-verif`: the differential co-simulation oracle.
+//!
+//! Proves the pipeline's ordered-issue/unordered-commit machinery is
+//! **architecturally invisible**: every program runs through the in-order
+//! architectural emulator (golden model) and the cycle-level out-of-order
+//! pipeline in lockstep, cross-checking
+//!
+//! 1. every committed instruction against the golden dynamic stream
+//!    (commits are reordered by sequence number before comparison),
+//! 2. the final register file, memory image and instruction count,
+//! 3. TSO load→load ordering, via exhaustive litmus tests (MP, SB, LB)
+//!    over the lockdown matrix plus a cycle-level lockdown scenario.
+//!
+//! The fuzzer is fully deterministic: program structure, data images and
+//! core configurations all derive from a single seed, failures shrink
+//! automatically to minimal reproducers, and `verif replay <seed>` rebuilds
+//! any reported failure exactly.
+//!
+//! To prove the oracle itself is load-bearing, every fuzz run ends with a
+//! fault-injection pass: a SPEC bit is deliberately flipped in the commit
+//! scheduler ([`orinoco_core::Core::inject_spec_flip`]) and the campaign
+//! fails unless the oracle catches the resulting misbehaviour.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod litmus;
+pub mod oracle;
+
+pub use gen::{generate, shrink, ProgSpec};
+pub use oracle::{run_cosim, CosimOptions, CosimReport, Divergence, LockstepChecker};
+
+use orinoco_core::{CommitKind, CoreConfig, SchedulerKind};
+use orinoco_util::Rng;
+use std::time::{Duration, Instant};
+
+/// Salt mixed into the campaign seed stream.
+const CAMPAIGN_SALT: u64 = 0x0421_F0CC;
+
+/// Derives the per-program seed stream of a campaign.
+#[must_use]
+pub fn program_seeds(campaign_seed: u64, programs: u64) -> Vec<u64> {
+    let mut rng = Rng::seed_from_u64(campaign_seed ^ CAMPAIGN_SALT);
+    (0..programs).map(|_| rng.next_u64()).collect()
+}
+
+/// The core configuration a program seed maps to (deterministic, so
+/// `replay <seed>` reproduces the exact run). Rotates through the
+/// configurations most likely to stress unordered commit: base and ultra
+/// Orinoco, tiny queues, page-fault injection, and two non-Orinoco
+/// control policies that exercise the oracle against other commit kinds.
+#[must_use]
+pub fn config_for_seed(pseed: u64) -> (CoreConfig, &'static str) {
+    let (mut cfg, label) = match (pseed >> 48) % 6 {
+        0 => (
+            CoreConfig::base()
+                .with_scheduler(SchedulerKind::Orinoco)
+                .with_commit(CommitKind::Orinoco),
+            "orinoco-base",
+        ),
+        1 => (
+            CoreConfig::base()
+                .with_scheduler(SchedulerKind::Age)
+                .with_commit(CommitKind::Orinoco),
+            "orinoco-agesched",
+        ),
+        2 => {
+            let mut c = CoreConfig::base()
+                .with_scheduler(SchedulerKind::Orinoco)
+                .with_commit(CommitKind::Orinoco);
+            c.rob_entries = 24;
+            c.iq_entries = 12;
+            c.lq_entries = 6;
+            c.sq_entries = 5;
+            c.phys_regs = 40;
+            c.vb_entries = 4;
+            (c, "orinoco-tiny")
+        }
+        3 => {
+            let mut c = CoreConfig::base()
+                .with_scheduler(SchedulerKind::Orinoco)
+                .with_commit(CommitKind::Orinoco);
+            c.pagefault_per_million = 2_000;
+            (c, "orinoco-faults")
+        }
+        4 => (
+            CoreConfig::base()
+                .with_scheduler(SchedulerKind::Rand)
+                .with_commit(CommitKind::Vb),
+            "vb-control",
+        ),
+        _ => (
+            CoreConfig::ultra()
+                .with_scheduler(SchedulerKind::Orinoco)
+                .with_commit(CommitKind::Orinoco),
+            "orinoco-ultra",
+        ),
+    };
+    cfg.seed = pseed;
+    (cfg, label)
+}
+
+/// A fuzz failure, shrunk to a minimal reproducer.
+#[derive(Clone, Debug)]
+pub struct ProgramFailure {
+    /// Seed that regenerates the failing program (`verif replay <seed>`).
+    pub program_seed: u64,
+    /// Label of the core configuration it ran under.
+    pub config: &'static str,
+    /// The divergence observed on the original program.
+    pub divergence: Divergence,
+    /// Minimised spec still exhibiting a divergence.
+    pub shrunk: ProgSpec,
+    /// Dynamic size before shrinking.
+    pub size_before: u64,
+    /// Dynamic size after shrinking.
+    pub size_after: u64,
+}
+
+/// Aggregate result of a fuzz campaign.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzOutcome {
+    /// Programs co-simulated in the clean pass.
+    pub programs_run: u64,
+    /// Clean-pass divergences (must be empty for a healthy pipeline).
+    pub failures: Vec<ProgramFailure>,
+    /// Total pipeline cycles simulated.
+    pub total_cycles: u64,
+    /// Total commits cross-checked.
+    pub total_commits: u64,
+    /// Commits observed out of order (ahead of an older live instruction).
+    pub total_ooo_commits: u64,
+    /// Injection-pass runs attempted.
+    pub injection_runs: u64,
+    /// Runs where the armed SPEC flip actually fired.
+    pub injection_fired: u64,
+    /// Runs where the oracle caught the injected bug.
+    pub injection_caught: u64,
+    /// The campaign stopped early on its time budget.
+    pub truncated_by_time: bool,
+}
+
+impl FuzzOutcome {
+    /// Campaign verdict: no clean-pass divergences, and (unless the time
+    /// budget cut the campaign short) the injected commit-matrix bug was
+    /// caught at least once.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.programs_run > 0
+            && self.failures.is_empty()
+            && (self.truncated_by_time || self.injection_caught > 0)
+    }
+}
+
+/// Runs a full fuzz campaign: a clean differential pass over `programs`
+/// seeded programs (any divergence is shrunk and recorded), followed by a
+/// SPEC-flip fault-injection pass that must be caught by the oracle.
+/// `deadline` caps wall-clock time (for CI smoke runs); `progress` is
+/// called after every co-simulation with `(done, total)`.
+pub fn fuzz_campaign(
+    programs: u64,
+    seed: u64,
+    deadline: Option<Duration>,
+    mut progress: impl FnMut(u64, u64),
+) -> FuzzOutcome {
+    let start = Instant::now();
+    let out_of_time = || deadline.is_some_and(|d| start.elapsed() >= d);
+    let seeds = program_seeds(seed, programs);
+    let mut out = FuzzOutcome::default();
+    let total_work = programs * 2;
+
+    oracle::with_quiet_panics(|| {
+        // Clean pass: the pipeline must be architecturally invisible.
+        for (i, &pseed) in seeds.iter().enumerate() {
+            if out_of_time() {
+                out.truncated_by_time = true;
+                break;
+            }
+            let (cfg, label) = config_for_seed(pseed);
+            let spec = gen::generate(pseed);
+            let report = run_cosim(&spec.build(), cfg.clone(), &CosimOptions::default());
+            out.programs_run += 1;
+            out.total_cycles += report.cycles;
+            out.total_commits += report.committed;
+            out.total_ooo_commits += report.ooo_commits;
+            if let Some(div) = report.divergence {
+                let size_before = spec.size();
+                let still_fails = |s: &ProgSpec| {
+                    run_cosim(&s.build(), cfg.clone(), &CosimOptions::default())
+                        .divergence
+                        .is_some()
+                };
+                let (shrunk, _) = gen::shrink(spec, still_fails, 200);
+                out.failures.push(ProgramFailure {
+                    program_seed: pseed,
+                    config: label,
+                    divergence: div,
+                    size_after: shrunk.size(),
+                    shrunk,
+                    size_before,
+                });
+            }
+            progress(i as u64 + 1, total_work);
+        }
+
+        // Injection pass: flip a SPEC bit in the commit scheduler and
+        // demand the oracle notices. Only the unordered-commit policy is
+        // sensitive to SPEC, so the pass pins the Orinoco configuration.
+        // A flip is architecturally harmless when the instruction it hits
+        // turns out correctly speculated, so several ordinals are tried
+        // per program (stopping at the first catch).
+        'inject: for (i, &pseed) in seeds.iter().enumerate() {
+            if out_of_time() {
+                out.truncated_by_time = true;
+                break;
+            }
+            let ordinals =
+                [1, 2, (pseed >> 8) % 13 + 3, (pseed >> 16) % 29 + 1, (pseed >> 32) % 47 + 1];
+            let emu = gen::generate(pseed).build();
+            for nth in ordinals {
+                if out_of_time() {
+                    out.truncated_by_time = true;
+                    break 'inject;
+                }
+                let mut cfg = CoreConfig::base()
+                    .with_scheduler(SchedulerKind::Orinoco)
+                    .with_commit(CommitKind::Orinoco);
+                cfg.seed = pseed;
+                let opts =
+                    CosimOptions { inject_spec_flip: Some(nth), ..CosimOptions::default() };
+                let report = run_cosim(&emu, cfg, &opts);
+                out.injection_runs += 1;
+                if report.injection_fired {
+                    out.injection_fired += 1;
+                    if report.divergence.is_some() {
+                        out.injection_caught += 1;
+                        break;
+                    }
+                }
+            }
+            progress(programs + i as u64 + 1, total_work);
+        }
+    });
+    out
+}
+
+/// Replays one program seed: rebuilds the exact program and configuration
+/// and re-runs the co-simulation (optionally with an armed SPEC flip).
+#[must_use]
+pub fn replay(pseed: u64, inject: Option<u64>) -> (ProgSpec, &'static str, CosimReport) {
+    let (cfg, label) = config_for_seed(pseed);
+    let spec = gen::generate(pseed);
+    let opts = CosimOptions { inject_spec_flip: inject, ..CosimOptions::default() };
+    let report = oracle::with_quiet_panics(|| run_cosim(&spec.build(), cfg, &opts));
+    (spec, label, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_clean_and_catches_injection() {
+        let out = fuzz_campaign(12, 0xD1FF, None, |_, _| {});
+        assert_eq!(out.programs_run, 12);
+        assert!(
+            out.failures.is_empty(),
+            "clean pass diverged: {:?}",
+            out.failures.iter().map(|f| (f.program_seed, f.config)).collect::<Vec<_>>()
+        );
+        assert!(out.total_ooo_commits > 0, "no out-of-order commits observed");
+        assert!(out.injection_fired > 0, "SPEC flip never fired");
+        assert!(out.injection_caught > 0, "oracle missed every injected bug");
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn replay_reproduces_campaign_runs() {
+        let seeds = program_seeds(0xD1FF, 3);
+        for pseed in seeds {
+            let (_, _, report) = replay(pseed, None);
+            assert!(report.clean(), "replay {pseed:#x} diverged: {:?}", report.divergence);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! `verif`: command-line front end of the differential co-simulation
+//! oracle.
+//!
+//! ```text
+//! verif fuzz --programs N --seed S [--max-seconds T]
+//! verif replay <seed> [--inject N]
+//! verif litmus
+//! ```
+//!
+//! `fuzz` exits non-zero if any clean-pass divergence is found **or** if
+//! the SPEC-flip fault-injection pass is never caught by the oracle (the
+//! oracle must be proven load-bearing in the same run).
+
+use orinoco_verif::{fuzz_campaign, litmus, replay};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  verif fuzz --programs N --seed S [--max-seconds T]\n  \
+         verif replay <seed> [--inject N]\n  verif litmus"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    s.strip_prefix("0x")
+        .map_or_else(|| s.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+}
+
+fn cmd_fuzz(args: &[String]) -> ExitCode {
+    let mut programs = 100u64;
+    let mut seed = 42u64;
+    let mut max_seconds = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let val = |it: &mut std::slice::Iter<String>| it.next().and_then(|v| parse_u64(v));
+        match a.as_str() {
+            "--programs" => match val(&mut it) {
+                Some(v) => programs = v,
+                None => return usage(),
+            },
+            "--seed" => match val(&mut it) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--max-seconds" => match val(&mut it) {
+                Some(v) => max_seconds = Some(Duration::from_secs(v)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    println!("fuzz: {programs} programs, campaign seed {seed}");
+    let mut last_decile = 0;
+    let out = fuzz_campaign(programs, seed, max_seconds, |done, total| {
+        let decile = done * 10 / total;
+        if decile > last_decile {
+            last_decile = decile;
+            println!("  ... {done}/{total} co-simulations");
+        }
+    });
+    println!(
+        "clean pass: {} programs, {} cycles, {} commits cross-checked \
+         ({} out of order), {} divergences",
+        out.programs_run,
+        out.total_cycles,
+        out.total_commits,
+        out.total_ooo_commits,
+        out.failures.len()
+    );
+    for f in &out.failures {
+        println!(
+            "  DIVERGENCE [{}] seed {:#x}: {}\n    shrunk {} -> {} dyn insts; \
+             reproduce with: verif replay {:#x}",
+            f.config, f.program_seed, f.divergence, f.size_before, f.size_after, f.program_seed
+        );
+    }
+    println!(
+        "injection pass: {} runs, {} SPEC flips fired, {} caught by the oracle",
+        out.injection_runs, out.injection_fired, out.injection_caught
+    );
+    if out.truncated_by_time {
+        println!("note: campaign truncated by --max-seconds");
+    }
+    if out.passed() {
+        println!("PASS: unordered commit is architecturally invisible; oracle is load-bearing");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let Some(pseed) = args.first().and_then(|s| parse_u64(s)) else {
+        return usage();
+    };
+    let mut inject = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--inject" => match it.next().and_then(|v| parse_u64(v)) {
+                Some(v) => inject = Some(v),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let (spec, config, report) = replay(pseed, inject);
+    println!(
+        "replay seed {pseed:#x}: config {config}, {} blocks / {} ops (~{} dyn insts)",
+        spec.blocks.len(),
+        spec.op_count(),
+        spec.size()
+    );
+    if inject.is_some() {
+        println!(
+            "injection: SPEC flip {}",
+            if report.injection_fired { "fired" } else { "did not fire (ordinal past last speculative dispatch)" }
+        );
+    }
+    match &report.divergence {
+        None => {
+            println!(
+                "clean: {} commits cross-checked ({} out of order) in {} cycles",
+                report.committed, report.ooo_commits, report.cycles
+            );
+            ExitCode::SUCCESS
+        }
+        Some(d) => {
+            println!("DIVERGENCE: {d}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_litmus() -> ExitCode {
+    let mut ok = true;
+    for v in litmus::run_all() {
+        let fmt = |s: &std::collections::BTreeSet<Vec<u64>>| {
+            s.iter().map(|o| format!("{o:?}")).collect::<Vec<_>>().join(" ")
+        };
+        println!(
+            "{}: outcomes {} | unprotected {} | forbidden blocked: {} | \
+             allowed covered: {} | matrix load-bearing: {}",
+            v.name,
+            fmt(&v.outcomes),
+            fmt(&v.outcomes_unprotected),
+            v.forbidden_blocked,
+            v.all_allowed_seen,
+            v.matrix_load_bearing
+        );
+        ok &= v.holds() && v.matrix_load_bearing;
+    }
+    let demo = litmus::real_core_lockdown_demo();
+    println!(
+        "cycle-level core: lockdown engaged: {} | ack withheld: {} | ack after release: {}",
+        demo.lockdown_engaged, demo.ack_withheld, demo.ack_after_release
+    );
+    ok &= demo.holds();
+    if ok {
+        println!("PASS: TSO litmus suite holds");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("litmus") => cmd_litmus(),
+        _ => usage(),
+    }
+}

@@ -4,15 +4,13 @@
 
 use crate::{f, finish, x};
 use orinoco_isa::{ArchReg, Emulator, ProgramBuilder};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use orinoco_util::{Rng, SliceRandom as _};
 
 const LINE: u64 = 64;
 
 /// Writes a single-cycle random permutation ("next" pointers, one node per
 /// cache line) into `[base, base + nodes*64)`.
-fn init_chase_region(emu: &mut Emulator, base: u64, nodes: usize, rng: &mut StdRng) {
+fn init_chase_region(emu: &mut Emulator, base: u64, nodes: usize, rng: &mut Rng) {
     let mut order: Vec<u64> = (0..nodes as u64).collect();
     order.shuffle(rng);
     for k in 0..nodes {
@@ -32,7 +30,7 @@ fn init_chase_region(emu: &mut Emulator, base: u64, nodes: usize, rng: &mut StdR
 /// pool — the dereferences are independent DRAM misses, so memory-level
 /// parallelism scales with how far the in-flight window reaches, which is
 /// exactly what early resource reclamation extends.
-pub(crate) fn pointer_chase(rng: &mut StdRng, scale: u32, ways: usize) -> Emulator {
+pub(crate) fn pointer_chase(rng: &mut Rng, scale: u32, ways: usize) -> Emulator {
     let mem: usize = 16 << 20;
     if ways == 1 {
         let iters = 40_000 * i64::from(scale);
@@ -95,7 +93,7 @@ pub(crate) fn pointer_chase(rng: &mut StdRng, scale: u32, ways: usize) -> Emulat
 
 /// `stream_like`: `a[i] = b[i] + c[i]` over 1 MiB arrays — unit-stride,
 /// prefetcher-friendly, high MLP.
-pub(crate) fn stream(rng: &mut StdRng, scale: u32) -> Emulator {
+pub(crate) fn stream(rng: &mut Rng, scale: u32) -> Emulator {
     let mem = 4 << 20;
     let n = 20_000 * i64::from(scale);
     let (pa, pb, pc, ctr) = (x(10), x(11), x(12), x(1));
@@ -125,7 +123,7 @@ pub(crate) fn stream(rng: &mut StdRng, scale: u32) -> Emulator {
 
 /// `gemm_like`: N×N×N FP matrix multiply (N = 28) with register-blocked
 /// inner product — compute-dense, cache-resident.
-pub(crate) fn gemm(rng: &mut StdRng, scale: u32) -> Emulator {
+pub(crate) fn gemm(rng: &mut Rng, scale: u32) -> Emulator {
     let n: i64 = 28;
     let mem = 1 << 20;
     let (a_base, b_base, c_base) = (0u64, 64 << 10, 128 << 10);
@@ -187,7 +185,7 @@ pub(crate) fn gemm(rng: &mut StdRng, scale: u32) -> Emulator {
 
 /// `hashjoin_like`: hash-probe gathers over a 512 KiB key table with a
 /// data-dependent (50/50) branch per probe.
-pub(crate) fn hashjoin(rng: &mut StdRng, scale: u32) -> Emulator {
+pub(crate) fn hashjoin(rng: &mut Rng, scale: u32) -> Emulator {
     let mem = 4 << 20;
     let table_bits = 16; // 2^16 keys * 8 B = 512 KiB
     let probes = 20_000 * i64::from(scale);
@@ -222,7 +220,7 @@ pub(crate) fn hashjoin(rng: &mut StdRng, scale: u32) -> Emulator {
 
 /// `exchange_like`: register-resident integer crunching with perfectly
 /// predictable short loops (`exchange2`-style puzzle solving).
-pub(crate) fn exchange(rng: &mut StdRng, scale: u32) -> Emulator {
+pub(crate) fn exchange(rng: &mut Rng, scale: u32) -> Emulator {
     let outer = 2_200 * i64::from(scale);
     let chains: usize = 6;
     let mut b = ProgramBuilder::new();
@@ -261,7 +259,7 @@ pub(crate) fn exchange(rng: &mut StdRng, scale: u32) -> Emulator {
 
 /// `perl_like`: interpreter-style dispatch ladder over random byte codes —
 /// many data-dependent, poorly predictable branches.
-pub(crate) fn perl(rng: &mut StdRng, scale: u32) -> Emulator {
+pub(crate) fn perl(rng: &mut Rng, scale: u32) -> Emulator {
     let mem = 1 << 20;
     let n = 15_000 * i64::from(scale);
     let mut b = ProgramBuilder::new();
@@ -309,7 +307,7 @@ pub(crate) fn perl(rng: &mut StdRng, scale: u32) -> Emulator {
 
 /// `xz_like`: integer mixing with loads and stores over a 256 KiB buffer,
 /// strided semi-sequentially (match-finder flavour).
-pub(crate) fn xz(rng: &mut StdRng, scale: u32) -> Emulator {
+pub(crate) fn xz(rng: &mut Rng, scale: u32) -> Emulator {
     let mem = 1 << 20;
     let n = 16_000 * i64::from(scale);
     let mut b = ProgramBuilder::new();
@@ -341,7 +339,7 @@ pub(crate) fn xz(rng: &mut StdRng, scale: u32) -> Emulator {
 }
 
 /// `lbm_like`: FP-heavy streaming with stores over a 2 MiB grid.
-pub(crate) fn lbm(rng: &mut StdRng, scale: u32) -> Emulator {
+pub(crate) fn lbm(rng: &mut Rng, scale: u32) -> Emulator {
     let mem = 4 << 20;
     let n = 11_000 * i64::from(scale);
     let mut b = ProgramBuilder::new();
@@ -377,7 +375,7 @@ pub(crate) fn lbm(rng: &mut StdRng, scale: u32) -> Emulator {
 /// `deepsjeng_like`: board-logic flavour — bit manipulation, table
 /// lookups from 512 KiB, and a mix of predictable and data-dependent
 /// branches.
-pub(crate) fn deepsjeng(rng: &mut StdRng, scale: u32) -> Emulator {
+pub(crate) fn deepsjeng(rng: &mut Rng, scale: u32) -> Emulator {
     let mem = 1 << 20;
     let n = 14_000 * i64::from(scale);
     let mut b = ProgramBuilder::new();
@@ -422,7 +420,7 @@ pub(crate) fn deepsjeng(rng: &mut StdRng, scale: u32) -> Emulator {
 
 /// `stencil_like`: 3-point FP stencil `b[i] = k*(a[i-1]+a[i]+a[i+1])` over
 /// a 512 KiB grid.
-pub(crate) fn stencil(rng: &mut StdRng, scale: u32) -> Emulator {
+pub(crate) fn stencil(rng: &mut Rng, scale: u32) -> Emulator {
     let mem = 2 << 20;
     let n = 13_000 * i64::from(scale);
     let mut b = ProgramBuilder::new();
@@ -456,7 +454,7 @@ pub(crate) fn stencil(rng: &mut StdRng, scale: u32) -> Emulator {
 /// `mix_like`: serial divide chains interleaved with independent loads —
 /// long-latency instructions park at the ROB head and strangle in-order
 /// commit, while independent work behind them completes.
-pub(crate) fn divmix(rng: &mut StdRng, scale: u32) -> Emulator {
+pub(crate) fn divmix(rng: &mut Rng, scale: u32) -> Emulator {
     let mem = 4 << 20;
     let n = 4_500 * i64::from(scale);
     let mut b = ProgramBuilder::new();

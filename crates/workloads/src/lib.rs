@@ -22,8 +22,7 @@
 #![warn(clippy::all)]
 
 use orinoco_isa::{ArchReg, Emulator, InstClass, ProgramBuilder};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use orinoco_util::Rng;
 
 mod kernels;
 
@@ -108,7 +107,7 @@ impl Workload {
     #[must_use]
     pub fn build(self, seed: u64, scale: u32) -> Emulator {
         assert!(scale > 0, "scale must be positive");
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD_EF01_2345_6789);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xABCD_EF01_2345_6789);
         match self {
             Workload::McfLike => kernels::pointer_chase(&mut rng, scale, 1),
             Workload::LinkedlistLike => kernels::pointer_chase(&mut rng, scale, 4),

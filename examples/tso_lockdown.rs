@@ -31,11 +31,11 @@ fn main() {
         // A remote core invalidates every ~64 cycles: usually a random
         // node line, sometimes (contended sharing) one that is currently
         // locked down.
-        if core.cycle() % 64 == 0 {
+        if core.cycle().is_multiple_of(64) {
             rng ^= rng << 13;
             rng ^= rng >> 7;
             rng ^= rng << 17;
-            let addr = if rng % 4 == 0 {
+            let addr = if rng.is_multiple_of(4) {
                 core.any_locked_line().unwrap_or((rng % (4 << 20)) & !63)
             } else {
                 (rng % (4 << 20)) & !63
