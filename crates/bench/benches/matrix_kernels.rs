@@ -1,13 +1,20 @@
 //! Microbenchmarks of the matrix-scheduler kernels: the software-
 //! throughput proxies for the PIM operations of §4 (select, commit-grant,
-//! disambiguation, wakeup) at the Table 2 geometries.
+//! disambiguation, wakeup) at the Table 2 geometries, with heap
+//! allocations per iteration from the counting global allocator.
 //!
 //! `harness = false`: this is a plain binary on the in-workspace
 //! [`orinoco_util::bench`] timer (run with `cargo bench -p orinoco-bench`).
+//! Writes the machine-readable `BENCH_matrix.json` to the workspace root
+//! (override the directory with `ORINOCO_BENCH_OUT`).
 
 use orinoco_matrix::{AgeMatrix, BitVec64, CommitScheduler, MemDisambigMatrix, WakeupMatrix};
-use orinoco_util::bench::Bench;
+use orinoco_util::alloc_counter::CountingAlloc;
+use orinoco_util::bench::{out_path, Bench, Report};
 use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// An age matrix with `n` entries dispatched and a request vector with
 /// every fourth entry ready.
@@ -20,19 +27,24 @@ fn age_fixture(n: usize) -> (AgeMatrix, BitVec64) {
     (age, ready)
 }
 
-fn bench_age_select(b: &Bench) {
+fn bench_age_select(b: &Bench, r: &mut Report) {
     for &n in &[96usize, 224, 512] {
         let (age, ready) = age_fixture(n);
-        b.run(&format!("age_select/bitcount_iw4/{n}"), || {
+        r.push(b.run_entry(&format!("age_select/bitcount_iw4/{n}"), || {
             black_box(age.select_oldest(black_box(&ready), 4))
-        });
-        b.run(&format!("age_select/single_oldest/{n}"), || {
+        }));
+        let mut out = Vec::with_capacity(n);
+        r.push(b.run_entry(&format!("age_select/bitcount_iw4_into/{n}"), || {
+            age.select_oldest_into(black_box(&ready), 4, &mut out);
+            black_box(out.len())
+        }));
+        r.push(b.run_entry(&format!("age_select/single_oldest/{n}"), || {
             black_box(age.select_single_oldest(black_box(&ready)))
-        });
+        }));
     }
 }
 
-fn bench_commit_grants(b: &Bench) {
+fn bench_commit_grants(b: &Bench, r: &mut Report) {
     for &n in &[224usize, 512] {
         let mut rob = CommitScheduler::new(n);
         for i in 0..n {
@@ -42,32 +54,41 @@ fn bench_commit_grants(b: &Bench) {
             rob.mark_safe(i);
         }
         let completed = BitVec64::from_indices(n, (0..n).step_by(2));
-        b.run(&format!("commit/grants_cw4/{n}"), || {
+        r.push(b.run_entry(&format!("commit/grants_cw4/{n}"), || {
             black_box(rob.commit_grants(black_box(&completed), 4))
-        });
-        b.run(&format!("commit/grants_in_order/{n}"), || {
+        }));
+        let mut candidates = BitVec64::new(n);
+        let mut out = Vec::with_capacity(n);
+        r.push(b.run_entry(&format!("commit/grants_cw4_into/{n}"), || {
+            rob.commit_grants_into(black_box(&completed), 4, &mut candidates, &mut out);
+            black_box(out.len())
+        }));
+        r.push(b.run_entry(&format!("commit/any_grant/{n}"), || {
+            black_box(rob.any_commit_grant(black_box(&completed)))
+        }));
+        r.push(b.run_entry(&format!("commit/grants_in_order/{n}"), || {
             black_box(rob.commit_grants_in_order(black_box(&completed), 4))
-        });
+        }));
     }
 }
 
-fn bench_memdis(b: &Bench) {
+fn bench_memdis(b: &Bench, r: &mut Report) {
     let mut mdm = MemDisambigMatrix::new(72, 56);
     for l in 0..72 {
         mdm.load_issue(l, &BitVec64::from_indices(56, (0..l % 56).step_by(3)));
     }
     let no_conflict = BitVec64::ones(72);
-    b.run("memdis_store_resolve", || {
+    r.push(b.run_entry("memdis_store_resolve", || {
         let mut m = mdm.clone();
         for s in 0..56 {
             m.store_resolved(black_box(s), &no_conflict);
         }
         black_box(m)
-    });
+    }));
 }
 
-fn bench_wakeup(b: &Bench) {
-    b.run("wakeup_chain_96", || {
+fn bench_wakeup(b: &Bench, r: &mut Report) {
+    r.push(b.run_entry("wakeup_chain_96", || {
         let mut wm = WakeupMatrix::new(96);
         wm.dispatch(0, &BitVec64::new(96));
         for i in 1..96 {
@@ -77,27 +98,31 @@ fn bench_wakeup(b: &Bench) {
             black_box(wm.issue(i));
         }
         black_box(wm)
-    });
+    }));
 }
 
-fn bench_dispatch_churn(b: &Bench) {
+fn bench_dispatch_churn(b: &Bench, r: &mut Report) {
     let mut age = AgeMatrix::new(224);
     for i in 0..224 {
         age.dispatch(i);
     }
     let mut next = 0usize;
-    b.run("age_dispatch_free_churn_224", || {
+    r.push(b.run_entry("age_dispatch_free_churn_224", || {
         age.free(next);
         age.dispatch(next);
         next = (next + 37) % 224;
-    });
+    }));
 }
 
 fn main() {
     let b = Bench::new();
-    bench_age_select(&b);
-    bench_commit_grants(&b);
-    bench_memdis(&b);
-    bench_wakeup(&b);
-    bench_dispatch_churn(&b);
+    let mut report = Report::new();
+    bench_age_select(&b, &mut report);
+    bench_commit_grants(&b, &mut report);
+    bench_memdis(&b, &mut report);
+    bench_wakeup(&b, &mut report);
+    bench_dispatch_churn(&b, &mut report);
+    let path = out_path("BENCH_matrix.json");
+    report.write_json(&path).expect("write BENCH_matrix.json");
+    println!("wrote {}", path.display());
 }

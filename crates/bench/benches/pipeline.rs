@@ -1,45 +1,60 @@
 //! Benchmarks of whole-pipeline simulation throughput: cycles and
 //! instructions simulated per second for representative workloads and the
-//! two headline configurations.
+//! two headline configurations, plus heap allocations per iteration via
+//! the counting global allocator.
 //!
 //! `harness = false`: plain binary on the in-workspace
 //! [`orinoco_util::bench`] timer (run with `cargo bench -p orinoco-bench`).
+//! Writes the machine-readable `BENCH_pipeline.json` to the workspace root
+//! (override the directory with `ORINOCO_BENCH_OUT`).
 
 use orinoco_core::{CommitKind, Core, CoreConfig, SchedulerKind};
-use orinoco_util::bench::Bench;
+use orinoco_util::alloc_counter::CountingAlloc;
+use orinoco_util::bench::{out_path, Bench, Report};
 use orinoco_workloads::Workload;
 use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 const INSTRS: u64 = 10_000;
 
 fn sim(workload: Workload, cfg: CoreConfig) -> u64 {
     let mut emu = workload.build(13, 1);
     emu.set_step_limit(INSTRS);
-    let stats = Core::new(emu, cfg).run(1_000_000_000);
-    stats.cycles
+    let mut core = Core::new(emu, cfg);
+    core.run(1_000_000_000).cycles
 }
 
 fn main() {
     let b = Bench::new().samples(5);
+    let mut report = Report::new();
+    let orinoco = || {
+        CoreConfig::base()
+            .with_scheduler(SchedulerKind::Orinoco)
+            .with_commit(CommitKind::Orinoco)
+    };
+    let ultra = || {
+        CoreConfig::ultra()
+            .with_scheduler(SchedulerKind::Orinoco)
+            .with_commit(CommitKind::Orinoco)
+    };
+    let mut cases: Vec<(String, Workload, CoreConfig)> = Vec::new();
     for w in [Workload::ExchangeLike, Workload::HashjoinLike, Workload::GemmLike] {
-        b.run(&format!("pipeline/age_ioc/{}", w.name()), || {
-            black_box(sim(w, CoreConfig::base()))
-        });
-        b.run(&format!("pipeline/orinoco_full/{}", w.name()), || {
-            black_box(sim(
-                w,
-                CoreConfig::base()
-                    .with_scheduler(SchedulerKind::Orinoco)
-                    .with_commit(CommitKind::Orinoco),
-            ))
-        });
+        cases.push((format!("pipeline/age_ioc/{}", w.name()), w, CoreConfig::base()));
+        cases.push((format!("pipeline/orinoco_full/{}", w.name()), w, orinoco()));
     }
-    b.run("pipeline/ultra_orinoco_gemm", || {
-        black_box(sim(
-            Workload::GemmLike,
-            CoreConfig::ultra()
-                .with_scheduler(SchedulerKind::Orinoco)
-                .with_commit(CommitKind::Orinoco),
-        ))
-    });
+    cases.push(("pipeline/ultra_orinoco_gemm".to_owned(), Workload::GemmLike, ultra()));
+    for (name, w, cfg) in cases {
+        // One untimed run learns the deterministic cycle count, so the
+        // entry can report simulated cycles/instructions per second.
+        let cycles = sim(w, cfg.clone());
+        let entry = b
+            .run_entry(&name, || black_box(sim(w, cfg.clone())))
+            .with_throughput(cycles, INSTRS);
+        report.push(entry);
+    }
+    let path = out_path("BENCH_pipeline.json");
+    report.write_json(&path).expect("write BENCH_pipeline.json");
+    println!("wrote {}", path.display());
 }

@@ -1,0 +1,145 @@
+//! `bench_check`: regression gate over `BENCH_*.json` artefacts.
+//!
+//! ```text
+//! bench_check <baseline.json> <current.json> [--tolerance PCT]
+//! ```
+//!
+//! Compares the `ns_per_iter` of every benchmark present in **both**
+//! files and exits non-zero if any current median is more than
+//! `tolerance` percent slower than its baseline (default 30%, generous
+//! enough to absorb shared-runner noise while catching real regressions).
+//! Benchmarks that exist on only one side are reported but never fail
+//! the gate, so adding or retiring benches doesn't break CI.
+//!
+//! The parser is line-based over the `orinoco-bench-v1` schema (one
+//! entry object per line) — no JSON dependency, matching the hand-rolled
+//! writer in [`orinoco_util::bench`].
+
+use std::process::ExitCode;
+
+/// `(name, ns_per_iter)` rows parsed from one `BENCH_*.json`.
+fn parse_entries(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name) = field_str(line, "name") else { continue };
+        let Some(ns) = field_num(line, "ns_per_iter") else { continue };
+        out.push((name, ns));
+    }
+    out
+}
+
+/// Extracts a `"key": "value"` string field from an entry line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_owned())
+}
+
+/// Extracts a `"key": 123.456` numeric field from an entry line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_check <baseline.json> <current.json> [--tolerance PCT]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut tolerance = 30.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => tolerance = v,
+                _ => return usage(),
+            },
+            _ => files.push(a.clone()),
+        }
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        return usage();
+    };
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("bench_check: cannot read {p}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = parse_entries(&read(baseline_path));
+    let current = parse_entries(&read(current_path));
+    if baseline.is_empty() || current.is_empty() {
+        eprintln!("bench_check: no benchmark entries parsed (wrong schema?)");
+        return ExitCode::from(2);
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (name, cur_ns) in &current {
+        let Some((_, base_ns)) = baseline.iter().find(|(n, _)| n == name) else {
+            println!("NEW       {name}: {cur_ns:.1} ns/iter (no baseline)");
+            continue;
+        };
+        compared += 1;
+        let ratio = cur_ns / base_ns;
+        let delta_pct = (ratio - 1.0) * 100.0;
+        if delta_pct > tolerance {
+            regressions += 1;
+            println!(
+                "REGRESSED {name}: {base_ns:.1} -> {cur_ns:.1} ns/iter ({delta_pct:+.1}%)"
+            );
+        } else {
+            println!("ok        {name}: {base_ns:.1} -> {cur_ns:.1} ns/iter ({delta_pct:+.1}%)");
+        }
+    }
+    for (name, _) in &baseline {
+        if !current.iter().any(|(n, _)| n == name) {
+            println!("RETIRED   {name}: present only in baseline");
+        }
+    }
+    println!(
+        "bench_check: {compared} compared, {regressions} regressed (tolerance {tolerance}%)"
+    );
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "orinoco-bench-v1",
+  "entries": [
+    {"name": "a/b", "ns_per_iter": 100.000, "spread_lo": 90.0, "spread_hi": 110.0, "allocs_per_iter": 0.000, "cycles_per_sec": null, "instrs_per_sec": null},
+    {"name": "c/d", "ns_per_iter": 5000.500, "spread_lo": 90.0, "spread_hi": 110.0, "allocs_per_iter": 2.000, "cycles_per_sec": 1000.0, "instrs_per_sec": null}
+  ]
+}"#;
+
+    #[test]
+    fn parses_schema_lines() {
+        let rows = parse_entries(SAMPLE);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "a/b");
+        assert!((rows[0].1 - 100.0).abs() < 1e-9);
+        assert_eq!(rows[1].0, "c/d");
+        assert!((rows[1].1 - 5000.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn numeric_field_handles_trailing_comma_and_brace() {
+        assert_eq!(field_num("{\"x\": 12.5, \"y\": 1}", "x"), Some(12.5));
+        assert_eq!(field_num("{\"y\": 7}", "y"), Some(7.0));
+        assert_eq!(field_num("{\"y\": 7}", "z"), None);
+    }
+}

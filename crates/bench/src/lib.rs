@@ -37,7 +37,8 @@ pub fn run(workload: Workload, cfg: CoreConfig) -> SimStats {
     if let Some(limit) = instr_budget() {
         emu.set_step_limit(limit);
     }
-    Core::new(emu, cfg).run(MAX_CYCLES)
+    let mut core = Core::new(emu, cfg);
+    core.run(MAX_CYCLES).clone()
 }
 
 /// IPC of `workload` on `cfg`.
@@ -48,22 +49,21 @@ pub fn ipc(workload: Workload, cfg: CoreConfig) -> f64 {
 
 /// Per-workload speedups of several configurations over a baseline,
 /// returned as `(workload name, speedups per config)` rows.
+///
+/// The per-workload sweeps are independent, so they are sharded across
+/// `ORINOCO_JOBS` worker threads (default: available parallelism); rows
+/// come back merged in workload order, byte-identical to a serial run.
 #[must_use]
 pub fn speedup_rows(
     baseline: &CoreConfig,
     configs: &[CoreConfig],
 ) -> Vec<(String, Vec<f64>)> {
-    Workload::ALL
-        .iter()
-        .map(|&w| {
-            let base = ipc(w, baseline.clone());
-            let speedups = configs
-                .iter()
-                .map(|c| ipc(w, c.clone()) / base)
-                .collect();
-            (w.name().to_string(), speedups)
-        })
-        .collect()
+    let jobs = orinoco_util::pool::default_jobs();
+    orinoco_util::pool::parallel_map(jobs, &Workload::ALL, |_, &w| {
+        let base = ipc(w, baseline.clone());
+        let speedups = configs.iter().map(|c| ipc(w, c.clone()) / base).collect();
+        (w.name().to_string(), speedups)
+    })
 }
 
 /// Column-wise geometric mean of speedup rows.

@@ -201,10 +201,18 @@ impl FetchUnit {
     /// breaks after a taken (or mispredicted) branch, and fetch is idle
     /// while a post-squash redirect is in flight.
     pub fn fetch(&mut self, now: u64, width: usize) -> Vec<Fetched> {
-        if now < self.stall_until {
-            return Vec::new();
-        }
         let mut out = Vec::with_capacity(width);
+        self.fetch_into(now, width, &mut out);
+        out
+    }
+
+    /// Allocation-free counterpart of [`FetchUnit::fetch`]: the bundle is
+    /// appended to the caller-owned `out` (cleared first).
+    pub fn fetch_into(&mut self, now: u64, width: usize, out: &mut Vec<Fetched>) {
+        out.clear();
+        if now < self.stall_until {
+            return;
+        }
         for _ in 0..width {
             if self.wrong_path_owner.is_some() {
                 let inst = self.synth_wrong_path();
@@ -223,7 +231,6 @@ impl FetchUnit {
                 break; // one taken branch per fetch bundle
             }
         }
-        out
     }
 
     /// The mispredicted branch `seq` resolved: leave wrong-path mode and
@@ -240,10 +247,16 @@ impl FetchUnit {
     /// wrong-path episode owned by a squashed branch must be cleared by
     /// the caller via [`FetchUnit::clear_wrong_path_owned_by`].
     pub fn reinject(&mut self, mut insts: Vec<DynInst>) {
+        self.reinject_drain(&mut insts);
+    }
+
+    /// Like [`FetchUnit::reinject`] but drains the caller-owned vector in
+    /// place (its capacity survives for reuse as a scratch buffer).
+    pub fn reinject_drain(&mut self, insts: &mut Vec<DynInst>) {
         self.stats.reinjected += insts.len() as u64;
-        insts.sort_by_key(|d| std::cmp::Reverse(d.seq));
+        insts.sort_unstable_by_key(|d| std::cmp::Reverse(d.seq));
         // Stack: youngest pushed first so the oldest pops first.
-        self.pushback.extend(insts);
+        self.pushback.append(insts);
     }
 
     /// Clears wrong-path mode if its owning branch was squashed (it will

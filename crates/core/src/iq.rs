@@ -11,6 +11,7 @@
 use crate::config::{Pool, SchedulerKind};
 use crate::rename::PhysReg;
 use orinoco_matrix::{AgeMatrix, BitVec64};
+use std::collections::VecDeque;
 
 /// An instruction resident in the IQ.
 #[derive(Clone, Debug)]
@@ -62,6 +63,37 @@ pub struct IssueQueue {
     /// ("the remaining issue width is selected randomly in terms of age",
     /// §2.1).
     rng: u64,
+    /// Per-physical-register wakeup lists: `(slot, source index, seq)`
+    /// rows appended when an entry with a not-yet-ready source is
+    /// allocated and drained by [`IssueQueue::writeback`] — the exact-
+    /// cost replacement for scanning every slot per write-back (the CAM
+    /// broadcast). Rows go stale when their slot is freed or recycled
+    /// (issue, squash); the seq and source checks at drain time filter
+    /// them, and re-registration on replay is idempotent because a wake
+    /// only ever sets `src_ready`.
+    waiters: Vec<Vec<(usize, u8, u64)>>,
+    /// Compact per-slot copy of the occupant's sequence number
+    /// (`u64::MAX` when empty): the per-cycle select walk tests pair
+    /// staleness against this dense array instead of dereferencing the
+    /// wide `IqEntry` slots.
+    seq_of: Vec<u64>,
+    /// One bit per slot: the occupant's issue-gating sources are all
+    /// ready (mirrors [`IqEntry::is_ready`], updated at allocation and
+    /// wake-up).
+    ready_bits: BitVec64,
+    /// Dispatch-order view as `(slot, seq)` pairs, maintained for the
+    /// plain Orinoco scheduler only: without criticality adjustment the
+    /// matrix age order *is* the dispatch order, so the full-width age
+    /// ranking of the select stage reduces to a walk over this deque.
+    /// Pairs go stale — and are skipped lazily — once the slot is freed
+    /// or recycled (same scheme as `Rob::order`).
+    order: VecDeque<(usize, u64)>,
+    // Reusable scratch for the per-cycle select path (allocation-free in
+    // steady state; see DESIGN.md §"Performance engineering").
+    scratch_ready: Vec<usize>,
+    scratch_order: Vec<usize>,
+    scratch_part: Vec<usize>,
+    scratch_req: BitVec64,
 }
 
 impl IssueQueue {
@@ -80,6 +112,14 @@ impl IssueQueue {
             tail: 0,
             span: 0,
             rng: 0x9E37_79B9_7F4A_7C15 ^ cap as u64,
+            waiters: Vec::new(),
+            seq_of: vec![u64::MAX; cap],
+            ready_bits: BitVec64::new(cap),
+            order: VecDeque::with_capacity(cap * 2),
+            scratch_ready: Vec::with_capacity(cap),
+            scratch_order: Vec::with_capacity(cap),
+            scratch_part: Vec::with_capacity(cap),
+            scratch_req: BitVec64::new(cap),
         }
     }
 
@@ -169,9 +209,66 @@ impl IssueQueue {
                 self.age.dispatch(slot);
             }
         }
+        if self.kind == SchedulerKind::Orinoco {
+            // Lazily compact stale pairs once they dominate; live pairs
+            // never exceed `cap`, so the push below fits afterwards.
+            if self.order.len() >= self.cap * 2 {
+                let slots = &self.slots;
+                self.order.retain(|&(s, q)| slots[s].as_ref().is_some_and(|e| e.seq == q));
+            }
+            self.order.push_back((slot, entry.seq));
+        }
+        let srcs = entry.srcs;
+        let src_ready = entry.src_ready;
+        let seq = entry.seq;
+        self.seq_of[slot] = seq;
+        self.ready_bits.assign(slot, entry.is_ready());
         self.slots[slot] = Some(entry);
         self.count += 1;
+        for i in 0..2 {
+            if let Some(p) = srcs[i] {
+                if !src_ready[i] {
+                    self.register_waiter(p, slot, i as u8, seq);
+                }
+            }
+        }
         Some(slot)
+    }
+
+    /// Pre-sizes the wakeup lists for a register file of `nregs`
+    /// physical registers, so the steady-state allocate/writeback path
+    /// never grows them (see `crates/core/tests/alloc_free.rs`).
+    #[must_use]
+    pub fn with_regs(mut self, nregs: usize) -> Self {
+        self.waiters.resize_with(nregs, Vec::new);
+        for list in &mut self.waiters {
+            list.reserve_exact(self.cap * 2);
+        }
+        self
+    }
+
+    /// Appends a wakeup-list row for `p`. Lists never reallocate in
+    /// steady state: a full list is first compacted in place (stale rows
+    /// from freed/recycled slots dropped), and at most one live row can
+    /// exist per `(slot, source)` pair, so the compacted list always has
+    /// room at `2 × cap` capacity.
+    fn register_waiter(&mut self, p: PhysReg, slot: usize, i: u8, seq: u64) {
+        let r = p.0 as usize;
+        if r >= self.waiters.len() {
+            self.waiters.resize_with(r + 1, Vec::new);
+        }
+        let list = &mut self.waiters[r];
+        if list.capacity() == 0 {
+            list.reserve_exact(self.cap * 2);
+        } else if list.len() == list.capacity() {
+            let slots = &self.slots;
+            list.retain(|&(s, j, q)| {
+                slots[s]
+                    .as_ref()
+                    .is_some_and(|e| e.seq == q && e.srcs[j as usize] == Some(p))
+            });
+        }
+        list.push((slot, i, seq));
     }
 
     /// Removes the entry in `slot` (issue or squash).
@@ -184,6 +281,8 @@ impl IssueQueue {
             panic!("remove of empty IQ slot {slot}")
         });
         self.count -= 1;
+        self.seq_of[slot] = u64::MAX;
+        self.ready_bits.clear(slot);
         if self.uses_matrix() {
             self.age.free(slot);
             self.cri.clear(slot);
@@ -206,116 +305,140 @@ impl IssueQueue {
         self.slots[slot].as_ref()
     }
 
-    /// Write-back broadcast: wakes every entry sourcing `p`.
+    /// Write-back broadcast: wakes every entry sourcing `p`. Walks the
+    /// register's waiter list rather than every slot; stale rows (the
+    /// slot was freed or recycled since registration) fail the seq or
+    /// source check and are dropped.
     pub fn writeback(&mut self, p: PhysReg) {
-        for e in self.slots.iter_mut().flatten() {
-            for i in 0..2 {
-                if e.srcs[i] == Some(p) {
-                    e.src_ready[i] = true;
+        let Some(list) = self.waiters.get_mut(p.0 as usize) else {
+            return;
+        };
+        let mut list = std::mem::take(list);
+        for &(slot, i, seq) in &list {
+            if let Some(e) = self.slots[slot].as_mut() {
+                if e.seq == seq && e.srcs[i as usize] == Some(p) {
+                    e.src_ready[i as usize] = true;
+                    if e.is_ready() {
+                        self.ready_bits.set(slot);
+                    }
                 }
             }
         }
+        list.clear();
+        self.waiters[p.0 as usize] = list;
     }
 
-    /// Number of entries with all operands ready.
+    /// Number of entries with all issue-gating operands ready.
     #[must_use]
     pub fn ready_count(&self) -> usize {
-        self.slots
-            .iter()
-            .flatten()
-            .filter(|e| e.is_ready())
-            .count()
+        self.ready_bits.count_ones() as usize
     }
 
     fn circ_position(&self, slot: usize) -> usize {
         (slot + self.cap - self.head) % self.cap
     }
 
+    /// Fills `scratch_req` with the given slots.
+    fn fill_req(&mut self, slots: &[usize]) {
+        self.scratch_req.clear_all();
+        for &s in slots {
+            self.scratch_req.set(s);
+        }
+    }
+
     /// Priority-ordered ready slots for this cycle, per the scheduler
-    /// variant. The head of the list is granted first.
-    fn priority_order(&mut self, ready: &[usize]) -> Vec<usize> {
+    /// variant, written into `out` (head granted first). `part` is extra
+    /// scratch for the CriAge class partition. Allocation-free once the
+    /// scratch vectors have grown to capacity.
+    fn priority_order_into(
+        &mut self,
+        ready: &[usize],
+        out: &mut Vec<usize>,
+        part: &mut Vec<usize>,
+    ) {
+        out.clear();
         match self.kind {
             SchedulerKind::Shift => {
                 // Collapsible queue: position == age; ideal order.
-                let mut v = ready.to_vec();
-                v.sort_by_key(|&s| self.slots[s].as_ref().map(|e| e.seq));
-                v
+                out.extend_from_slice(ready);
+                out.sort_unstable_by_key(|&s| self.slots[s].as_ref().map(|e| e.seq));
             }
             SchedulerKind::Circ => {
-                let mut v = ready.to_vec();
-                v.sort_by_key(|&s| self.circ_position(s));
-                v
+                out.extend_from_slice(ready);
+                out.sort_unstable_by_key(|&s| self.circ_position(s));
             }
             SchedulerKind::Rand => {
                 // Genuinely random in terms of age.
-                let mut v = ready.to_vec();
-                self.shuffle(&mut v);
-                v
+                out.extend_from_slice(ready);
+                self.shuffle(out);
             }
             SchedulerKind::Age => {
-                let req = BitVec64::from_indices(self.cap, ready.iter().copied());
-                let oldest = self.age.select_single_oldest(&req);
-                let mut rest: Vec<usize> =
-                    ready.iter().copied().filter(|&s| Some(s) != oldest).collect();
-                self.shuffle(&mut rest);
-                let mut v = Vec::with_capacity(ready.len());
+                self.fill_req(ready);
+                let oldest = self.age.select_single_oldest(&self.scratch_req);
                 if let Some(o) = oldest {
-                    v.push(o);
+                    out.push(o);
                 }
-                v.extend(rest);
-                v
+                out.extend(ready.iter().copied().filter(|&s| Some(s) != oldest));
+                let head = usize::from(oldest.is_some());
+                self.shuffle(&mut out[head..]);
             }
             SchedulerKind::Mult => {
                 // Single oldest of each FU type first, then the rest in
-                // slot order.
-                let mut heads = Vec::new();
+                // random order. At most one head per pool.
+                let mut heads = [0usize; 4];
+                let mut nheads = 0;
                 for pool in Pool::ALL {
-                    let req = BitVec64::from_indices(
-                        self.cap,
-                        ready.iter().copied().filter(|&s| {
-                            self.slots[s].as_ref().is_some_and(|e| e.pool == pool)
-                        }),
-                    );
-                    if let Some(o) = self.age.select_single_oldest(&req) {
-                        heads.push(o);
+                    self.scratch_req.clear_all();
+                    for &s in ready {
+                        if self.slots[s].as_ref().is_some_and(|e| e.pool == pool) {
+                            self.scratch_req.set(s);
+                        }
+                    }
+                    if let Some(o) = self.age.select_single_oldest(&self.scratch_req) {
+                        heads[nheads] = o;
+                        nheads += 1;
                     }
                 }
-                let mut rest: Vec<usize> =
-                    ready.iter().copied().filter(|s| !heads.contains(s)).collect();
-                self.shuffle(&mut rest);
-                let mut v = heads.clone();
-                v.extend(rest);
-                v
+                out.extend_from_slice(&heads[..nheads]);
+                out.extend(
+                    ready.iter().copied().filter(|s| !heads[..nheads].contains(s)),
+                );
+                self.shuffle(&mut out[nheads..]);
             }
-            SchedulerKind::Orinoco
-            | SchedulerKind::CriAge
-            | SchedulerKind::CriOrinoco => {
+            SchedulerKind::Orinoco => {
+                // Without criticality adjustment the matrix age order is
+                // the dispatch order, so the full ready ranking is a walk
+                // over the dispatch deque — O(live) instead of the
+                // O(ready × words) bit-count rank plus sort. Equivalence
+                // with the matrix path is pinned by
+                // `orinoco_walk_matches_matrix_ranking`.
+                out.extend(self.order.iter().filter_map(|&(s, q)| {
+                    (self.seq_of[s] == q && self.ready_bits.get(s)).then_some(s)
+                }));
+                debug_assert_eq!(out.len(), ready.len(), "walk missed a ready entry");
+            }
+            SchedulerKind::CriAge | SchedulerKind::CriOrinoco => {
                 // Full (criticality-adjusted) age order from the bit count
                 // encoding. For CriAge the intra-class pseudo-ordering is
                 // applied below.
-                let req = BitVec64::from_indices(self.cap, ready.iter().copied());
-                let mut v = self.age.select_oldest(&req, self.cap);
+                self.fill_req(ready);
+                self.age.select_oldest_into(&self.scratch_req, self.cap, out);
                 if self.kind == SchedulerKind::CriAge {
                     // CRI w/ AGE: criticals before non-criticals, but within
                     // each class only the single oldest is age-accurate; the
                     // rest are selected randomly (classic AGE behaviour).
-                    let (crit, noncrit): (Vec<_>, Vec<_>) =
-                        v.iter().copied().partition(|&s| self.cri.get(s));
-                    let mut out = Vec::with_capacity(v.len());
-                    for mut class in [crit, noncrit] {
-                        if class.len() > 2 {
-                            let head = class[0];
-                            let mut rest: Vec<usize> = class[1..].to_vec();
-                            self.shuffle(&mut rest);
-                            class.truncate(1);
-                            class[0] = head;
-                            class.extend(rest);
-                        }
-                        out.extend(class);
+                    part.clear();
+                    part.extend(out.iter().copied().filter(|&s| self.cri.get(s)));
+                    let ncrit = part.len();
+                    part.extend(out.iter().copied().filter(|&s| !self.cri.get(s)));
+                    if ncrit > 2 {
+                        self.shuffle(&mut part[1..ncrit]);
                     }
-                    v = out;
+                    if part.len() - ncrit > 2 {
+                        self.shuffle(&mut part[ncrit + 1..]);
+                    }
+                    std::mem::swap(out, part);
                 }
-                v
             }
         }
     }
@@ -328,27 +451,44 @@ impl IssueQueue {
         pool_budget: &mut [usize; 4],
         width: usize,
     ) -> Vec<(usize, IqEntry)> {
-        let ready: Vec<usize> = (0..self.cap)
-            .filter(|&s| self.slots[s].as_ref().is_some_and(IqEntry::is_ready))
-            .collect();
-        if ready.is_empty() {
-            return Vec::new();
-        }
-        let order = self.priority_order(&ready);
         let mut grants = Vec::new();
-        for slot in order {
-            if grants.len() == width {
-                break;
-            }
-            let pool = self.slots[slot].as_ref().expect("ready slot live").pool;
-            if pool_budget[pool.idx()] == 0 {
-                continue;
-            }
-            pool_budget[pool.idx()] -= 1;
-            let entry = self.remove(slot);
-            grants.push((slot, entry));
-        }
+        self.select_into(pool_budget, width, &mut grants);
         grants
+    }
+
+    /// Like [`IssueQueue::select`], but appends the grants to a
+    /// caller-provided buffer (cleared first) instead of allocating. This
+    /// is the hot path used by the pipeline every cycle.
+    pub fn select_into(
+        &mut self,
+        pool_budget: &mut [usize; 4],
+        width: usize,
+        grants: &mut Vec<(usize, IqEntry)>,
+    ) {
+        grants.clear();
+        let mut ready = std::mem::take(&mut self.scratch_ready);
+        let mut order = std::mem::take(&mut self.scratch_order);
+        let mut part = std::mem::take(&mut self.scratch_part);
+        ready.clear();
+        ready.extend(self.ready_bits.iter_ones());
+        if !ready.is_empty() {
+            self.priority_order_into(&ready, &mut order, &mut part);
+            for &slot in &order {
+                if grants.len() == width {
+                    break;
+                }
+                let pool = self.slots[slot].as_ref().expect("ready slot live").pool;
+                if pool_budget[pool.idx()] == 0 {
+                    continue;
+                }
+                pool_budget[pool.idx()] -= 1;
+                let entry = self.remove(slot);
+                grants.push((slot, entry));
+            }
+        }
+        self.scratch_ready = ready;
+        self.scratch_order = order;
+        self.scratch_part = part;
     }
 }
 
@@ -583,5 +723,46 @@ mod tests {
     #[should_panic(expected = "empty IQ slot")]
     fn remove_empty_panics() {
         IssueQueue::new(SchedulerKind::Rand, 4).remove(0);
+    }
+
+    /// The dispatch-order walk of the plain Orinoco scheduler selects the
+    /// same slots in the same order as the matrix bit-count ranking
+    /// (CriOrinoco with no critical entries is exactly that matrix path),
+    /// across random allocate/remove churn that recycles slots.
+    #[test]
+    fn orinoco_walk_matches_matrix_ranking() {
+        let mut rng = 0x5EED_0123_4567_89ABu64;
+        let mut next = move || {
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut walk = IssueQueue::new(SchedulerKind::Orinoco, 16);
+        let mut matrix = IssueQueue::new(SchedulerKind::CriOrinoco, 16);
+        let mut live: Vec<usize> = Vec::new();
+        let mut seq = 0u64;
+        for _ in 0..2000 {
+            if !live.is_empty() && next() % 3 == 0 {
+                let victim = live.swap_remove((next() % live.len() as u64) as usize);
+                walk.remove(victim);
+                matrix.remove(victim);
+            } else if walk.has_space() {
+                let e = entry(seq as usize, seq, Pool::Int);
+                let sw = walk.allocate(e.clone()).unwrap();
+                let sm = matrix.allocate(e).unwrap();
+                assert_eq!(sw, sm, "free lists diverged");
+                live.push(sw);
+                seq += 1;
+            }
+            let gw: Vec<u64> =
+                walk.select(&mut budgets(0), usize::MAX).iter().map(|(_, e)| e.seq).collect();
+            let gm: Vec<u64> =
+                matrix.select(&mut budgets(0), usize::MAX).iter().map(|(_, e)| e.seq).collect();
+            assert!(gw.is_empty() && gm.is_empty(), "zero budget still granted");
+            let ow = walk.scratch_order.clone();
+            let om = matrix.scratch_order.clone();
+            assert_eq!(ow, om, "walk order diverged from matrix age ranking");
+        }
     }
 }

@@ -61,6 +61,11 @@ pub struct Lsq {
     sq_tail: usize,
     sq_count: usize,
     mdm: MemDisambigMatrix,
+    /// Scratch for the per-AGU unresolved-older-stores vector (reused so
+    /// the steady-state AGU path performs no heap allocation).
+    scratch_sq: BitVec64,
+    /// Scratch for the per-AGU no-conflict load vector.
+    scratch_lq: BitVec64,
 }
 
 impl Lsq {
@@ -75,6 +80,8 @@ impl Lsq {
             sq_tail: 0,
             sq_count: 0,
             mdm: MemDisambigMatrix::new(lq_entries, sq_entries),
+            scratch_sq: BitVec64::new(sq_entries),
+            scratch_lq: BitVec64::new(lq_entries),
         }
     }
 
@@ -153,11 +160,11 @@ impl Lsq {
     ///
     /// Panics if the slot is empty or the address was already set.
     pub fn load_agu(&mut self, lq_slot: usize, addr: u64, translated: bool) -> LoadSearch {
-        let (seq, unresolved, forward) = {
+        let forward = {
             let e = self.lq[lq_slot].as_ref().expect("load_agu on empty slot");
             assert!(e.addr.is_none(), "load address resolved twice");
             let seq = e.seq;
-            let mut unresolved = BitVec64::new(self.sq.len());
+            self.scratch_sq.clear_all();
             let mut forward: Option<u64> = None;
             for (s, entry) in self.sq.iter().enumerate() {
                 let Some(st) = entry else { continue };
@@ -165,7 +172,7 @@ impl Lsq {
                     continue; // younger store: irrelevant
                 }
                 match st.addr {
-                    None => unresolved.set(s),
+                    None => self.scratch_sq.set(s),
                     Some(a) if a == addr => {
                         // youngest older match wins
                         if forward.is_none_or(|f| st.seq > f) {
@@ -175,10 +182,9 @@ impl Lsq {
                     Some(_) => {}
                 }
             }
-            (seq, unresolved, forward)
+            forward
         };
-        let _ = seq;
-        self.mdm.load_issue(lq_slot, &unresolved);
+        self.mdm.load_issue(lq_slot, &self.scratch_sq);
         {
             let e = self.lq[lq_slot].as_mut().expect("slot live");
             e.addr = Some(addr);
@@ -199,41 +205,52 @@ impl Lsq {
     ///
     /// Panics if the slot is empty or the address was already set.
     pub fn store_agu(&mut self, sq_slot: usize, addr: u64) -> Vec<usize> {
+        let mut replays = Vec::new();
+        self.store_agu_into(sq_slot, addr, &mut replays);
+        replays
+    }
+
+    /// Allocation-free counterpart of [`Lsq::store_agu`]: replaying ROB
+    /// indices are appended to the caller-owned `replays` (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty or the address was already set.
+    pub fn store_agu_into(&mut self, sq_slot: usize, addr: u64, replays: &mut Vec<usize>) {
+        replays.clear();
         let store_seq = {
             let e = self.sq[sq_slot].as_mut().expect("store_agu on empty slot");
             assert!(e.addr.is_none(), "store address resolved twice");
             e.addr = Some(addr);
             e.seq
         };
-        let mut no_conflict = BitVec64::new(self.lq.len());
-        let mut replays = Vec::new();
+        self.scratch_lq.clear_all();
         for (l, entry) in self.lq.iter().enumerate() {
             let Some(ld) = entry else {
-                no_conflict.set(l);
+                self.scratch_lq.set(l);
                 continue;
             };
             if ld.seq < store_seq {
-                no_conflict.set(l); // older load: no dependence on this store
+                self.scratch_lq.set(l); // older load: no dependence on this store
                 continue;
             }
             match ld.addr {
                 // Load has not resolved its address yet: it will see this
                 // store as resolved when it does — no conflict now.
-                None => no_conflict.set(l),
-                Some(a) if a != addr => no_conflict.set(l),
+                None => self.scratch_lq.set(l),
+                Some(a) if a != addr => self.scratch_lq.set(l),
                 Some(_) => {
                     // Same address. If the load forwarded from a store
                     // younger than this one, its data is still correct.
                     if ld.fwd_seq.is_some_and(|f| f > store_seq) {
-                        no_conflict.set(l);
+                        self.scratch_lq.set(l);
                     } else {
                         replays.push(ld.rob_idx);
                     }
                 }
             }
         }
-        self.mdm.store_resolved(sq_slot, &no_conflict);
-        replays
+        self.mdm.store_resolved(sq_slot, &self.scratch_lq);
     }
 
     /// Forgives every outstanding dependence on the store in `sq_slot`
@@ -273,14 +290,27 @@ impl Lsq {
     #[must_use]
     pub fn older_nonperformed_loads(&self, seq: u64) -> BitVec64 {
         let mut v = BitVec64::new(self.lq.len());
+        self.older_nonperformed_loads_into(seq, &mut v);
+        v
+    }
+
+    /// Allocation-free counterpart of
+    /// [`Lsq::older_nonperformed_loads`]: writes into the caller-owned
+    /// `out` (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the LQ capacity.
+    pub fn older_nonperformed_loads_into(&self, seq: u64, out: &mut BitVec64) {
+        assert_eq!(out.len(), self.lq.len(), "LQ buffer length mismatch");
+        out.clear_all();
         for (l, entry) in self.lq.iter().enumerate() {
             if let Some(ld) = entry {
                 if ld.seq < seq && !ld.performed {
-                    v.set(l);
+                    out.set(l);
                 }
             }
         }
-        v
     }
 
     /// Frees a load entry (commit or squash).

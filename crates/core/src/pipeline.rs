@@ -12,7 +12,7 @@ use crate::rename::RenameUnit;
 use crate::rob::{Rob, RobEntry};
 use crate::stats::SimStats;
 use orinoco_isa::{DynInst, Emulator, InstClass, Opcode};
-use orinoco_matrix::{LockdownMatrix, LockdownTable};
+use orinoco_matrix::{BitVec64, LockdownMatrix, LockdownTable};
 use orinoco_mem::{AccessKind, HitLevel, MemorySystem};
 use orinoco_stats::Resource;
 use std::collections::{HashSet, VecDeque};
@@ -74,9 +74,12 @@ pub struct Core {
     ldt_free: Vec<usize>,
     ldt_line: Vec<Option<u64>>,
     handled_faults: HashSet<u64>,
-    /// Stores whose data register was in flight at issue, keyed by that
-    /// register: completed when it writes back.
-    store_data_waiters: std::collections::HashMap<crate::rename::PhysReg, Vec<(usize, u64)>>,
+    /// Stores whose data register was in flight at issue, as
+    /// `(register, ROB index, generation)` triples completed when the
+    /// register writes back. A flat vector rather than a map so the
+    /// steady-state issue path never allocates; dead entries are pruned
+    /// lazily when the vector grows past twice the SQ size.
+    store_data_waiters: Vec<(crate::rename::PhysReg, usize, u64)>,
     stats: SimStats,
     committed_count: u64,
     committed_seq_sum: u128,
@@ -89,6 +92,17 @@ pub struct Core {
     chaos_spec_flip: Option<u64>,
     /// Speculative dispatches so far (drives `chaos_spec_flip`).
     spec_dispatched: u64,
+    // Reusable per-cycle scratch buffers (DESIGN.md §"Performance
+    // engineering"): once they reach their working capacity the
+    // steady-state cycle loop performs no heap allocation.
+    scratch_grants: Vec<(usize, IqEntry)>,
+    scratch_commit: Vec<usize>,
+    scratch_squash: Vec<usize>,
+    scratch_reinject: Vec<DynInst>,
+    scratch_fetch: Vec<Fetched>,
+    scratch_used_banks: Vec<bool>,
+    scratch_replays: Vec<usize>,
+    scratch_older_np: BitVec64,
 }
 
 impl Core {
@@ -113,10 +127,10 @@ impl Core {
             iqs: if cfg.split_iq {
                 cfg.split_iq_capacities()
                     .into_iter()
-                    .map(|cap| IssueQueue::new(cfg.scheduler, cap))
+                    .map(|cap| IssueQueue::new(cfg.scheduler, cap).with_regs(cfg.phys_regs))
                     .collect()
             } else {
-                vec![IssueQueue::new(cfg.scheduler, cfg.iq_entries)]
+                vec![IssueQueue::new(cfg.scheduler, cfg.iq_entries).with_regs(cfg.phys_regs)]
             },
             lsq: Lsq::new(cfg.lq_entries, cfg.sq_entries),
             fus: FuBank::new(cfg.fu),
@@ -129,13 +143,21 @@ impl Core {
             ldt_free: (0..LDT_ROWS).rev().collect(),
             ldt_line: vec![None; LDT_ROWS],
             handled_faults: HashSet::new(),
-            store_data_waiters: std::collections::HashMap::new(),
+            store_data_waiters: Vec::new(),
             stats: SimStats::default(),
             committed_count: 0,
             committed_seq_sum: 0,
             trace: None,
             chaos_spec_flip: None,
             spec_dispatched: 0,
+            scratch_grants: Vec::new(),
+            scratch_commit: Vec::new(),
+            scratch_squash: Vec::new(),
+            scratch_reinject: Vec::new(),
+            scratch_fetch: Vec::new(),
+            scratch_used_banks: Vec::new(),
+            scratch_replays: Vec::new(),
+            scratch_older_np: BitVec64::new(cfg.lq_entries),
             now: 0,
             cfg,
         }
@@ -169,14 +191,16 @@ impl Core {
             && self.sb.is_empty()
     }
 
-    /// Runs until the program drains or `max_cycles` elapse.
+    /// Runs until the program drains or `max_cycles` elapse, returning the
+    /// finalised statistics by reference (clone them if the core is about
+    /// to be dropped or run again).
     ///
     /// # Panics
     ///
     /// Panics on a deadlocked pipeline (no forward progress within
     /// `max_cycles`) or on architectural bookkeeping divergence — every
     /// correct-path instruction must commit exactly once.
-    pub fn run(&mut self, max_cycles: u64) -> SimStats {
+    pub fn run(&mut self, max_cycles: u64) -> &SimStats {
         while !self.finished() {
             assert!(
                 self.now < max_cycles,
@@ -197,7 +221,7 @@ impl Core {
         self.stats.fetch = *self.fetch.stats();
         self.stats.mem = *self.mem.stats();
         self.stats.cycles = self.now;
-        self.stats.clone()
+        &self.stats
     }
 
     /// Advances one cycle.
@@ -271,6 +295,11 @@ impl Core {
     #[doc(hidden)]
     pub fn debug_verify_commit_invariants(&self) {
         self.rob.assert_order_consistent();
+        assert_eq!(
+            self.rob.grants_orinoco_depth(self.cfg.commit_width, self.cfg.commit_depth),
+            self.rob.grants_orinoco_matrix(self.cfg.commit_width, self.cfg.commit_depth),
+            "walk-based commit grants diverged from the matrix scan",
+        );
         let live = self.rob.in_order(self.rob.capacity());
         for idx in self.rob.grants_orinoco(usize::MAX) {
             let g = self.rob.entry(idx);
@@ -393,12 +422,18 @@ impl Core {
             for iq in &mut self.iqs {
                 iq.writeback(new);
             }
-            if let Some(waiters) = self.store_data_waiters.remove(&new) {
-                for (st, gen) in waiters {
+            if !self.store_data_waiters.is_empty() {
+                let mut waiters = std::mem::take(&mut self.store_data_waiters);
+                waiters.retain(|&(p, st, gen)| {
+                    if p != new {
+                        return true;
+                    }
                     if self.rob.is_live(st, gen) {
                         self.store_data_arrived(st);
                     }
-                }
+                    false
+                });
+                self.store_data_waiters = waiters;
             }
         }
         self.rob.mark_completed(idx);
@@ -490,7 +525,7 @@ impl Core {
                     return;
                 }
                 let slot = self.rob.entry(idx).sq_slot.expect("store without SQ slot");
-                let replays = self.lsq.store_agu(slot, addr);
+                self.lsq.store_agu_into(slot, addr, &mut self.scratch_replays);
                 {
                     let e = self.rob.entry_mut(idx);
                     e.agu_done = true;
@@ -507,14 +542,16 @@ impl Core {
                     // Cherry oracle: the replay cost is waived entirely —
                     // the conflicting loads are deemed repaired, so their
                     // disambiguation bits clear and they become safe.
-                    if !replays.is_empty() {
+                    if !self.scratch_replays.is_empty() {
                         self.lsq.store_forgive(slot);
                         self.scan_load_safety();
                     }
                 } else {
                     // Oldest conflicting correct-path load replays.
-                    let victim = replays
-                        .into_iter()
+                    let victim = self
+                        .scratch_replays
+                        .iter()
+                        .copied()
                         .filter(|&r| !self.rob.entry(r).wrong_path)
                         .min_by_key(|&r| self.rob.entry(r).seq);
                     if let Some(v) = victim {
@@ -632,7 +669,7 @@ impl Core {
         let logical_occupancy = self.rob.len();
         if committed == 0 && logical_occupancy > 0 {
             self.stats.commit_stall_cycles += 1;
-            if !self.rob.grants_orinoco(1).is_empty() {
+            if self.rob.any_grant_orinoco() {
                 self.stats.commit_stall_ooo_ready += 1;
             }
             // Precise exception: the oldest instruction holds a fault and
@@ -646,17 +683,18 @@ impl Core {
     }
 
     fn commit_orinoco(&mut self) -> usize {
-        let grants = self
-            .rob
-            .grants_orinoco_depth(self.cfg.commit_width, self.cfg.commit_depth);
+        let mut grants = std::mem::take(&mut self.scratch_commit);
+        self.rob
+            .grants_orinoco_depth_hot(self.cfg.commit_width, self.cfg.commit_depth, &mut grants);
         let head = self.rob.head();
         let mut committed = 0;
         let mut head_committed = false;
-        for idx in grants {
+        for &idx in &grants {
             let e = self.rob.entry(idx);
             debug_assert!(!e.wrong_path, "wrong-path instruction granted commit");
             debug_assert!(e.completed, "Orinoco commits completed instructions only");
-            if e.class == InstClass::Store {
+            let (class, seq, mem_addr) = (e.class, e.seq, e.mem_addr);
+            if class == InstClass::Store {
                 // Stores leave the SQ in FIFO order and need SB space.
                 let head_ok = self.lsq.sq_head_rob_idx() == Some(idx);
                 if !head_ok || self.sb.len() >= self.cfg.sq_entries {
@@ -665,19 +703,17 @@ impl Core {
             }
             // TSO lockdown: a load committing over older non-performed
             // loads needs a free lockdown-table row.
-            if e.class == InstClass::Load {
-                let slot = e.lq_slot.expect("load without LQ slot");
-                let older_np = self.lsq.older_nonperformed_loads(e.seq);
-                if !older_np.is_zero() {
-                    if self.ldt_free.is_empty() {
+            if class == InstClass::Load {
+                self.lsq
+                    .older_nonperformed_loads_into(seq, &mut self.scratch_older_np);
+                if !self.scratch_older_np.is_zero() {
+                    let Some(row) = self.ldt_free.pop() else {
                         continue; // LDT full: retry next cycle
-                    }
-                    let row = self.ldt_free.pop().expect("checked non-empty");
-                    let line = e.mem_addr.expect("load without address") / 64;
-                    self.ldm.commit_load(row, &older_np);
+                    };
+                    let line = mem_addr.expect("load without address") / 64;
+                    self.ldm.commit_load(row, &self.scratch_older_np);
                     self.ldt.acquire(line);
                     self.ldt_line[row] = Some(line);
-                    let _ = slot;
                 }
             }
             if Some(idx) != head && !head_committed {
@@ -688,6 +724,7 @@ impl Core {
             self.retire(idx);
             committed += 1;
         }
+        self.scratch_commit = grants;
         committed
     }
 
@@ -701,20 +738,20 @@ impl Core {
         // Oldest-first completed candidates, excluding wrong-path and
         // faulting instructions (the oracle knows) and already-released
         // entries.
-        let candidates: Vec<usize> = self
-            .rob
-            .in_order(self.rob.capacity())
-            .into_iter()
-            .filter(|&i| {
-                let e = self.rob.entry(i);
+        let mut candidates = std::mem::take(&mut self.scratch_commit);
+        self.rob.in_order_into(self.rob.capacity(), &mut candidates);
+        {
+            let rob = &self.rob;
+            candidates.retain(|&i| {
+                let e = rob.entry(i);
                 e.completed && !e.wrong_path && !e.fault && !e.released
-            })
-            .take(cw)
-            .collect();
+            });
+        }
+        candidates.truncate(cw);
         let head = self.rob.head();
         let mut committed = 0;
         let mut head_committed = false;
-        for idx in candidates {
+        for &idx in &candidates {
             let e = self.rob.entry(idx);
             if e.class == InstClass::Store {
                 let head_ok = self.lsq.sq_head_rob_idx() == Some(idx);
@@ -735,6 +772,7 @@ impl Core {
             }
             committed += 1;
         }
+        self.scratch_commit = candidates;
         if !self.cfg.spec_reclaims_rob {
             // Cherry reserves ROB entries: reclaim in order once resolved.
             for _ in 0..cw {
@@ -757,8 +795,9 @@ impl Core {
         let mut committed = 0;
         // "SPEC w/o ROB" holds entries after releasing resources; walk a
         // wider window so released entries do not mask grantable ones.
-        let window = self.rob.in_order(cw * 4);
-        for idx in window {
+        let mut window = std::mem::take(&mut self.scratch_commit);
+        self.rob.in_order_into(cw * 4, &mut window);
+        for &idx in &window {
             if committed == cw {
                 break;
             }
@@ -806,6 +845,7 @@ impl Core {
             self.retire(idx);
             committed += 1;
         }
+        self.scratch_commit = window;
         committed
     }
 
@@ -899,9 +939,11 @@ impl Core {
     /// exception or replay pass the offender's own sequence (it
     /// re-executes).
     fn squash_ge(&mut self, from: u64, mispredict: bool) {
-        let idxs = self.rob.from_seq(from);
-        let mut reinject = Vec::new();
-        for idx in idxs {
+        self.rob.from_seq_into(from, &mut self.scratch_squash);
+        let mut reinject = std::mem::take(&mut self.scratch_reinject);
+        reinject.clear();
+        for si in 0..self.scratch_squash.len() {
+            let idx = self.scratch_squash[si];
             let e = self.rob.free(idx);
             self.stats.squashed += 1;
             if let Some((qi, slot)) = e.iq_slot {
@@ -938,7 +980,8 @@ impl Core {
             }
         }
         self.fetch.clear_wrong_path_owned_by(from.saturating_sub(1));
-        self.fetch.reinject(reinject);
+        self.fetch.reinject_drain(&mut reinject);
+        self.scratch_reinject = reinject;
     }
 
     // ------------------------------------------------------------------
@@ -949,54 +992,63 @@ impl Core {
         let mut budget = self.fus.budget(self.now);
         let ready_before: usize = self.iqs.iter().map(IssueQueue::ready_count).sum();
         self.stats.iq_ready_sum += ready_before as u64;
-        let mut grants = Vec::new();
+        let mut grants = std::mem::take(&mut self.scratch_grants);
+        let mut granted_total = 0;
         let mut remaining = self.cfg.width;
-        for iq in &mut self.iqs {
+        for qi in 0..self.iqs.len() {
             if remaining == 0 {
                 break;
             }
-            let g = iq.select(&mut budget, remaining);
-            remaining -= g.len();
-            grants.extend(g);
+            self.iqs[qi].select_into(&mut budget, remaining, &mut grants);
+            remaining -= grants.len();
+            granted_total += grants.len();
+            // Grants are processed per queue: a later queue's selection is
+            // unaffected (it sees only the shared `budget` array).
+            for (_slot, iqe) in grants.drain(..) {
+                let idx = iqe.rob_idx;
+                for p in iqe.srcs.into_iter().flatten() {
+                    self.rename.read_operand(p);
+                }
+                let e = self.rob.entry_mut(idx);
+                e.iq_slot = None;
+                e.issued = true;
+                e.srcs_read = true;
+                let class = e.class;
+                if class == InstClass::Store {
+                    // The AGU no longer waits for the data register: note
+                    // whether it was already available, or arrange to be
+                    // told.
+                    let data_ready = iqe.srcs[1].is_none() || iqe.src_ready[1];
+                    e.store_data_ready = data_ready;
+                    if !data_ready {
+                        let p = iqe.srcs[1].expect("pending data register");
+                        let gen = self.rob.generation(idx);
+                        if self.store_data_waiters.len() >= self.cfg.sq_entries * 2 {
+                            // Lazy prune keeps the flat list bounded (live
+                            // waiters never exceed the SQ size).
+                            let rob = &self.rob;
+                            self.store_data_waiters.retain(|&(_, i, g)| rob.is_live(i, g));
+                        }
+                        self.store_data_waiters.push((p, idx, gen));
+                    }
+                }
+                let lat = exec_latency(class);
+                let until = if is_unpipelined(class) { self.now + lat } else { self.now + 1 };
+                self.fus.occupy(Pool::of(class), self.now, until);
+                let kind = if class.is_mem() { EventKind::AguDone } else { EventKind::ExecDone };
+                self.events.push(Event {
+                    at: self.now + lat,
+                    kind,
+                    rob_idx: idx,
+                    gen: self.rob.generation(idx),
+                });
+                self.stats.issued += 1;
+            }
         }
-        if ready_before > grants.len() && ready_before > 0 {
+        if ready_before > granted_total && ready_before > 0 {
             self.stats.issue_conflict_cycles += 1;
         }
-        for (_slot, iqe) in grants {
-            let idx = iqe.rob_idx;
-            for p in iqe.srcs.into_iter().flatten() {
-                self.rename.read_operand(p);
-            }
-            let e = self.rob.entry_mut(idx);
-            e.iq_slot = None;
-            e.issued = true;
-            e.srcs_read = true;
-            let class = e.class;
-            if class == InstClass::Store {
-                // The AGU no longer waits for the data register: note
-                // whether it was already available, or arrange to be told.
-                let data_ready = iqe.srcs[1].is_none() || iqe.src_ready[1];
-                e.store_data_ready = data_ready;
-                if !data_ready {
-                    let p = iqe.srcs[1].expect("pending data register");
-                    let gen = self.rob.generation(idx);
-                    let waiters = self.store_data_waiters.entry(p).or_default();
-                    waiters.retain(|&(i, g)| self.rob.is_live(i, g));
-                    waiters.push((idx, gen));
-                }
-            }
-            let lat = exec_latency(class);
-            let until = if is_unpipelined(class) { self.now + lat } else { self.now + 1 };
-            self.fus.occupy(Pool::of(class), self.now, until);
-            let kind = if class.is_mem() { EventKind::AguDone } else { EventKind::ExecDone };
-            self.events.push(Event {
-                at: self.now + lat,
-                kind,
-                rob_idx: idx,
-                gen: self.rob.generation(idx),
-            });
-            self.stats.issued += 1;
-        }
+        self.scratch_grants = grants;
     }
 
     // ------------------------------------------------------------------
@@ -1004,7 +1056,8 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn dispatch(&mut self) {
-        let mut used_banks = vec![false; self.cfg.width.max(1)];
+        self.scratch_used_banks.clear();
+        self.scratch_used_banks.resize(self.cfg.width.max(1), false);
         for _ in 0..self.cfg.width {
             let Some((f, at)) = self.fq.front() else { break };
             if *at > self.now {
@@ -1083,18 +1136,21 @@ impl Core {
                 critical,
                 retired: false,
                 released: false,
-                dyn_inst: Some(d.clone()),
+                // The DynInst moves into the ROB entry (no clone); the
+                // bank-conflict path below recovers it from the returned
+                // entry.
+                dyn_inst: Some(d),
             };
-            let seq = d.seq;
-            let class = d.class;
+            let seq = entry.seq;
+            let class = entry.class;
             let rob_idx = if self.cfg.banked_dispatch {
-                match self.rob.alloc_banked(entry, speculative, &used_banks) {
-                    Some(idx) => {
-                        let b = self.rob.bank_of(idx, used_banks.len());
-                        used_banks[b] = true;
+                match self.rob.alloc_banked(entry, speculative, &self.scratch_used_banks) {
+                    Ok(idx) => {
+                        let b = self.rob.bank_of(idx, self.scratch_used_banks.len());
+                        self.scratch_used_banks[b] = true;
                         idx
                     }
-                    None => {
+                    Err(mut entry) => {
                         // Write-port conflict: every free slot sits in a
                         // bank already written this cycle. The instruction
                         // is already renamed; un-rename and retry next
@@ -1106,6 +1162,7 @@ impl Core {
                         if let Some((a, n, p)) = dst {
                             self.rename.rollback_dest(a, n, p);
                         }
+                        let d = entry.dyn_inst.take().expect("entry keeps its DynInst");
                         self.fq.push_front((
                             Fetched { inst: d, wrong_path: f.wrong_path, mispredicted: f.mispredicted },
                             self.now,
@@ -1165,7 +1222,8 @@ impl Core {
             return;
         }
         let dispatchable_at = self.now + self.cfg.frontend_depth;
-        for f in self.fetch.fetch(self.now, self.cfg.width) {
+        self.fetch.fetch_into(self.now, self.cfg.width, &mut self.scratch_fetch);
+        for f in self.scratch_fetch.drain(..) {
             self.fq.push_back((f, dispatchable_at));
         }
     }

@@ -85,6 +85,12 @@ pub struct Rob {
     order: VecDeque<(usize, u64)>,
     /// Per-slot generation counters to invalidate stale events.
     gens: Vec<u64>,
+    /// Compact per-slot copy of the occupant's sequence number
+    /// (`u64::MAX` when empty), so the per-cycle commit walk can test
+    /// pair staleness without dereferencing the wide `RobEntry` slots.
+    seq_of: Vec<u64>,
+    /// Compact retired-zombie bits, mirroring `RobEntry::retired`.
+    retired_bits: BitVec64,
     logical_cap: usize,
     logical_used: usize,
 }
@@ -99,8 +105,13 @@ impl Rob {
             free: (0..physical).rev().collect(),
             sched: CommitScheduler::new(physical),
             completed: BitVec64::new(physical),
-            order: VecDeque::with_capacity(physical),
+            // 2x the physical slot count: stale pairs accumulate between
+            // lazy compactions (see `install`), and the headroom keeps
+            // pushes amortised allocation-free.
+            order: VecDeque::with_capacity(physical * 2),
             gens: vec![0; physical],
+            seq_of: vec![u64::MAX; physical],
+            retired_bits: BitVec64::new(physical),
             logical_cap: cap,
             logical_used: 0,
         }
@@ -176,35 +187,51 @@ impl Rob {
 
     /// Allocates like [`Rob::alloc`] but honouring the single-write-port-
     /// per-bank constraint: the chosen slot's bank must not be in
-    /// `used_banks`. Returns `None` on logical exhaustion **or** when every
-    /// free slot lies in an already-written bank (a dispatch port
-    /// conflict).
+    /// `used_banks`. Returns the entry back (`Err`) on logical exhaustion
+    /// **or** when every free slot lies in an already-written bank (a
+    /// dispatch port conflict), so the caller can stash it without cloning.
+    // Returning the entry by value on failure is the point: the caller
+    // stashes it without a clone, so the wide Err variant stays.
+    #[allow(clippy::result_large_err)]
     pub fn alloc_banked(
         &mut self,
         entry: RobEntry,
         speculative: bool,
         used_banks: &[bool],
-    ) -> Option<usize> {
+    ) -> Result<usize, RobEntry> {
         if self.logical_used == self.logical_cap {
-            return None;
+            return Err(entry);
         }
         let nbanks = used_banks.len();
         // Prefer the emptiest eligible bank (load balancing, §4.3);
         // approximation: latest-freed slot in any eligible bank.
-        let pos = self
+        let Some(pos) = self
             .free
             .iter()
-            .rposition(|&i| !used_banks[self.bank_of(i, nbanks)])?;
+            .rposition(|&i| !used_banks[self.bank_of(i, nbanks)])
+        else {
+            return Err(entry);
+        };
         let idx = self.free.remove(pos);
         self.install(idx, entry, speculative);
-        Some(idx)
+        Ok(idx)
     }
 
     fn install(&mut self, idx: usize, entry: RobEntry, speculative: bool) {
         self.logical_used += 1;
         self.sched.dispatch(idx, speculative);
         self.completed.clear(idx);
+        // Lazily compact stale pairs once they dominate the deque; live
+        // pairs never exceed the physical slot count, so after compaction
+        // the push below always fits without reallocating.
+        if self.order.len() >= self.slots.len() * 2 {
+            let slots = &self.slots;
+            self.order
+                .retain(|&(i, q)| slots[i].as_ref().is_some_and(|e| e.seq == q));
+        }
         self.order.push_back((idx, entry.seq));
+        self.seq_of[idx] = entry.seq;
+        self.retired_bits.clear(idx);
         self.slots[idx] = Some(entry);
     }
 
@@ -271,22 +298,116 @@ impl Rob {
         self.sched.commit_grants(&self.completed, width)
     }
 
+    /// `true` if at least one instruction would be granted commit this
+    /// cycle — the allocation-free stall test (equivalent to
+    /// `!grants_orinoco(1).is_empty()`).
+    #[must_use]
+    pub fn any_grant_orinoco(&self) -> bool {
+        self.sched.any_commit_grant(&self.completed)
+    }
+
     /// Like [`Rob::grants_orinoco`] but restricted to the `depth` oldest
     /// live entries — the "limited commit depth" ablation of §6.2 (how far
     /// the core can scan to find instructions to commit out of order).
     #[must_use]
     pub fn grants_orinoco_depth(&self, width: usize, depth: Option<usize>) -> Vec<usize> {
-        match depth {
-            None => self.grants_orinoco(width),
-            Some(d) => {
-                let mut window = BitVec64::new(self.slots.len());
-                for idx in self.in_order(d) {
-                    window.set(idx);
+        let mut out = Vec::new();
+        self.grants_orinoco_depth_into(width, depth, &mut out);
+        out
+    }
+
+    /// Allocation-free commit-grant scan: grants land in the caller-owned
+    /// `out`. This is the per-cycle hot path of [`crate::Core`].
+    pub fn grants_orinoco_depth_hot(
+        &mut self,
+        width: usize,
+        depth: Option<usize>,
+        out: &mut Vec<usize>,
+    ) {
+        self.grants_orinoco_depth_into(width, depth, out);
+    }
+
+    /// The Orinoco grant set via an age-order walk instead of the matrix
+    /// rank scan.
+    ///
+    /// The grant condition of [`CommitScheduler::commit_grants_into`] —
+    /// completed ∧ valid ∧ ¬SPEC ∧ "no older live SPEC entry" — is
+    /// *monotone in age*: the oldest live speculative entry blocks every
+    /// younger entry, and nothing older than it is blocked. The `order`
+    /// deque filtered to live pairs is exactly the matrix age order
+    /// (cross-checked by [`Rob::assert_order_consistent`]), so walking it
+    /// oldest→youngest and stopping at the first live speculative entry
+    /// yields the same grants in the same order at O(prefix) cost instead
+    /// of O(candidates × words) rank-and-sort per cycle.
+    /// [`Rob::grants_orinoco_matrix`] keeps the matrix path as the oracle.
+    fn grants_orinoco_depth_into(&self, width: usize, depth: Option<usize>, out: &mut Vec<usize>) {
+        out.clear();
+        if width == 0 {
+            return;
+        }
+        let mut walked = 0usize;
+        // Only the compact side-arrays (`seq_of`, bit vectors) are read:
+        // the wide `RobEntry` slots would cost a cache miss per step.
+        for &(i, q) in &self.order {
+            if self.seq_of[i] != q {
+                continue; // stale pair: the slot was freed or recycled
+            }
+            // Live in the scheduler. The oldest live SPEC entry blocks
+            // every younger entry (their row ∧ SPEC is non-zero).
+            if self.sched.is_speculative(i) {
+                break;
+            }
+            if let Some(d) = depth {
+                // The depth window covers the `d` oldest live, non-retired
+                // entries; retired zombies sit outside it but still block
+                // via their SPEC bit (checked above).
+                if self.retired_bits.get(i) {
+                    continue;
                 }
-                window.and_assign(&self.completed);
-                self.sched.commit_grants(&window, width)
+                if walked == d {
+                    break;
+                }
+                walked += 1;
+            }
+            if self.completed.get(i) {
+                out.push(i);
+                if out.len() == width {
+                    break;
+                }
             }
         }
+    }
+
+    /// The matrix-scan reference implementation of
+    /// [`Rob::grants_orinoco_depth`] — the hardware-faithful path the walk
+    /// is cross-checked against (see
+    /// `Pipeline::debug_verify_commit_invariants`).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn grants_orinoco_matrix(&self, width: usize, depth: Option<usize>) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut candidates = BitVec64::new(self.slots.len());
+        match depth {
+            None => {
+                self.sched.commit_grants_into(&self.completed, width, &mut candidates, &mut out);
+            }
+            Some(d) => {
+                let mut window = BitVec64::new(self.slots.len());
+                let mut taken = 0usize;
+                for &(i, q) in &self.order {
+                    if taken >= d {
+                        break;
+                    }
+                    if self.slots[i].as_ref().is_some_and(|e| e.seq == q && !e.retired) {
+                        window.set(i);
+                        taken += 1;
+                    }
+                }
+                window.and_assign(&self.completed);
+                self.sched.commit_grants_into(&window, width, &mut candidates, &mut out);
+            }
+        }
+        out
     }
 
     /// The oldest live, non-retired instruction (the "head" of the logical
@@ -313,16 +434,26 @@ impl Rob {
     /// The first `k` live, non-retired entries in program order.
     #[must_use]
     pub fn in_order(&self, k: usize) -> Vec<usize> {
-        self.order
-            .iter()
-            .filter(|&&(i, q)| {
-                self.slots[i]
-                    .as_ref()
-                    .is_some_and(|e| e.seq == q && !e.retired)
-            })
-            .map(|&(i, _)| i)
-            .take(k)
-            .collect()
+        let mut out = Vec::new();
+        self.in_order_into(k, &mut out);
+        out
+    }
+
+    /// Allocation-free counterpart of [`Rob::in_order`]: the program-order
+    /// prefix is written into the caller-owned `out` (cleared first).
+    pub fn in_order_into(&self, k: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.order
+                .iter()
+                .filter(|&&(i, q)| {
+                    self.slots[i]
+                        .as_ref()
+                        .is_some_and(|e| e.seq == q && !e.retired)
+                })
+                .map(|&(i, _)| i)
+                .take(k),
+        );
     }
 
     /// Live entries younger than sequence `seq`, youngest first — the
@@ -340,21 +471,29 @@ impl Rob {
     /// inclusive squash set used for exceptions and replay traps.
     #[must_use]
     pub fn from_seq(&self, from: u64) -> Vec<usize> {
-        let mut v: Vec<usize> = self
-            .order
-            .iter()
-            .filter(|&&(i, q)| {
-                self.slots[i]
-                    .as_ref()
-                    .is_some_and(|e| e.seq == q && e.seq >= from)
-            })
-            .map(|&(i, _)| i)
-            .collect();
-        v.sort_by_key(|&i| std::cmp::Reverse(self.entry(i).seq));
-        for &i in &v {
+        let mut v = Vec::new();
+        self.from_seq_into(from, &mut v);
+        v
+    }
+
+    /// Allocation-free counterpart of [`Rob::from_seq`]: the squash set is
+    /// written into the caller-owned `out` (cleared first).
+    pub fn from_seq_into(&self, from: u64, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.order
+                .iter()
+                .filter(|&&(i, q)| {
+                    self.slots[i]
+                        .as_ref()
+                        .is_some_and(|e| e.seq == q && e.seq >= from)
+                })
+                .map(|&(i, _)| i),
+        );
+        out.sort_unstable_by_key(|&i| std::cmp::Reverse(self.entry(i).seq));
+        for &i in out.iter() {
             debug_assert!(!self.entry(i).retired, "squash of retired zombie");
         }
-        v
     }
 
     /// Retires an instruction early (post-commit execution): its logical
@@ -368,6 +507,7 @@ impl Rob {
         let e = self.entry_mut(idx);
         assert!(!e.retired, "double retire of slot {idx}");
         e.retired = true;
+        self.retired_bits.set(idx);
         self.logical_used -= 1;
     }
 
@@ -387,6 +527,8 @@ impl Rob {
         self.sched.free(idx);
         self.completed.clear(idx);
         self.gens[idx] += 1;
+        self.seq_of[idx] = u64::MAX;
+        self.retired_bits.clear(idx);
         self.free.push(idx);
         entry
     }

@@ -110,7 +110,7 @@ fn run_checked(mut core: Core, max_cycles: u64) -> (u64, Vec<orinoco_core::Commi
 fn never_commits_past_unresolved_older_speculative() {
     let mut rng = Rng::seed_from_u64(0x1217_0001);
     type ConfigMaker = fn() -> CoreConfig;
-    let configs: [(&str, ConfigMaker); 4] = [
+    let configs: [(&str, ConfigMaker); 5] = [
         ("orinoco-base", || {
             CoreConfig::base()
                 .with_scheduler(SchedulerKind::Orinoco)
@@ -134,6 +134,16 @@ fn never_commits_past_unresolved_older_speculative() {
             CoreConfig::base()
                 .with_scheduler(SchedulerKind::Age)
                 .with_commit(CommitKind::Orinoco)
+        }),
+        // Limited commit depth: the walk's depth-window path is
+        // cross-checked against the matrix scan every cycle.
+        ("orinoco-depth8", || {
+            tiny(
+                CoreConfig::base()
+                    .with_scheduler(SchedulerKind::Orinoco)
+                    .with_commit(CommitKind::Orinoco),
+            )
+            .with_commit_depth(8)
         }),
     ];
     for trial in 0..4 {

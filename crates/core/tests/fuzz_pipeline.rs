@@ -135,7 +135,8 @@ fn random_programs_with_fault_injection() {
         for commit in [CommitKind::InOrder, CommitKind::Orinoco, CommitKind::Vb] {
             let mut cfg = CoreConfig::base().with_commit(commit);
             cfg.pagefault_per_million = 2_000;
-            let stats = Core::new(emu.clone(), cfg).run(100_000_000);
+            let mut core = Core::new(emu.clone(), cfg);
+            let stats = core.run(100_000_000);
             // checksum asserted inside run(); replays/exceptions welcome
             assert!(stats.committed > 0);
         }
@@ -157,7 +158,8 @@ fn random_programs_under_tiny_queues() {
         cfg.sq_entries = 5;
         cfg.phys_regs = 40;
         cfg.vb_entries = 4;
-        let stats = Core::new(emu.clone(), cfg).run(200_000_000);
+        let mut core = Core::new(emu.clone(), cfg);
+        let stats = core.run(200_000_000);
         assert!(stats.committed > 0);
     }
 }

@@ -10,7 +10,8 @@ const MAX_CYCLES: u64 = 200_000_000;
 
 fn run(w: Workload, cfg: CoreConfig) -> orinoco_core::SimStats {
     let emu = w.build(13, 1);
-    Core::new(emu, cfg).run(MAX_CYCLES)
+    let mut core = Core::new(emu, cfg);
+    core.run(MAX_CYCLES).clone()
 }
 
 fn run_small(w: Workload, cfg: CoreConfig) -> orinoco_core::SimStats {
@@ -18,7 +19,8 @@ fn run_small(w: Workload, cfg: CoreConfig) -> orinoco_core::SimStats {
     // emulator's dynamic length instead of rebuilding kernels.
     let mut emu = w.build(13, 1);
     emu.set_step_limit(12_000);
-    Core::new(emu, cfg).run(MAX_CYCLES)
+    let mut core = Core::new(emu, cfg);
+    core.run(MAX_CYCLES).clone()
 }
 
 #[test]
@@ -314,8 +316,8 @@ fn calls_and_returns_use_the_ras() {
     b.jalr(ArchReg::ZERO, ra); // return
     let emu = Emulator::new(b.build(), 4096);
 
-    let stats = Core::new(emu, CoreConfig::base().with_commit(CommitKind::Orinoco))
-        .run(MAX_CYCLES);
+    let mut core = Core::new(emu, CoreConfig::base().with_commit(CommitKind::Orinoco));
+    let stats = core.run(MAX_CYCLES);
     assert!(stats.committed > 10_000);
     assert!(stats.fetch.branches > 4_000);
     // Returns predicted by the RAS: mispredict rate must be tiny.
@@ -359,7 +361,8 @@ fn deep_recursion_overflows_the_ras_gracefully() {
     b.bne(ctr, ArchReg::ZERO, top);
     b.halt();
     let emu = Emulator::new(b.build(), 8192);
-    let stats = Core::new(emu, CoreConfig::base()).run(MAX_CYCLES);
+    let mut core = Core::new(emu, CoreConfig::base());
+    let stats = core.run(MAX_CYCLES);
     assert!(stats.committed > 10_000);
     // Precision is asserted inside run(); here we only require progress.
 }

@@ -298,14 +298,18 @@ impl DirectionPredictor for Tage {
         if mispredicted {
             let start = ctx.provider.map_or(0, |t| t + 1);
             if start < NUM_TABLES {
-                // Collect candidate tables with a non-useful victim.
-                let mut candidates = Vec::new();
+                // Collect candidate tables with a non-useful victim
+                // (fixed-size buffer: the hot loop is allocation-free).
+                let mut candidates = [(0usize, 0usize); NUM_TABLES];
+                let mut ncand = 0;
                 for t in start..NUM_TABLES {
                     let idx = self.table_index(t, pc);
                     if self.tables[t][idx].useful == 0 {
-                        candidates.push((t, idx));
+                        candidates[ncand] = (t, idx);
+                        ncand += 1;
                     }
                 }
+                let candidates = &candidates[..ncand];
                 if candidates.is_empty() {
                     // Decay usefulness so future allocations succeed.
                     for t in start..NUM_TABLES {

@@ -78,8 +78,15 @@ impl AgeMatrix {
 
     /// Dispatches an instruction into `slot`: its row is set to all ones
     /// (every existing instruction is older — the front-end is in-order),
-    /// its own bit is cleared, and its column is cleared in every row so no
-    /// stale state survives entry reuse.
+    /// its own bit is cleared, and its column is cleared in every *valid*
+    /// row so no stale state survives entry reuse.
+    ///
+    /// The hardware clears the whole column in one array cycle; the
+    /// software model clears only the valid rows (O(occupancy) instead of
+    /// O(capacity)) because a row of an invalid slot is unobservable —
+    /// every query masks by `VLD` (or by `SPEC`, which is cleared at
+    /// free) — and is rewritten in full by the row write of its own next
+    /// dispatch.
     ///
     /// # Panics
     ///
@@ -88,7 +95,7 @@ impl AgeMatrix {
         assert!(!self.valid.get(slot), "dispatch into live slot {slot}");
         self.m.set_row_all(slot);
         self.m.clear(slot, slot);
-        self.m.clear_col(slot);
+        self.m.clear_col_masked(slot, &self.valid);
         self.valid.set(slot);
     }
 
@@ -107,7 +114,7 @@ impl AgeMatrix {
         assert!(!self.valid.get(slot), "dispatch into live slot {slot}");
         assert!(!older.get(slot), "instruction cannot be older than itself");
         self.m.write_row(slot, older);
-        self.m.clear_col(slot);
+        self.m.clear_col_masked(slot, &self.valid);
         self.valid.set(slot);
     }
 
@@ -132,7 +139,7 @@ impl AgeMatrix {
         self.m.write_row(slot, &older);
         let mut noncrit = self.valid.and(&cri.not());
         noncrit.clear(slot);
-        self.m.clear_col(slot);
+        self.m.clear_col_masked(slot, &self.valid);
         self.m.set_col_masked(slot, &noncrit);
         self.valid.set(slot);
     }
@@ -172,16 +179,38 @@ impl AgeMatrix {
     /// Panics if `request.len()` differs from the capacity.
     #[must_use]
     pub fn select_oldest(&self, request: &BitVec64, width: usize) -> Vec<usize> {
-        let req = request.and(&self.valid);
-        let mut grants: Vec<(u32, usize)> = req
-            .iter_ones()
-            .filter_map(|slot| {
-                let count = self.m.row_and_count(slot, &req);
-                ((count as usize) < width).then_some((count, slot))
-            })
-            .collect();
-        grants.sort_unstable();
-        grants.into_iter().map(|(_, slot)| slot).collect()
+        let mut out = Vec::new();
+        self.select_oldest_into(request, width, &mut out);
+        out
+    }
+
+    /// Allocation-free counterpart of [`AgeMatrix::select_oldest`]: grants
+    /// are written into the caller-owned `out` (cleared first, capacity
+    /// reused), oldest first. No intermediate `request & valid` vector is
+    /// materialised — the ranking reads run three-way against the raw
+    /// request and `VLD` vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request.len()` differs from the capacity.
+    pub fn select_oldest_into(
+        &self,
+        request: &BitVec64,
+        width: usize,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        for slot in request.iter_ones_and(&self.valid) {
+            let count = self.m.row_and2_count(slot, request, &self.valid);
+            if (count as usize) < width {
+                out.push(slot);
+            }
+        }
+        // Ranks within the requesting set are distinct, so this sort is a
+        // permutation into age order; grant counts are tiny (≤ width).
+        out.sort_unstable_by_key(|&slot| {
+            self.m.row_and2_count(slot, request, &self.valid)
+        });
     }
 
     /// The grant vector corresponding to [`AgeMatrix::select_oldest`] — the
@@ -206,8 +235,9 @@ impl AgeMatrix {
     /// Panics if `request.len()` differs from the capacity.
     #[must_use]
     pub fn select_single_oldest(&self, request: &BitVec64) -> Option<usize> {
-        let req = request.and(&self.valid);
-        req.iter_ones().find(|&slot| self.m.row_and_is_zero(slot, &req))
+        request
+            .iter_ones_and(&self.valid)
+            .find(|&slot| self.m.row_and2_is_zero(slot, request, &self.valid))
     }
 
     /// Finds the oldest valid entry (`row & VLD == 0`): the instruction
@@ -228,9 +258,21 @@ impl AgeMatrix {
     /// Panics if `slot` is out of bounds.
     #[must_use]
     pub fn younger_than(&self, slot: usize) -> BitVec64 {
-        let mut col = self.m.read_col(slot);
-        col.and_assign(&self.valid);
+        let mut col = BitVec64::new(self.capacity());
+        self.younger_than_into(slot, &mut col);
         col
+    }
+
+    /// Allocation-free counterpart of [`AgeMatrix::younger_than`]: the
+    /// column is read into the caller-owned `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of bounds or `out.len()` differs from the
+    /// capacity.
+    pub fn younger_than_into(&self, slot: usize, out: &mut BitVec64) {
+        self.m.read_col_into(slot, out);
+        out.and_assign(&self.valid);
     }
 
     /// `true` if the instruction in `a` is older than the one in `b`.

@@ -34,6 +34,14 @@ pub struct BitVec64 {
     len: usize,
 }
 
+impl Default for BitVec64 {
+    /// An empty (zero-length) bit vector; allocation-free, so
+    /// `std::mem::take` can be used to split borrows of scratch buffers.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 impl BitVec64 {
     /// Creates a new bit vector with `len` bits, all zero.
     #[must_use]
@@ -252,6 +260,19 @@ impl BitVec64 {
         out
     }
 
+    /// Overwrites `self` with the contents of `other` without allocating.
+    ///
+    /// This is the in-place analogue of `clone()` used by the scratch-buffer
+    /// hot paths (the derived `Clone` always allocates a fresh word vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "length mismatch in copy_from");
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Iterates over the indices of the set bits in ascending order.
     ///
     /// # Examples
@@ -262,10 +283,35 @@ impl BitVec64 {
     /// assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![2, 65, 79]);
     /// ```
     pub fn iter_ones(&self) -> IterOnes<'_> {
-        IterOnes {
-            words: &self.words,
+        IterOnes::from_words(&self.words)
+    }
+
+    /// Iterates over the indices set in **both** `self` and `other`, in
+    /// ascending order, without materialising the AND vector. This is the
+    /// allocation-free counterpart of `self.and(other).iter_ones()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use orinoco_matrix::BitVec64;
+    /// let a = BitVec64::from_indices(80, [2, 65, 79]);
+    /// let b = BitVec64::from_indices(80, [2, 66, 79]);
+    /// assert_eq!(a.iter_ones_and(&b).collect::<Vec<_>>(), vec![2, 79]);
+    /// ```
+    pub fn iter_ones_and<'a>(&'a self, other: &'a Self) -> IterOnesAnd<'a> {
+        assert_eq!(self.len, other.len, "length mismatch in iter_ones_and");
+        IterOnesAnd {
+            a: &self.words,
+            b: &other.words,
             word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
+            current: match (self.words.first(), other.words.first()) {
+                (Some(x), Some(y)) => x & y,
+                _ => 0,
+            },
         }
     }
 
@@ -273,6 +319,12 @@ impl BitVec64 {
     #[must_use]
     pub(crate) fn words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Raw word access (mutable), used by [`crate::BitMatrix`] internals.
+    /// Callers must preserve the tail-bits-are-zero invariant.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
     }
 
     fn mask_tail(&mut self) {
@@ -330,6 +382,18 @@ pub struct IterOnes<'a> {
     current: u64,
 }
 
+impl<'a> IterOnes<'a> {
+    /// Builds an iterator straight over a word slice, so [`crate::BitMatrix`]
+    /// can iterate a row's set bits without copying the row out first.
+    pub(crate) fn from_words(words: &'a [u64]) -> Self {
+        Self {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
 impl Iterator for IterOnes<'_> {
     type Item = usize;
 
@@ -345,6 +409,35 @@ impl Iterator for IterOnes<'_> {
                 return None;
             }
             self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+/// Iterator over the intersection of two [`BitVec64`]s, produced by
+/// [`BitVec64::iter_ones_and`]. ANDs one word pair at a time, so no
+/// intermediate vector is ever allocated.
+pub struct IterOnesAnd<'a> {
+    a: &'a [u64],
+    b: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnesAnd<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.a.len() {
+                return None;
+            }
+            self.current = self.a[self.word_idx] & self.b[self.word_idx];
         }
     }
 }

@@ -237,14 +237,52 @@ impl CommitScheduler {
     #[must_use]
     pub fn commit_grants(&self, completed: &BitVec64, width: usize) -> Vec<usize> {
         let mut candidates = BitVec64::new(self.capacity());
-        for slot in completed.and(self.age.valid()).iter_ones() {
+        let mut out = Vec::new();
+        self.commit_grants_into(completed, width, &mut candidates, &mut out);
+        out
+    }
+
+    /// Allocation-free counterpart of [`CommitScheduler::commit_grants`]:
+    /// the candidate vector and grant list are caller-owned scratch buffers
+    /// (both cleared first, capacity reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `completed.len()` or `candidates.len()` differs from the
+    /// capacity.
+    pub fn commit_grants_into(
+        &self,
+        completed: &BitVec64,
+        width: usize,
+        candidates: &mut BitVec64,
+        out: &mut Vec<usize>,
+    ) {
+        assert_eq!(candidates.len(), self.capacity(), "candidate buffer length mismatch");
+        candidates.clear_all();
+        for slot in completed.iter_ones_and(self.age.valid()) {
             if !self.spec.get(slot)
                 && self.age.matrix().row_and_is_zero(slot, &self.spec)
             {
                 candidates.set(slot);
             }
         }
-        self.age.select_oldest(&candidates, width)
+        self.age.select_oldest_into(candidates, width, out);
+    }
+
+    /// `true` if at least one completed entry would be granted commit this
+    /// cycle — equivalent to `!commit_grants(completed, 1).is_empty()` but
+    /// without allocating or ranking (the oldest candidate always has rank
+    /// zero, so any candidate implies a grant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `completed.len()` differs from the capacity.
+    #[must_use]
+    pub fn any_commit_grant(&self, completed: &BitVec64) -> bool {
+        completed.iter_ones_and(self.age.valid()).any(|slot| {
+            !self.spec.get(slot)
+                && self.age.matrix().row_and_is_zero(slot, &self.spec)
+        })
     }
 
     /// In-order commit grants for the IOC baseline: the `width` oldest

@@ -6,6 +6,7 @@
 //! column-wise write of §4.2, and the row AND/NOR/bit-count reads are the
 //! bit-line computing operations of §4.1.
 
+use crate::bitvec::IterOnes;
 use crate::BitVec64;
 use std::fmt;
 
@@ -207,16 +208,30 @@ impl BitMatrix {
     /// Panics if `col` is out of bounds.
     #[must_use]
     pub fn read_col(&self, col: usize) -> BitVec64 {
+        let mut out = BitVec64::new(self.rows);
+        self.read_col_into(col, &mut out);
+        out
+    }
+
+    /// Reads column `col` into a caller-owned [`BitVec64`] of length `rows`
+    /// (the allocation-free counterpart of [`BitMatrix::read_col`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of bounds or `out.len() != rows`.
+    pub fn read_col_into(&self, col: usize, out: &mut BitVec64) {
         assert!(col < self.cols, "column {col} out of bounds");
+        assert_eq!(out.len(), self.rows, "column buffer length mismatch");
         let word = col / 64;
         let shift = col % 64;
-        let mut out = BitVec64::new(self.rows);
-        for r in 0..self.rows {
-            if (self.words[r * self.words_per_row + word] >> shift) & 1 == 1 {
-                out.set(r);
-            }
+        let out_words = out.words_mut();
+        for w in out_words.iter_mut() {
+            *w = 0;
         }
-        out
+        for r in 0..self.rows {
+            let bit = (self.words[r * self.words_per_row + word] >> shift) & 1;
+            out_words[r / 64] |= bit << (r % 64);
+        }
     }
 
     /// Copies row `row` into a fresh [`BitVec64`].
@@ -226,17 +241,34 @@ impl BitMatrix {
     /// Panics if `row` is out of bounds.
     #[must_use]
     pub fn read_row(&self, row: usize) -> BitVec64 {
-        let range = self.row_range(row);
         let mut out = BitVec64::new(self.cols);
-        for (i, w) in self.words[range].iter().enumerate() {
-            for b in 0..64 {
-                let idx = i * 64 + b;
-                if idx < self.cols && (w >> b) & 1 == 1 {
-                    out.set(idx);
-                }
-            }
-        }
+        self.read_row_into(row, &mut out);
         out
+    }
+
+    /// Copies row `row` word-at-a-time into a caller-owned [`BitVec64`]
+    /// (the allocation-free counterpart of [`BitMatrix::read_row`],
+    /// mirroring [`BitMatrix::write_row`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds or `out.len() != cols`.
+    pub fn read_row_into(&self, row: usize, out: &mut BitVec64) {
+        assert_eq!(out.len(), self.cols, "row buffer length mismatch");
+        let range = self.row_range(row);
+        out.words_mut().copy_from_slice(&self.words[range]);
+    }
+
+    /// Iterates over the column indices of the set bits of `row`, without
+    /// copying the row out first — the word-at-a-time row scan used by the
+    /// grant and wakeup hot paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn iter_row_ones(&self, row: usize) -> IterOnes<'_> {
+        let range = self.row_range(row);
+        IterOnes::from_words(&self.words[range])
     }
 
     /// Popcount of `row & mask` — the bit count encoding read (§3.1/§4.1).
@@ -270,6 +302,47 @@ impl BitMatrix {
             .iter()
             .zip(mask.words())
             .all(|(a, b)| a & b == 0)
+    }
+
+    /// Popcount of `row & a & b` without materialising `a & b`.
+    ///
+    /// Lets the schedulers rank against `request & valid` (or any other
+    /// vector pair) without allocating the intermediate AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds or either mask has a length other
+    /// than `cols`.
+    #[inline]
+    #[must_use]
+    pub fn row_and2_count(&self, row: usize, a: &BitVec64, b: &BitVec64) -> u32 {
+        assert_eq!(a.len(), self.cols, "mask width mismatch");
+        assert_eq!(b.len(), self.cols, "mask width mismatch");
+        let range = self.row_range(row);
+        self.words[range]
+            .iter()
+            .zip(a.words().iter().zip(b.words()))
+            .map(|(w, (x, y))| (w & x & y).count_ones())
+            .sum()
+    }
+
+    /// `true` if `row & a & b` has no set bit, without materialising
+    /// `a & b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds or either mask has a length other
+    /// than `cols`.
+    #[inline]
+    #[must_use]
+    pub fn row_and2_is_zero(&self, row: usize, a: &BitVec64, b: &BitVec64) -> bool {
+        assert_eq!(a.len(), self.cols, "mask width mismatch");
+        assert_eq!(b.len(), self.cols, "mask width mismatch");
+        let range = self.row_range(row);
+        self.words[range]
+            .iter()
+            .zip(a.words().iter().zip(b.words()))
+            .all(|(w, (x, y))| w & x & y == 0)
     }
 
     /// `true` if every bit of `row` is zero.

@@ -6,7 +6,8 @@
 //! executes 256 deterministic cases and prints a replay seed on failure.
 
 use orinoco_matrix::{
-    AgeMatrix, BankAllocator, BitVec64, CommitDepMatrix, CommitScheduler, WakeupMatrix,
+    AgeMatrix, BankAllocator, BitMatrix, BitVec64, CommitDepMatrix, CommitScheduler,
+    WakeupMatrix,
 };
 use orinoco_util::{prop, Rng};
 
@@ -479,6 +480,110 @@ fn lockdown_table_refcount_oracle() {
         }
         let total_live: usize = live.values().map(|&v| v as usize).sum();
         assert_eq!(ldt.active(), total_live);
+    });
+}
+
+/// The scratch-buffer (`*_into`) selection API is equivalent to the
+/// allocating one for any history, request set and width — including when
+/// the output buffer arrives dirty from a previous, larger selection.
+#[test]
+fn select_oldest_into_equals_allocating() {
+    prop::check("select_oldest_into_equals_allocating", 0xA9F0, |rng| {
+        let (age, _) = apply_ops(&random_ops(rng));
+        let mut out = vec![usize::MAX; rng.gen_range(0..8usize)]; // dirty
+        for width in 0..6 {
+            let (_, req) = random_request(rng);
+            age.select_oldest_into(&req, width, &mut out);
+            assert_eq!(out, age.select_oldest(&req, width));
+        }
+    });
+}
+
+/// `younger_than_into` is equivalent to `younger_than`, reusing a dirty
+/// output vector of the right length.
+#[test]
+fn younger_than_into_equals_allocating() {
+    prop::check("younger_than_into_equals_allocating", 0xA9F1, |rng| {
+        let (age, _) = apply_ops(&random_ops(rng));
+        let mut out = BitVec64::ones(N); // dirty
+        for s in 0..N {
+            if age.is_valid(s) {
+                age.younger_than_into(s, &mut out);
+                assert_eq!(
+                    out.iter_ones().collect::<Vec<_>>(),
+                    age.younger_than(s).iter_ones().collect::<Vec<_>>(),
+                    "slot {s}"
+                );
+            }
+        }
+    });
+}
+
+/// The scratch commit-grant API (`commit_grants_into`) and the cheap
+/// stall probe (`any_commit_grant`) are equivalent to `commit_grants`
+/// for random dispatch/safety/completion states.
+#[test]
+fn commit_grants_into_equals_allocating() {
+    prop::check("commit_grants_into_equals_allocating", 0xA9F2, |rng| {
+        let n = 32;
+        let live = rng.gen_range(1..n);
+        let mut rob = CommitScheduler::new(n);
+        for slot in 0..live {
+            rob.dispatch(slot, rng.gen::<bool>());
+        }
+        for slot in 0..live {
+            if rob.is_speculative(slot) && rng.gen::<bool>() {
+                rob.mark_safe(slot);
+            }
+        }
+        let comp = BitVec64::from_indices(n, (0..live).filter(|_| rng.gen::<bool>()));
+        let width = rng.gen_range(1..8usize);
+        let want = rob.commit_grants(&comp, width);
+        let mut candidates = BitVec64::ones(n); // dirty
+        let mut out = vec![usize::MAX; 3]; // dirty
+        rob.commit_grants_into(&comp, width, &mut candidates, &mut out);
+        assert_eq!(out, want);
+        assert_eq!(rob.any_commit_grant(&comp), !rob.commit_grants(&comp, 1).is_empty());
+    });
+}
+
+/// `read_row_into` / `read_col_into` / `iter_row_ones` agree with the
+/// allocating `read_row` / `read_col` on random bit matrices, even when
+/// the destination vector arrives dirty.
+#[test]
+fn bitmatrix_into_readers_equal_allocating() {
+    prop::check("bitmatrix_into_readers_equal_allocating", 0xA9F3, |rng| {
+        let rows = rng.gen_range(1..80usize);
+        let cols = rng.gen_range(1..80usize);
+        let mut m = BitMatrix::new(rows, cols);
+        for _ in 0..rng.gen_range(0..256usize) {
+            m.set(rng.gen_range(0..rows), rng.gen_range(0..cols));
+        }
+        let mut row_buf = BitVec64::ones(cols); // dirty
+        let mut col_buf = BitVec64::ones(rows); // dirty
+        for r in 0..rows {
+            let want = m.read_row(r);
+            m.read_row_into(r, &mut row_buf);
+            assert_eq!(
+                row_buf.iter_ones().collect::<Vec<_>>(),
+                want.iter_ones().collect::<Vec<_>>(),
+                "row {r}"
+            );
+            assert_eq!(
+                m.iter_row_ones(r).collect::<Vec<_>>(),
+                want.iter_ones().collect::<Vec<_>>(),
+                "row {r} (iter)"
+            );
+        }
+        for c in 0..cols {
+            let want = m.read_col(c);
+            m.read_col_into(c, &mut col_buf);
+            assert_eq!(
+                col_buf.iter_ones().collect::<Vec<_>>(),
+                want.iter_ones().collect::<Vec<_>>(),
+                "col {c}"
+            );
+        }
     });
 }
 

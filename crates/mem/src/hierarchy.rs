@@ -117,6 +117,9 @@ pub struct MemorySystem {
     prefetcher: Option<StreamPrefetcher>,
     /// Outstanding L1 misses: line -> (completion cycle, serving level).
     outstanding: HashMap<u64, (u64, HitLevel)>,
+    /// Reused buffer for prefetch candidates (keeps the demand-miss path
+    /// allocation-free in steady state).
+    scratch_pf: Vec<u64>,
     stats: MemStats,
 }
 
@@ -131,6 +134,7 @@ impl MemorySystem {
             prefetcher: (cfg.prefetch_streams > 0)
                 .then(|| StreamPrefetcher::new(cfg.prefetch_streams, cfg.prefetch_depth)),
             outstanding: HashMap::new(),
+            scratch_pf: Vec::new(),
             cfg,
             stats: MemStats::default(),
         }
@@ -212,8 +216,9 @@ impl MemorySystem {
         // Train the prefetcher on demand misses and issue ahead.
         if demand {
             if let Some(pf) = self.prefetcher.as_mut() {
-                let candidates = pf.on_access(addr);
-                for pf_addr in candidates {
+                let mut candidates = std::mem::take(&mut self.scratch_pf);
+                pf.on_access_into(addr, &mut candidates);
+                for &pf_addr in &candidates {
                     if !self.l1.contains(pf_addr) {
                         self.stats.prefetches += 1;
                         self.l1.fill(pf_addr);
@@ -221,6 +226,7 @@ impl MemorySystem {
                         self.llc.fill(pf_addr);
                     }
                 }
+                self.scratch_pf = candidates;
             }
         }
         Some(AccessOutcome { complete_at: done, level })

@@ -76,6 +76,17 @@ impl StreamPrefetcher {
     /// Observes a demand access to `addr` and returns the byte addresses to
     /// prefetch (possibly empty).
     pub fn on_access(&mut self, addr: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.on_access_into(addr, &mut out);
+        out
+    }
+
+    /// Allocation-free counterpart of [`StreamPrefetcher::on_access`]:
+    /// appends the prefetch candidates to the caller-owned `out` (cleared
+    /// first), so the hot path can reuse one scratch buffer per memory
+    /// system.
+    pub fn on_access_into(&mut self, addr: u64, out: &mut Vec<u64>) {
+        out.clear();
         self.tick += 1;
         let line = addr / self.line_bytes;
         // Find a stream whose next expected line matches, or whose last
@@ -107,15 +118,11 @@ impl StreamPrefetcher {
                 s.last_used = self.tick;
                 if s.confidence >= 2 && s.stride != 0 {
                     let stride = s.stride;
-                    let out: Vec<u64> = (1..=self.depth)
-                        .map(|k| {
-                            (line as i64 + stride * k as i64).max(0) as u64 * self.line_bytes
-                        })
-                        .collect();
+                    out.extend((1..=self.depth).map(|k| {
+                        (line as i64 + stride * k as i64).max(0) as u64 * self.line_bytes
+                    }));
                     self.issued += out.len() as u64;
-                    return out;
                 }
-                Vec::new()
             }
             None => {
                 // Allocate a new stream over the LRU slot.
@@ -132,7 +139,6 @@ impl StreamPrefetcher {
                     last_used: tick,
                     valid: true,
                 };
-                Vec::new()
             }
         }
     }

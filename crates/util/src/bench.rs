@@ -1,10 +1,121 @@
 //! Minimal wall-clock micro-benchmark runner replacing `criterion` for
 //! the `harness = false` bench targets: warm up, sample, report median
-//! and spread on stdout. No statistics beyond what a human needs to
-//! compare two kernels by eye.
+//! and spread on stdout, and optionally collect the rows into a
+//! machine-readable [`Report`] (`BENCH_*.json`) so every PR has a perf
+//! trajectory to compare against.
+//!
+//! Setting `ORINOCO_BENCH_QUICK=1` shrinks sample counts and per-sample
+//! targets for CI smoke runs; the JSON schema is identical either way.
 
+use crate::alloc_counter;
 use std::hint::black_box;
+use std::io::Write as _;
+use std::path::Path;
 use std::time::{Duration, Instant};
+
+/// One measured benchmark row, as written to `BENCH_*.json`.
+#[derive(Clone, Debug)]
+pub struct BenchEntry {
+    /// Benchmark name, e.g. `pipeline/orinoco_full/gemm_like`.
+    pub name: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Fastest sample (ns/iter).
+    pub spread_lo: f64,
+    /// Slowest sample (ns/iter).
+    pub spread_hi: f64,
+    /// Heap allocations per iteration (0 unless the bench binary installs
+    /// [`crate::alloc_counter::CountingAlloc`]).
+    pub allocs_per_iter: f64,
+    /// Simulated cycles per wall-clock second, for pipeline benches.
+    pub cycles_per_sec: Option<f64>,
+    /// Simulated instructions per wall-clock second, for pipeline benches.
+    pub instrs_per_sec: Option<f64>,
+}
+
+impl BenchEntry {
+    /// Derives throughput fields from the work one iteration performed:
+    /// `cycles` simulated cycles and `instrs` simulated instructions.
+    #[must_use]
+    pub fn with_throughput(mut self, cycles: u64, instrs: u64) -> Self {
+        let secs = self.ns_per_iter / 1e9;
+        if secs > 0.0 {
+            self.cycles_per_sec = Some(cycles as f64 / secs);
+            self.instrs_per_sec = Some(instrs as f64 / secs);
+        }
+        self
+    }
+}
+
+/// Collects [`BenchEntry`] rows and serialises them as `BENCH_*.json`
+/// (hand-rolled JSON — the workspace has no serde — one entry object per
+/// line so downstream tooling can parse it line-by-line).
+#[derive(Default)]
+pub struct Report {
+    entries: Vec<BenchEntry>,
+}
+
+impl Report {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a measured row.
+    pub fn push(&mut self, entry: BenchEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The rows collected so far.
+    #[must_use]
+    pub fn entries(&self) -> &[BenchEntry] {
+        &self.entries
+    }
+
+    /// Writes the report to `path` in the `orinoco-bench-v1` schema.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "{{")?;
+        writeln!(f, "  \"schema\": \"orinoco-bench-v1\",")?;
+        writeln!(f, "  \"entries\": [")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            writeln!(f, "    {}{comma}", entry_json(e))?;
+        }
+        writeln!(f, "  ]")?;
+        writeln!(f, "}}")?;
+        Ok(())
+    }
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn entry_json(e: &BenchEntry) -> String {
+    let opt = |v: Option<f64>| v.map_or_else(|| "null".to_owned(), json_num);
+    format!(
+        "{{\"name\": \"{}\", \"ns_per_iter\": {}, \"spread_lo\": {}, \
+         \"spread_hi\": {}, \"allocs_per_iter\": {}, \"cycles_per_sec\": {}, \
+         \"instrs_per_sec\": {}}}",
+        e.name,
+        json_num(e.ns_per_iter),
+        json_num(e.spread_lo),
+        json_num(e.spread_hi),
+        json_num(e.allocs_per_iter),
+        opt(e.cycles_per_sec),
+        opt(e.instrs_per_sec),
+    )
+}
 
 /// One benchmark group; prints a header on creation and aligned rows per
 /// [`Bench::run`] call.
@@ -20,27 +131,66 @@ impl Default for Bench {
     }
 }
 
+/// Where a `BENCH_*.json` artefact should be written: the directory named
+/// by `ORINOCO_BENCH_OUT` when set, else the workspace root (so the
+/// baseline file can be checked in next to the sources).
+#[must_use]
+pub fn out_path(file: &str) -> std::path::PathBuf {
+    match std::env::var_os("ORINOCO_BENCH_OUT") {
+        Some(dir) => std::path::PathBuf::from(dir).join(file),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+            .join(file),
+    }
+}
+
+/// `true` if `ORINOCO_BENCH_QUICK` requests a reduced-sample smoke run.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::var_os("ORINOCO_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
 impl Bench {
-    /// Runner with 15 samples of ≥10 ms (or ≥16 iterations) each.
+    /// Runner with 15 samples of ≥10 ms (or ≥16 iterations) each. Under
+    /// `ORINOCO_BENCH_QUICK` this drops to 3 samples of ≥2 ms for CI.
     #[must_use]
     pub fn new() -> Self {
-        Self {
-            samples: 15,
-            min_iters: 16,
-            target: Duration::from_millis(10),
+        if quick_mode() {
+            Self {
+                samples: 3,
+                min_iters: 4,
+                target: Duration::from_millis(2),
+            }
+        } else {
+            Self {
+                samples: 15,
+                min_iters: 16,
+                target: Duration::from_millis(10),
+            }
         }
     }
 
     /// Overrides the sample count (e.g. for slow whole-pipeline runs).
+    /// Ignored in quick mode, which always uses the minimum of 3.
     #[must_use]
     pub fn samples(mut self, n: usize) -> Self {
-        self.samples = n.max(3);
+        if !quick_mode() {
+            self.samples = n.max(3);
+        }
         self
     }
 
     /// Times `f`, printing `name`, the median per-iteration time, and the
     /// min–max spread across samples. Returns the median in nanoseconds.
-    pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) -> f64 {
+    pub fn run<T>(&self, name: &str, f: impl FnMut() -> T) -> f64 {
+        self.run_entry(name, f).ns_per_iter
+    }
+
+    /// Like [`Bench::run`], but returns the full measured row (including
+    /// allocations per iteration when the binary installs the counting
+    /// allocator) for collection into a [`Report`].
+    pub fn run_entry<T>(&self, name: &str, mut f: impl FnMut() -> T) -> BenchEntry {
         // Calibrate: how many iterations fill the per-sample target?
         let mut iters = self.min_iters;
         loop {
@@ -54,15 +204,20 @@ impl Bench {
             }
             iters = (iters * 2).max((iters as f64 * 1.5) as u64);
         }
+        let allocs_before = alloc_counter::alloc_count();
+        let mut alloc_iters = 0u64;
         let mut per_iter: Vec<f64> = (0..self.samples)
             .map(|_| {
                 let t = Instant::now();
                 for _ in 0..iters {
                     black_box(f());
                 }
+                alloc_iters += iters;
                 t.elapsed().as_nanos() as f64 / iters as f64
             })
             .collect();
+        let allocs_per_iter =
+            (alloc_counter::alloc_count() - allocs_before) as f64 / alloc_iters as f64;
         per_iter.sort_by(|a, b| a.total_cmp(b));
         let median = per_iter[per_iter.len() / 2];
         let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
@@ -72,7 +227,15 @@ impl Bench {
             fmt_ns(lo),
             fmt_ns(hi),
         );
-        median
+        BenchEntry {
+            name: name.to_owned(),
+            ns_per_iter: median,
+            spread_lo: lo,
+            spread_hi: hi,
+            allocs_per_iter,
+            cycles_per_sec: None,
+            instrs_per_sec: None,
+        }
     }
 }
 
@@ -104,5 +267,54 @@ mod tests {
         assert!(fmt_ns(12.3).ends_with("ns"));
         assert!(fmt_ns(12_300.0).ends_with("µs"));
         assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+    }
+
+    #[test]
+    fn entry_json_is_one_line_with_all_keys() {
+        let e = BenchEntry {
+            name: "group/kernel".into(),
+            ns_per_iter: 123.456,
+            spread_lo: 100.0,
+            spread_hi: 150.0,
+            allocs_per_iter: 0.0,
+            cycles_per_sec: None,
+            instrs_per_sec: Some(1e6),
+        }
+        .with_throughput(2_000, 1_000);
+        let line = entry_json(&e);
+        assert!(!line.contains('\n'));
+        for key in [
+            "\"name\"",
+            "\"ns_per_iter\"",
+            "\"spread_lo\"",
+            "\"spread_hi\"",
+            "\"allocs_per_iter\"",
+            "\"cycles_per_sec\"",
+            "\"instrs_per_sec\"",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+        // with_throughput derives both rates from ns_per_iter
+        assert!(e.cycles_per_sec.is_some() && e.instrs_per_sec.is_some());
+    }
+
+    #[test]
+    fn report_roundtrips_through_file() {
+        let mut r = Report::new();
+        r.push(BenchEntry {
+            name: "a/b".into(),
+            ns_per_iter: 1.0,
+            spread_lo: 1.0,
+            spread_hi: 1.0,
+            allocs_per_iter: 2.0,
+            cycles_per_sec: None,
+            instrs_per_sec: None,
+        });
+        let path = std::env::temp_dir().join("orinoco_bench_report_test.json");
+        r.write_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("orinoco-bench-v1"));
+        assert!(text.contains("\"name\": \"a/b\""));
     }
 }

@@ -23,7 +23,9 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod alloc_counter;
 pub mod bench;
+pub mod pool;
 pub mod prop;
 
 use std::ops::Range;

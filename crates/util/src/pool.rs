@@ -1,0 +1,124 @@
+//! A minimal work-stealing-free scoped thread pool.
+//!
+//! Parallelism in this workspace must never change observable output: the
+//! verif campaigns and the `results/` sweeps are contractually byte-identical
+//! whether they run on 1 thread or 64. [`parallel_map`] guarantees this by
+//! construction — workers *claim* item indices from a shared atomic counter
+//! (self-scheduling, no stealing, no channels) and tag every result with the
+//! index it came from; after all workers join, results are merged back into
+//! input order. Interleaving affects only wall-clock time, never the output.
+//!
+//! Built on `std::thread::scope` so borrowed inputs work without `Arc` and
+//! without any external crate.
+//!
+//! # Example
+//!
+//! ```
+//! use orinoco_util::pool::parallel_map;
+//!
+//! let items = vec![1u64, 2, 3, 4, 5];
+//! let out = parallel_map(4, &items, |_, &x| x * x);
+//! assert_eq!(out, vec![1, 4, 9, 16, 25]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default: the `ORINOCO_JOBS`
+/// environment variable if set, otherwise the machine's available
+/// parallelism (1 if that cannot be determined).
+#[must_use]
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("ORINOCO_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Applies `f` to every item of `items` using up to `jobs` worker threads
+/// and returns the results **in input order**, regardless of scheduling.
+///
+/// `f` receives `(index, &item)`. With `jobs <= 1` (or a single item) the
+/// map runs inline on the calling thread — the parallel path produces the
+/// exact same output, it only gets there faster.
+///
+/// Determinism contract: `f` must be a pure function of its arguments (plus
+/// state it synchronises itself); under that contract the returned vector
+/// is byte-identical across any thread count.
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len());
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(jobs);
+        for _ in 0..jobs {
+            let next = &next;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            // A worker panic propagates: losing results silently would
+            // violate the determinism contract.
+            tagged.extend(h.join().expect("parallel_map worker panicked"));
+        }
+    });
+
+    // Ordered merge: sort by the input index each result was tagged with.
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), items.len());
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_in_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(2654435761)).collect();
+        for jobs in [1, 2, 4, 7] {
+            let par = parallel_map(jobs, &items, |_, &x| x.wrapping_mul(2654435761));
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn passes_input_index() {
+        let items = vec!["a", "b", "c"];
+        let out = parallel_map(3, &items, |i, &s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = parallel_map(8, &[], |_, &x: &u32| x);
+        assert!(none.is_empty());
+        assert_eq!(parallel_map(8, &[9u32], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

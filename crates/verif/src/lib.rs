@@ -152,93 +152,186 @@ impl FuzzOutcome {
     }
 }
 
+/// Per-seed result of one clean-pass co-simulation (the unit of work the
+/// parallel campaign runner shards by). `ran == false` means the deadline
+/// expired before this seed started, so the unit contributed nothing.
+struct CleanUnit {
+    ran: bool,
+    cycles: u64,
+    commits: u64,
+    ooo_commits: u64,
+    failure: Option<ProgramFailure>,
+}
+
+/// One clean-pass co-simulation: run the seeded program, and shrink any
+/// divergence to a minimal reproducer. Pure function of `pseed`, so the
+/// parallel and serial campaigns produce identical units.
+fn clean_unit(pseed: u64) -> CleanUnit {
+    let (cfg, label) = config_for_seed(pseed);
+    let spec = gen::generate(pseed);
+    let report = run_cosim(&spec.build(), cfg.clone(), &CosimOptions::default());
+    let failure = if let Some(div) = report.divergence {
+        let size_before = spec.size();
+        let still_fails = |s: &ProgSpec| {
+            run_cosim(&s.build(), cfg.clone(), &CosimOptions::default()).divergence.is_some()
+        };
+        let (shrunk, _) = gen::shrink(spec, still_fails, 200);
+        Some(ProgramFailure {
+            program_seed: pseed,
+            config: label,
+            divergence: div,
+            size_after: shrunk.size(),
+            shrunk,
+            size_before,
+        })
+    } else {
+        None
+    };
+    CleanUnit {
+        ran: true,
+        cycles: report.cycles,
+        commits: report.committed,
+        ooo_commits: report.ooo_commits,
+        failure,
+    }
+}
+
+/// Per-seed result of the SPEC-flip injection pass. `ran == false` means
+/// the deadline expired before the unit started; `truncated` means it
+/// expired mid-unit (partial counts are still valid and accumulated).
+struct InjectUnit {
+    ran: bool,
+    truncated: bool,
+    runs: u64,
+    fired: u64,
+    caught: u64,
+}
+
+/// One injection-pass unit: flip a SPEC bit in the commit scheduler and
+/// demand the oracle notices. Only the unordered-commit policy is
+/// sensitive to SPEC, so the pass pins the Orinoco configuration. A flip
+/// is architecturally harmless when the instruction it hits turns out
+/// correctly speculated, so several ordinals are tried per program
+/// (stopping at the first catch). Pure function of `pseed` aside from the
+/// deadline check, so parallel and serial campaigns agree whenever no
+/// time budget intervenes.
+fn inject_unit(pseed: u64, out_of_time: &impl Fn() -> bool) -> InjectUnit {
+    let mut unit = InjectUnit { ran: true, truncated: false, runs: 0, fired: 0, caught: 0 };
+    let ordinals = [1, 2, (pseed >> 8) % 13 + 3, (pseed >> 16) % 29 + 1, (pseed >> 32) % 47 + 1];
+    let emu = gen::generate(pseed).build();
+    for nth in ordinals {
+        if out_of_time() {
+            unit.truncated = true;
+            break;
+        }
+        let mut cfg = CoreConfig::base()
+            .with_scheduler(SchedulerKind::Orinoco)
+            .with_commit(CommitKind::Orinoco);
+        cfg.seed = pseed;
+        let opts = CosimOptions { inject_spec_flip: Some(nth), ..CosimOptions::default() };
+        let report = run_cosim(&emu, cfg, &opts);
+        unit.runs += 1;
+        if report.injection_fired {
+            unit.fired += 1;
+            if report.divergence.is_some() {
+                unit.caught += 1;
+                break;
+            }
+        }
+    }
+    unit
+}
+
 /// Runs a full fuzz campaign: a clean differential pass over `programs`
 /// seeded programs (any divergence is shrunk and recorded), followed by a
 /// SPEC-flip fault-injection pass that must be caught by the oracle.
 /// `deadline` caps wall-clock time (for CI smoke runs); `progress` is
 /// called after every co-simulation with `(done, total)`.
+///
+/// Serial front end of [`fuzz_campaign_par`] with `jobs = 1`.
 pub fn fuzz_campaign(
     programs: u64,
     seed: u64,
     deadline: Option<Duration>,
-    mut progress: impl FnMut(u64, u64),
+    progress: impl FnMut(u64, u64) + Send,
 ) -> FuzzOutcome {
+    let progress = std::sync::Mutex::new(progress);
+    fuzz_campaign_par(programs, seed, deadline, 1, |done, total| {
+        (progress.lock().expect("progress callback poisoned"))(done, total);
+    })
+}
+
+/// Parallel fuzz campaign: shards the per-seed co-simulation units over
+/// `jobs` worker threads via [`orinoco_util::pool::parallel_map`] and
+/// merges the results in seed order, so the outcome (failures, counters,
+/// verdict) is **byte-identical to a serial run** whenever no `deadline`
+/// truncates the campaign. Each unit is a pure function of its program
+/// seed; the merge accumulates units in seed order and stops at the first
+/// unit the time budget skipped, mirroring the serial early-exit.
+pub fn fuzz_campaign_par(
+    programs: u64,
+    seed: u64,
+    deadline: Option<Duration>,
+    jobs: usize,
+    progress: impl Fn(u64, u64) + Sync,
+) -> FuzzOutcome {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
     let start = Instant::now();
-    let out_of_time = || deadline.is_some_and(|d| start.elapsed() >= d);
+    let out_of_time = move || deadline.is_some_and(|d| start.elapsed() >= d);
     let seeds = program_seeds(seed, programs);
     let mut out = FuzzOutcome::default();
     let total_work = programs * 2;
+    let done = AtomicU64::new(0);
+    let tick = |done: &AtomicU64| {
+        progress(done.fetch_add(1, Ordering::Relaxed) + 1, total_work);
+    };
 
+    // The quiet-panic hook is process-global, so one installation covers
+    // every worker thread for both passes.
     oracle::with_quiet_panics(|| {
         // Clean pass: the pipeline must be architecturally invisible.
-        for (i, &pseed) in seeds.iter().enumerate() {
+        let clean = orinoco_util::pool::parallel_map(jobs, &seeds, |_, &pseed| {
             if out_of_time() {
+                return CleanUnit { ran: false, cycles: 0, commits: 0, ooo_commits: 0, failure: None };
+            }
+            let unit = clean_unit(pseed);
+            tick(&done);
+            unit
+        });
+        for unit in clean {
+            if !unit.ran {
                 out.truncated_by_time = true;
                 break;
             }
-            let (cfg, label) = config_for_seed(pseed);
-            let spec = gen::generate(pseed);
-            let report = run_cosim(&spec.build(), cfg.clone(), &CosimOptions::default());
             out.programs_run += 1;
-            out.total_cycles += report.cycles;
-            out.total_commits += report.committed;
-            out.total_ooo_commits += report.ooo_commits;
-            if let Some(div) = report.divergence {
-                let size_before = spec.size();
-                let still_fails = |s: &ProgSpec| {
-                    run_cosim(&s.build(), cfg.clone(), &CosimOptions::default())
-                        .divergence
-                        .is_some()
-                };
-                let (shrunk, _) = gen::shrink(spec, still_fails, 200);
-                out.failures.push(ProgramFailure {
-                    program_seed: pseed,
-                    config: label,
-                    divergence: div,
-                    size_after: shrunk.size(),
-                    shrunk,
-                    size_before,
-                });
-            }
-            progress(i as u64 + 1, total_work);
+            out.total_cycles += unit.cycles;
+            out.total_commits += unit.commits;
+            out.total_ooo_commits += unit.ooo_commits;
+            out.failures.extend(unit.failure);
         }
 
-        // Injection pass: flip a SPEC bit in the commit scheduler and
-        // demand the oracle notices. Only the unordered-commit policy is
-        // sensitive to SPEC, so the pass pins the Orinoco configuration.
-        // A flip is architecturally harmless when the instruction it hits
-        // turns out correctly speculated, so several ordinals are tried
-        // per program (stopping at the first catch).
-        'inject: for (i, &pseed) in seeds.iter().enumerate() {
+        // Injection pass: prove the oracle is load-bearing.
+        let inject = orinoco_util::pool::parallel_map(jobs, &seeds, |_, &pseed| {
             if out_of_time() {
+                return InjectUnit { ran: false, truncated: false, runs: 0, fired: 0, caught: 0 };
+            }
+            let unit = inject_unit(pseed, &out_of_time);
+            tick(&done);
+            unit
+        });
+        for unit in inject {
+            if !unit.ran {
                 out.truncated_by_time = true;
                 break;
             }
-            let ordinals =
-                [1, 2, (pseed >> 8) % 13 + 3, (pseed >> 16) % 29 + 1, (pseed >> 32) % 47 + 1];
-            let emu = gen::generate(pseed).build();
-            for nth in ordinals {
-                if out_of_time() {
-                    out.truncated_by_time = true;
-                    break 'inject;
-                }
-                let mut cfg = CoreConfig::base()
-                    .with_scheduler(SchedulerKind::Orinoco)
-                    .with_commit(CommitKind::Orinoco);
-                cfg.seed = pseed;
-                let opts =
-                    CosimOptions { inject_spec_flip: Some(nth), ..CosimOptions::default() };
-                let report = run_cosim(&emu, cfg, &opts);
-                out.injection_runs += 1;
-                if report.injection_fired {
-                    out.injection_fired += 1;
-                    if report.divergence.is_some() {
-                        out.injection_caught += 1;
-                        break;
-                    }
-                }
+            out.injection_runs += unit.runs;
+            out.injection_fired += unit.fired;
+            out.injection_caught += unit.caught;
+            if unit.truncated {
+                out.truncated_by_time = true;
+                break;
             }
-            progress(programs + i as u64 + 1, total_work);
         }
     });
     out
@@ -272,6 +365,14 @@ mod tests {
         assert!(out.injection_fired > 0, "SPEC flip never fired");
         assert!(out.injection_caught > 0, "oracle missed every injected bug");
         assert!(out.passed());
+    }
+
+    #[test]
+    fn parallel_campaign_is_byte_identical_to_serial() {
+        let serial = fuzz_campaign(12, 0xD1FF, None, |_, _| {});
+        let par = fuzz_campaign_par(12, 0xD1FF, None, 3, |_, _| {});
+        assert_eq!(format!("{serial:?}"), format!("{par:?}"));
+        assert!(serial.passed() && par.passed());
     }
 
     #[test]

@@ -2,22 +2,28 @@
 //! oracle.
 //!
 //! ```text
-//! verif fuzz --programs N --seed S [--max-seconds T]
+//! verif fuzz --programs N --seed S [--max-seconds T] [--jobs J]
 //! verif replay <seed> [--inject N]
 //! verif litmus
 //! ```
+//!
+//! `--jobs J` shards the campaign's per-seed co-simulations over `J`
+//! worker threads (default: available parallelism, overridable with
+//! `ORINOCO_JOBS`). Results are merged in seed order, so the findings are
+//! byte-identical to a serial run whenever `--max-seconds` does not
+//! truncate the campaign.
 //!
 //! `fuzz` exits non-zero if any clean-pass divergence is found **or** if
 //! the SPEC-flip fault-injection pass is never caught by the oracle (the
 //! oracle must be proven load-bearing in the same run).
 
-use orinoco_verif::{fuzz_campaign, litmus, replay};
+use orinoco_verif::{fuzz_campaign_par, litmus, replay};
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  verif fuzz --programs N --seed S [--max-seconds T]\n  \
+        "usage:\n  verif fuzz --programs N --seed S [--max-seconds T] [--jobs J]\n  \
          verif replay <seed> [--inject N]\n  verif litmus"
     );
     ExitCode::from(2)
@@ -32,6 +38,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     let mut programs = 100u64;
     let mut seed = 42u64;
     let mut max_seconds = None;
+    let mut jobs = orinoco_util::pool::default_jobs();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let val = |it: &mut std::slice::Iter<String>| it.next().and_then(|v| parse_u64(v));
@@ -48,15 +55,18 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
                 Some(v) => max_seconds = Some(Duration::from_secs(v)),
                 None => return usage(),
             },
+            "--jobs" => match val(&mut it) {
+                Some(v) => jobs = (v as usize).max(1),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
-    println!("fuzz: {programs} programs, campaign seed {seed}");
-    let mut last_decile = 0;
-    let out = fuzz_campaign(programs, seed, max_seconds, |done, total| {
+    println!("fuzz: {programs} programs, campaign seed {seed}, {jobs} jobs");
+    let last_decile = std::sync::atomic::AtomicU64::new(0);
+    let out = fuzz_campaign_par(programs, seed, max_seconds, jobs, |done, total| {
         let decile = done * 10 / total;
-        if decile > last_decile {
-            last_decile = decile;
+        if last_decile.fetch_max(decile, std::sync::atomic::Ordering::Relaxed) < decile {
             println!("  ... {done}/{total} co-simulations");
         }
     });

@@ -63,7 +63,8 @@ fn main() {
                 .with_commit(CommitKind::Orinoco),
         ),
     ] {
-        let stats = Core::new(build(), cfg).run(1_000_000_000);
+        let mut core = Core::new(build(), cfg);
+        let stats = core.run(1_000_000_000);
         println!(
             "{label}: IPC {:.3}  (L1 hits {}, DRAM {}, mispredicts {})",
             stats.ipc(),

@@ -30,7 +30,8 @@ fn main() {
             .with_scheduler(SchedulerKind::Orinoco)
             .with_commit(commit);
         cfg.pagefault_per_million = 2_000;
-        let stats = Core::new(emu, cfg).run(1_000_000_000);
+        let mut core = Core::new(emu, cfg);
+        let stats = core.run(1_000_000_000);
         println!(
             "{label:<28} {:>8.3} {:>10} {:>9} {:>9}",
             stats.ipc(),

@@ -14,7 +14,8 @@ use orinoco::workloads::Workload;
 fn simulate(w: Workload, cfg: CoreConfig) -> f64 {
     let mut emu = w.build(7, 1);
     emu.set_step_limit(60_000);
-    Core::new(emu, cfg).run(1_000_000_000).ipc()
+    let mut core = Core::new(emu, cfg);
+    core.run(1_000_000_000).ipc()
 }
 
 fn main() {

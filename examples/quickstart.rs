@@ -20,7 +20,8 @@ fn main() {
     // commit — the configuration the paper's Figure 15 normalises to.
     let mut emu = workload.build(42, 1);
     emu.set_step_limit(100_000);
-    let baseline = Core::new(emu, CoreConfig::base()).run(1_000_000_000);
+    let mut base_core = Core::new(emu, CoreConfig::base());
+    let baseline = base_core.run(1_000_000_000).clone();
 
     // Orinoco: ordered issue via the bit count encoding + non-speculative
     // out-of-order commit over non-collapsible queues.
@@ -29,7 +30,8 @@ fn main() {
     let cfg = CoreConfig::base()
         .with_scheduler(SchedulerKind::Orinoco)
         .with_commit(CommitKind::Orinoco);
-    let orinoco = Core::new(emu, cfg).run(1_000_000_000);
+    let mut orinoco_core = Core::new(emu, cfg);
+    let orinoco = orinoco_core.run(1_000_000_000).clone();
 
     println!("                       baseline      Orinoco");
     println!(

@@ -31,7 +31,8 @@
 //! let cfg = CoreConfig::base()
 //!     .with_scheduler(SchedulerKind::Orinoco)
 //!     .with_commit(CommitKind::Orinoco);
-//! let stats = Core::new(emu, cfg).run(100_000_000);
+//! let mut core = Core::new(emu, cfg);
+//! let stats = core.run(100_000_000);
 //! println!("IPC = {:.3}", stats.ipc());
 //! assert!(stats.ipc() > 0.1);
 //! ```

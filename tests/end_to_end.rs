@@ -12,7 +12,8 @@ const MAX_CYCLES: u64 = 500_000_000;
 fn run_limited(w: Workload, cfg: CoreConfig) -> orinoco::core::SimStats {
     let mut emu = w.build(99, 1);
     emu.set_step_limit(LIMIT);
-    Core::new(emu, cfg).run(MAX_CYCLES)
+    let mut core = Core::new(emu, cfg);
+    core.run(MAX_CYCLES).clone()
 }
 
 #[test]
@@ -137,8 +138,10 @@ fn seeds_produce_different_but_valid_runs() {
     let mut bld = Workload::HashjoinLike.build(2, 1);
     a.set_step_limit(LIMIT);
     bld.set_step_limit(LIMIT);
-    let sa = Core::new(a, CoreConfig::base()).run(MAX_CYCLES);
-    let sb = Core::new(bld, CoreConfig::base()).run(MAX_CYCLES);
+    let mut core_a = Core::new(a, CoreConfig::base());
+    let sa = core_a.run(MAX_CYCLES).clone();
+    let mut core_b = Core::new(bld, CoreConfig::base());
+    let sb = core_b.run(MAX_CYCLES).clone();
     assert_eq!(sa.committed, sb.committed);
     // Different data -> different cache behaviour, but same order of
     // magnitude.
