@@ -81,13 +81,20 @@ pub struct IssueQueue {
     /// ready (mirrors [`IqEntry::is_ready`], updated at allocation and
     /// wake-up).
     ready_bits: BitVec64,
-    /// Dispatch-order view as `(slot, seq)` pairs, maintained for the
-    /// plain Orinoco scheduler only: without criticality adjustment the
-    /// matrix age order *is* the dispatch order, so the full-width age
-    /// ranking of the select stage reduces to a walk over this deque.
-    /// Pairs go stale — and are skipped lazily — once the slot is freed
-    /// or recycled (same scheme as `Rob::order`).
+    /// Dispatch-order view as `(slot, generation)` pairs, maintained for
+    /// the plain Orinoco scheduler only: without criticality adjustment
+    /// the matrix age order *is* the dispatch order, so the full-width
+    /// age ranking of the select stage reduces to a walk over this
+    /// deque. Pairs go stale — and are skipped lazily — once the slot is
+    /// freed or recycled (same scheme as `Rob::order`). The generation
+    /// (rather than the occupant's seq) is what makes staleness
+    /// unambiguous: a squash + refetch re-dispatches the *same* dynamic
+    /// instruction, and the LIFO free list can hand back the *same*
+    /// slot, recreating an identical `(slot, seq)` pair next to its
+    /// stale twin — but never an identical `(slot, generation)` pair.
     order: VecDeque<(usize, u64)>,
+    /// Per-slot allocation counter backing `order`'s staleness test.
+    gen_of: Vec<u64>,
     // Reusable scratch for the per-cycle select path (allocation-free in
     // steady state; see DESIGN.md §"Performance engineering").
     scratch_ready: Vec<usize>,
@@ -116,6 +123,7 @@ impl IssueQueue {
             seq_of: vec![u64::MAX; cap],
             ready_bits: BitVec64::new(cap),
             order: VecDeque::with_capacity(cap * 2),
+            gen_of: vec![0; cap],
             scratch_ready: Vec::with_capacity(cap),
             scratch_order: Vec::with_capacity(cap),
             scratch_part: Vec::with_capacity(cap),
@@ -213,10 +221,11 @@ impl IssueQueue {
             // Lazily compact stale pairs once they dominate; live pairs
             // never exceed `cap`, so the push below fits afterwards.
             if self.order.len() >= self.cap * 2 {
-                let slots = &self.slots;
-                self.order.retain(|&(s, q)| slots[s].as_ref().is_some_and(|e| e.seq == q));
+                let (slots, gen_of) = (&self.slots, &self.gen_of);
+                self.order.retain(|&(s, g)| slots[s].is_some() && gen_of[s] == g);
             }
-            self.order.push_back((slot, entry.seq));
+            self.gen_of[slot] = self.gen_of[slot].wrapping_add(1);
+            self.order.push_back((slot, self.gen_of[slot]));
         }
         let srcs = entry.srcs;
         let src_ready = entry.src_ready;
@@ -310,6 +319,18 @@ impl IssueQueue {
     /// slot was freed or recycled since registration) fail the seq or
     /// source check and are dropped.
     pub fn writeback(&mut self, p: PhysReg) {
+        self.writeback_imp(p, None);
+    }
+
+    /// [`IssueQueue::writeback`] that also reports wakeups: appends the
+    /// seq of every entry whose **last** gating operand just became ready
+    /// (the not-ready → ready transition the trace layer records as a
+    /// wakeup event). `woken` is appended to, never cleared.
+    pub fn writeback_collect(&mut self, p: PhysReg, woken: &mut Vec<u64>) {
+        self.writeback_imp(p, Some(woken));
+    }
+
+    fn writeback_imp(&mut self, p: PhysReg, mut woken: Option<&mut Vec<u64>>) {
         let Some(list) = self.waiters.get_mut(p.0 as usize) else {
             return;
         };
@@ -318,8 +339,11 @@ impl IssueQueue {
             if let Some(e) = self.slots[slot].as_mut() {
                 if e.seq == seq && e.srcs[i as usize] == Some(p) {
                     e.src_ready[i as usize] = true;
-                    if e.is_ready() {
+                    if e.is_ready() && !self.ready_bits.get(slot) {
                         self.ready_bits.set(slot);
+                        if let Some(w) = woken.as_deref_mut() {
+                            w.push(seq);
+                        }
                     }
                 }
             }
@@ -411,9 +435,13 @@ impl IssueQueue {
                 // over the dispatch deque — O(live) instead of the
                 // O(ready × words) bit-count rank plus sort. Equivalence
                 // with the matrix path is pinned by
-                // `orinoco_walk_matches_matrix_ranking`.
-                out.extend(self.order.iter().filter_map(|&(s, q)| {
-                    (self.seq_of[s] == q && self.ready_bits.get(s)).then_some(s)
+                // `orinoco_walk_matches_matrix_ranking`. Staleness is a
+                // generation compare (see the `order` field docs), so a
+                // recycled slot can never match twice.
+                let gen_of = &self.gen_of;
+                let ready_bits = &self.ready_bits;
+                out.extend(self.order.iter().filter_map(|&(s, g)| {
+                    (gen_of[s] == g && ready_bits.get(s)).then_some(s)
                 }));
                 debug_assert_eq!(out.len(), ready.len(), "walk missed a ready entry");
             }
@@ -541,6 +569,27 @@ mod tests {
         let seqs: Vec<u64> = grants.iter().map(|(_, e)| e.seq).collect();
         assert_eq!(seqs, vec![0, 1, 2]);
         assert_eq!(iq.len(), 2);
+    }
+
+    #[test]
+    fn squash_refetch_slot_reuse_does_not_duplicate_grants() {
+        // A precise exception or replay squashes from the offender's own
+        // seq and refetches it: the same dynamic instruction re-enters the
+        // IQ with the same seq, and the LIFO free list hands back the same
+        // slot — recreating a (slot, seq) pair whose stale twin is still
+        // in the Orinoco dispatch deque. The walk must not grant it twice.
+        let mut iq = IssueQueue::new(SchedulerKind::Orinoco, 8);
+        let slots = fill(&mut iq, &[0, 1, 2]);
+        // Squash seqs >= 1 (youngest first, as squash_ge walks).
+        iq.remove(slots[2]);
+        iq.remove(slots[1]);
+        // Refetch: same seqs, and the free list returns the same slots.
+        assert_eq!(iq.allocate(entry(1, 1, Pool::Int)), Some(slots[1]));
+        assert_eq!(iq.allocate(entry(2, 2, Pool::Int)), Some(slots[2]));
+        let grants = iq.select(&mut budgets(8), 8);
+        let seqs: Vec<u64> = grants.iter().map(|(_, e)| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert!(iq.is_empty());
     }
 
     #[test]

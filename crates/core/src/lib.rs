@@ -59,6 +59,8 @@ pub use fetch::{FetchStats, FetchUnit, Fetched};
 pub use iq::{IqEntry, IssueQueue};
 pub use lsq::{LoadSearch, Lsq};
 pub use pipeline::{CommitEvent, Core};
+pub use orinoco_stats::{StallCause, StallTaxonomy};
+pub use orinoco_trace::{TraceEventKind, TraceRecord, Tracer, STALL_SEQ};
 pub use rename::{PhysReg, RenameUnit};
 pub use rob::{Rob, RobEntry};
 pub use stats::SimStats;

@@ -14,7 +14,8 @@ use crate::stats::SimStats;
 use orinoco_isa::{DynInst, Emulator, InstClass, Opcode};
 use orinoco_matrix::{BitVec64, LockdownMatrix, LockdownTable};
 use orinoco_mem::{AccessKind, HitLevel, MemorySystem};
-use orinoco_stats::Resource;
+use orinoco_stats::{Resource, StallCause};
+use orinoco_trace::{TraceEventKind, Tracer, STALL_SEQ};
 use std::collections::{HashSet, VecDeque};
 
 /// Number of lockdown-table rows (committed-but-unordered loads tracked
@@ -86,6 +87,11 @@ pub struct Core {
     /// Commit-event trace consumed by the differential oracle
     /// (`None` = tracing disabled, zero per-commit overhead).
     trace: Option<Vec<CommitEvent>>,
+    /// Instruction-lifecycle tracer ([`Core::enable_tracing`]): one event
+    /// per pipeline transition plus per-cycle stall attribution, recorded
+    /// into a preallocated ring buffer (`None` = disabled; every hook is
+    /// a single `Option` check).
+    tracer: Option<Box<Tracer>>,
     /// Fault-injection hook: clears the SPEC bit of the n-th speculative
     /// dispatch, emulating a stuck-at/upset fault in the commit matrix's
     /// SPEC column. `None` once fired or never armed.
@@ -103,6 +109,15 @@ pub struct Core {
     scratch_used_banks: Vec<bool>,
     scratch_replays: Vec<usize>,
     scratch_older_np: BitVec64,
+    /// Wakeup seqs collected from the IQs during a writeback (tracing
+    /// only; reused so the traced path stays allocation-free too).
+    scratch_woken: Vec<u64>,
+    // Per-cycle stall-attribution observations, reset at the top of
+    // `step()` and resolved into one `StallCause` at the end of it.
+    cyc_committed: usize,
+    cyc_dispatch_block: Option<Resource>,
+    cyc_ldt_full: bool,
+    cyc_ready_before: usize,
 }
 
 impl Core {
@@ -148,6 +163,7 @@ impl Core {
             committed_count: 0,
             committed_seq_sum: 0,
             trace: None,
+            tracer: None,
             chaos_spec_flip: None,
             spec_dispatched: 0,
             scratch_grants: Vec::new(),
@@ -158,6 +174,11 @@ impl Core {
             scratch_used_banks: Vec::new(),
             scratch_replays: Vec::new(),
             scratch_older_np: BitVec64::new(cfg.lq_entries),
+            scratch_woken: Vec::new(),
+            cyc_committed: 0,
+            cyc_dispatch_block: None,
+            cyc_ldt_full: false,
+            cyc_ready_before: 0,
             now: 0,
             cfg,
         }
@@ -226,12 +247,17 @@ impl Core {
 
     /// Advances one cycle.
     pub fn step(&mut self) {
+        self.cyc_committed = 0;
+        self.cyc_dispatch_block = None;
+        self.cyc_ldt_full = false;
+        self.cyc_ready_before = 0;
         self.drain_store_buffer();
         self.process_events();
         self.commit();
         self.issue();
         self.dispatch();
         self.fetch_stage();
+        self.attribute_stall();
         self.stats.rob_occ_sum += self.rob.len() as u64;
         self.stats.iq_occ_sum += self.iq_len_total() as u64;
         self.now += 1;
@@ -263,6 +289,28 @@ impl Core {
             Some(t) => std::mem::take(t),
             None => Vec::new(),
         }
+    }
+
+    /// Turns on the instruction-lifecycle tracer with a ring buffer of
+    /// `capacity` records (the one allocation tracing ever performs).
+    /// Every subsequent pipeline transition — fetch, rename, dispatch,
+    /// wakeup, issue (with grant rank), execute, complete,
+    /// commit-eligible, commit, squash — and every zero-commit cycle's
+    /// stall attribution is recorded; once the ring fills, the oldest
+    /// events are overwritten.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.tracer = Some(Box::new(Tracer::new(capacity)));
+    }
+
+    /// The lifecycle tracer, if enabled.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Detaches and returns the lifecycle tracer (tracing stops).
+    pub fn take_tracer(&mut self) -> Option<Box<Tracer>> {
+        self.tracer.take()
     }
 
     /// Arms the commit-matrix fault injector: the `nth` (1-based)
@@ -419,8 +467,20 @@ impl Core {
         let dst = self.rob.entry(idx).dst;
         if let Some((_, new, _)) = dst {
             self.rename.writeback(new);
-            for iq in &mut self.iqs {
-                iq.writeback(new);
+            if self.tracer.is_some() {
+                self.scratch_woken.clear();
+                for iq in &mut self.iqs {
+                    iq.writeback_collect(new, &mut self.scratch_woken);
+                }
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    for &seq in &self.scratch_woken {
+                        t.record(self.now, TraceEventKind::Wakeup, seq, u64::from(new.0));
+                    }
+                }
+            } else {
+                for iq in &mut self.iqs {
+                    iq.writeback(new);
+                }
             }
             if !self.store_data_waiters.is_empty() {
                 let mut waiters = std::mem::take(&mut self.store_data_waiters);
@@ -437,6 +497,7 @@ impl Core {
             }
         }
         self.rob.mark_completed(idx);
+        self.trace_complete(idx);
     }
 
     /// A waiting store's data operand became available.
@@ -445,6 +506,7 @@ impl Core {
         e.store_data_ready = true;
         if e.agu_done && !e.completed {
             self.rob.mark_completed(idx);
+            self.trace_complete(idx);
             if self.rob.entry(idx).retired {
                 // A store that left the ROB before its data (VB-style
                 // post-commit execution) is done once the data reaches
@@ -467,7 +529,7 @@ impl Core {
                 self.squash_ge(seq + 1, true);
                 self.fetch.redirect(seq, self.now, self.cfg.redirect_penalty);
             }
-            self.rob.mark_safe(idx);
+            self.mark_safe_traced(idx);
         }
         if retired {
             self.free_zombie(idx);
@@ -531,9 +593,10 @@ impl Core {
                     e.agu_done = true;
                     if e.store_data_ready {
                         self.rob.mark_completed(idx);
+                        self.trace_complete(idx);
                     }
                 }
-                self.rob.mark_safe(idx);
+                self.mark_safe_traced(idx);
                 if self.rob.entry(idx).completed && self.rob.entry(idx).retired {
                     self.free_zombie(idx);
                 }
@@ -632,8 +695,81 @@ impl Core {
                 continue;
             }
             if !self.rob.is_safe_self(idx) && self.lsq.load_nonspeculative(slot) {
-                self.rob.mark_safe(idx);
+                self.mark_safe_traced(idx);
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Trace hooks
+    // ------------------------------------------------------------------
+
+    /// Clears the entry's `SPEC` bit through an **architectural
+    /// resolution** (branch resolved, store address known, load past
+    /// disambiguation, barrier drained) and records the commit-eligible
+    /// transition. The chaos fault injector deliberately bypasses this
+    /// helper: a flipped SPEC bit has no resolution event, which is
+    /// exactly how the trace-invariant harness catches it.
+    fn mark_safe_traced(&mut self, idx: usize) {
+        if self.rob.is_safe_self(idx) {
+            return;
+        }
+        self.rob.mark_safe(idx);
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.record(self.now, TraceEventKind::CommitEligible, self.rob.entry(idx).seq, 0);
+        }
+    }
+
+    /// Records a completion transition (called right after
+    /// `rob.mark_completed`).
+    fn trace_complete(&mut self, idx: usize) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.record(self.now, TraceEventKind::Complete, self.rob.entry(idx).seq, 0);
+        }
+    }
+
+    /// End-of-cycle stall attribution: when the cycle committed nothing,
+    /// classify why (commit-side reasons take priority over backpressure,
+    /// backpressure over issue starvation). The taxonomy counters are
+    /// always collected; a per-cycle [`TraceEventKind::Stall`] record is
+    /// emitted only when tracing is on.
+    fn attribute_stall(&mut self) {
+        if self.cyc_committed > 0 {
+            return;
+        }
+        let cause = if !self.rob.is_empty() {
+            if self.cyc_ldt_full {
+                // An unordered load grant was withheld for want of a
+                // lockdown-table row.
+                StallCause::LockdownHeld
+            } else if let Some(h) = self.rob.head() {
+                let e = self.rob.entry(h);
+                let (completed, safe) = (e.completed, self.rob.is_safe_self(h));
+                if completed && !safe {
+                    StallCause::CommitBlockedBySpec
+                } else if !completed && self.ldt.active() > 0 {
+                    // Inside a lockdown-protected window: committed loads
+                    // ran ahead and the machine now waits for the older
+                    // loads pinning their lockdowns.
+                    StallCause::LockdownHeld
+                } else if let Some(r) = self.cyc_dispatch_block {
+                    StallCause::from_resource(r)
+                } else if self.cyc_ready_before == 0 && self.iq_len_total() > 0 {
+                    StallCause::NoReady
+                } else {
+                    StallCause::ExecPending
+                }
+            } else {
+                StallCause::ExecPending // only post-commit zombies remain
+            }
+        } else if self.fetch.drained() && self.fq.is_empty() {
+            StallCause::ExecPending // post-program drain (SB, zombies)
+        } else {
+            StallCause::FrontendEmpty
+        };
+        self.stats.stall_taxonomy.record(cause);
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.record(self.now, TraceEventKind::Stall, STALL_SEQ, cause.idx() as u64);
         }
     }
 
@@ -655,7 +791,7 @@ impl Core {
                 && !self.rob.is_safe_self(h)
                 && self.sb.is_empty()
             {
-                self.rob.mark_safe(h);
+                self.mark_safe_traced(h);
             }
         }
         let committed = match self.cfg.commit {
@@ -663,6 +799,7 @@ impl Core {
             CommitKind::Spec => self.commit_spec_oracle(),
             _ => self.commit_in_order(),
         };
+        self.cyc_committed = committed;
         self.stats.commit_width_hist.record(committed as u64);
         // Note: `rob.len()` is the *logical* occupancy (zombies excluded),
         // deliberately not `is_empty()` which also counts zombies.
@@ -708,6 +845,7 @@ impl Core {
                     .older_nonperformed_loads_into(seq, &mut self.scratch_older_np);
                 if !self.scratch_older_np.is_zero() {
                     let Some(row) = self.ldt_free.pop() else {
+                        self.cyc_ldt_full = true;
                         continue; // LDT full: retry next cycle
                     };
                     let line = mem_addr.expect("load without address") / 64;
@@ -857,16 +995,26 @@ impl Core {
         let (seq, class, dst, lq_slot, wrong_path) =
             (e.seq, e.class, e.dst, e.lq_slot, e.wrong_path);
         assert!(!wrong_path, "retiring a wrong-path instruction");
-        if self.trace.is_some() {
-            let dyn_inst = self
-                .rob
-                .entry(idx)
-                .dyn_inst
-                .clone()
-                .expect("correct-path commit without a dynamic instruction");
+        if self.trace.is_some() || self.tracer.is_some() {
             let oldest_live_seq = self.rob.head().map(|h| self.rob.entry(h).seq);
-            if let Some(trace) = self.trace.as_mut() {
-                trace.push(CommitEvent { seq, cycle: self.now, oldest_live_seq, dyn_inst });
+            if self.trace.is_some() {
+                let dyn_inst = self
+                    .rob
+                    .entry(idx)
+                    .dyn_inst
+                    .clone()
+                    .expect("correct-path commit without a dynamic instruction");
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.push(CommitEvent { seq, cycle: self.now, oldest_live_seq, dyn_inst });
+                }
+            }
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.record(
+                    self.now,
+                    TraceEventKind::Commit,
+                    seq,
+                    oldest_live_seq.unwrap_or(u64::MAX),
+                );
             }
         }
         self.stats.committed += 1;
@@ -946,6 +1094,9 @@ impl Core {
             let idx = self.scratch_squash[si];
             let e = self.rob.free(idx);
             self.stats.squashed += 1;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.record(self.now, TraceEventKind::Squash, e.seq, u64::from(e.wrong_path));
+            }
             if let Some((qi, slot)) = e.iq_slot {
                 self.iqs[qi].remove(slot);
             }
@@ -974,6 +1125,9 @@ impl Core {
         // correct-path ones.
         for (f, _) in self.fq.drain(..) {
             self.stats.squashed += 1;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.record(self.now, TraceEventKind::Squash, f.inst.seq, u64::from(f.wrong_path));
+            }
             if !f.wrong_path {
                 debug_assert!(f.inst.seq >= from);
                 reinject.push(f.inst);
@@ -991,6 +1145,7 @@ impl Core {
     fn issue(&mut self) {
         let mut budget = self.fus.budget(self.now);
         let ready_before: usize = self.iqs.iter().map(IssueQueue::ready_count).sum();
+        self.cyc_ready_before = ready_before;
         self.stats.iq_ready_sum += ready_before as u64;
         let mut grants = std::mem::take(&mut self.scratch_grants);
         let mut granted_total = 0;
@@ -1004,8 +1159,10 @@ impl Core {
             granted_total += grants.len();
             // Grants are processed per queue: a later queue's selection is
             // unaffected (it sees only the shared `budget` array).
-            for (_slot, iqe) in grants.drain(..) {
+            let rank_base = granted_total - grants.len();
+            for (k, (_slot, iqe)) in grants.drain(..).enumerate() {
                 let idx = iqe.rob_idx;
+                let iq_seq = iqe.seq;
                 for p in iqe.srcs.into_iter().flatten() {
                     self.rename.read_operand(p);
                 }
@@ -1043,6 +1200,18 @@ impl Core {
                     gen: self.rob.generation(idx),
                 });
                 self.stats.issued += 1;
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    // The grant rank is the instruction's position in the
+                    // cycle's priority-ordered pick (0 = first grant of
+                    // the age-matrix selection).
+                    t.record(self.now, TraceEventKind::Issue, iq_seq, (rank_base + k) as u64);
+                    t.record(
+                        self.now,
+                        TraceEventKind::Execute,
+                        iq_seq,
+                        Pool::of(class).idx() as u64,
+                    );
+                }
             }
         }
         if ready_before > granted_total && ready_before > 0 {
@@ -1082,6 +1251,7 @@ impl Core {
             };
             if let Some(r) = blocked {
                 self.stats.dispatch_stalls.record(r);
+                self.cyc_dispatch_block = Some(r);
                 break;
             }
             let (f, _) = self.fq.pop_front().expect("checked front");
@@ -1209,6 +1379,10 @@ impl Core {
             e.iq_slot = Some((pool_q, iq_slot));
             e.lq_slot = lq_slot;
             e.sq_slot = sq_slot;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.record(self.now, TraceEventKind::Rename, seq, u64::from(f.wrong_path));
+                t.record(self.now, TraceEventKind::Dispatch, seq, u64::from(speculative));
+            }
         }
     }
 
@@ -1224,6 +1398,9 @@ impl Core {
         let dispatchable_at = self.now + self.cfg.frontend_depth;
         self.fetch.fetch_into(self.now, self.cfg.width, &mut self.scratch_fetch);
         for f in self.scratch_fetch.drain(..) {
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.record(self.now, TraceEventKind::Fetch, f.inst.seq, f.inst.pc);
+            }
             self.fq.push_back((f, dispatchable_at));
         }
     }
@@ -1295,6 +1472,46 @@ mod tests {
         let victim = (0..64).find(|&s| core.fault_roll(s)).expect("some fault");
         core.handled_faults.insert(victim);
         assert!(!core.fault_roll(victim), "handled fault must not re-fire");
+    }
+
+    #[test]
+    fn lifecycle_trace_covers_every_transition_kind() {
+        use orinoco_isa::ArchReg;
+        let mut b = ProgramBuilder::new();
+        let x1 = ArchReg::int(1);
+        let x2 = ArchReg::int(2);
+        b.li(x1, 50);
+        b.li(x2, 0);
+        let top = b.label();
+        b.bind(top);
+        b.mul(x2, x2, x1); //   long-latency producer: consumers sleep in
+        b.add(x2, x2, x1); //   the IQ and get woken by the writeback.
+        b.addi(x1, x1, -1);
+        b.bne(x1, ArchReg::ZERO, top);
+        b.halt();
+        let cfg = CoreConfig::base()
+            .with_scheduler(SchedulerKind::Orinoco)
+            .with_commit(CommitKind::Orinoco);
+        let mut core = Core::new(Emulator::new(b.build(), 1 << 16), cfg);
+        core.enable_tracing(1 << 16);
+        let stats = core.run(100_000).clone();
+        let t = core.tracer().expect("tracing enabled");
+        assert_eq!(t.dropped(), 0, "ring sized for the whole run");
+        let count = |k: TraceEventKind| t.records().filter(|r| r.kind == k).count() as u64;
+        // One commit event per committed instruction, and every
+        // transition kind (including wakeup and commit-eligible from the
+        // speculative branches) appears.
+        assert_eq!(count(TraceEventKind::Commit), stats.committed);
+        for k in TraceEventKind::ALL {
+            assert!(count(k) > 0, "no {} events recorded", k.label());
+        }
+        // The taxonomy attributes exactly the zero-commit cycles.
+        assert_eq!(
+            stats.stall_taxonomy.total(),
+            count(TraceEventKind::Stall),
+            "one stall record per attributed cycle"
+        );
+        assert!(stats.stall_taxonomy.total() > 0);
     }
 
     #[test]

@@ -79,11 +79,16 @@ pub struct Rob {
     free: Vec<usize>,
     sched: CommitScheduler,
     completed: BitVec64,
-    /// Program-order view (dispatch order) as `(slot, seq)` pairs; a
-    /// pair is stale — skipped lazily — once the slot was freed or
-    /// recycled by a younger instruction.
+    /// Program-order view (dispatch order) as `(slot, generation)`
+    /// pairs; a pair is stale — skipped lazily — once the slot was freed
+    /// or recycled. Staleness is a generation compare rather than a seq
+    /// compare: a squash + refetch re-installs the *same* dynamic
+    /// instruction (same seq) and can land in the *same* slot, which
+    /// would make an identical `(slot, seq)` pair ambiguous with its
+    /// stale twin — generations never repeat for a slot.
     order: VecDeque<(usize, u64)>,
-    /// Per-slot generation counters to invalidate stale events.
+    /// Per-slot generation counters (bumped on free) to invalidate stale
+    /// events and stale `order` pairs.
     gens: Vec<u64>,
     /// Compact per-slot copy of the occupant's sequence number
     /// (`u64::MAX` when empty), so the per-cycle commit walk can test
@@ -225,11 +230,10 @@ impl Rob {
         // pairs never exceed the physical slot count, so after compaction
         // the push below always fits without reallocating.
         if self.order.len() >= self.slots.len() * 2 {
-            let slots = &self.slots;
-            self.order
-                .retain(|&(i, q)| slots[i].as_ref().is_some_and(|e| e.seq == q));
+            let (slots, gens) = (&self.slots, &self.gens);
+            self.order.retain(|&(i, g)| slots[i].is_some() && gens[i] == g);
         }
-        self.order.push_back((idx, entry.seq));
+        self.order.push_back((idx, self.gens[idx]));
         self.seq_of[idx] = entry.seq;
         self.retired_bits.clear(idx);
         self.slots[idx] = Some(entry);
@@ -346,10 +350,10 @@ impl Rob {
             return;
         }
         let mut walked = 0usize;
-        // Only the compact side-arrays (`seq_of`, bit vectors) are read:
+        // Only the compact side-arrays (`gens`, bit vectors) are read:
         // the wide `RobEntry` slots would cost a cache miss per step.
-        for &(i, q) in &self.order {
-            if self.seq_of[i] != q {
+        for &(i, g) in &self.order {
+            if self.gens[i] != g {
                 continue; // stale pair: the slot was freed or recycled
             }
             // Live in the scheduler. The oldest live SPEC entry blocks
@@ -394,11 +398,11 @@ impl Rob {
             Some(d) => {
                 let mut window = BitVec64::new(self.slots.len());
                 let mut taken = 0usize;
-                for &(i, q) in &self.order {
+                for &(i, g) in &self.order {
                     if taken >= d {
                         break;
                     }
-                    if self.slots[i].as_ref().is_some_and(|e| e.seq == q && !e.retired) {
+                    if self.gens[i] == g && !self.retired_bits.get(i) {
                         window.set(i);
                         taken += 1;
                     }
@@ -415,17 +419,16 @@ impl Rob {
     /// head again.
     #[must_use]
     pub fn head(&mut self) -> Option<usize> {
-        while let Some(&(idx, seq)) = self.order.front() {
-            match &self.slots[idx] {
-                Some(e) if e.seq == seq && !e.retired => return Some(idx),
-                Some(e) if e.seq == seq => {
-                    // Retired zombie: never blocks the head again.
-                    self.order.pop_front();
+        while let Some(&(idx, gen)) = self.order.front() {
+            if self.gens[idx] == gen {
+                if !self.retired_bits.get(idx) {
+                    return Some(idx);
                 }
+                // Retired zombie: never blocks the head again.
+                self.order.pop_front();
+            } else {
                 // Freed or recycled slot: stale pair.
-                Some(_) | None => {
-                    self.order.pop_front();
-                }
+                self.order.pop_front();
             }
         }
         None
@@ -446,11 +449,7 @@ impl Rob {
         out.extend(
             self.order
                 .iter()
-                .filter(|&&(i, q)| {
-                    self.slots[i]
-                        .as_ref()
-                        .is_some_and(|e| e.seq == q && !e.retired)
-                })
+                .filter(|&&(i, g)| self.gens[i] == g && !self.retired_bits.get(i))
                 .map(|&(i, _)| i)
                 .take(k),
         );
@@ -483,11 +482,7 @@ impl Rob {
         out.extend(
             self.order
                 .iter()
-                .filter(|&&(i, q)| {
-                    self.slots[i]
-                        .as_ref()
-                        .is_some_and(|e| e.seq == q && e.seq >= from)
-                })
+                .filter(|&&(i, g)| self.gens[i] == g && self.seq_of[i] >= from)
                 .map(|&(i, _)| i),
         );
         out.sort_unstable_by_key(|&i| std::cmp::Reverse(self.entry(i).seq));
@@ -539,7 +534,7 @@ impl Rob {
         let live: Vec<usize> = self
             .order
             .iter()
-            .filter(|&&(i, q)| self.slots[i].as_ref().is_some_and(|e| e.seq == q))
+            .filter(|&&(i, g)| self.gens[i] == g)
             .map(|&(i, _)| i)
             .collect();
         let matrix_order = self.sched.age().valid_in_age_order();

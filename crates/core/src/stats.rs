@@ -2,7 +2,7 @@
 
 use crate::fetch::FetchStats;
 use orinoco_mem::MemStats;
-use orinoco_stats::{Histogram, StallBreakdown};
+use orinoco_stats::{Histogram, StallBreakdown, StallTaxonomy};
 
 /// Aggregate statistics of one simulation run.
 #[derive(Clone, Debug)]
@@ -18,6 +18,9 @@ pub struct SimStats {
     pub dispatch_stalls: StallBreakdown,
     /// Cycles with zero commits while the ROB held instructions.
     pub commit_stall_cycles: u64,
+    /// Per-cause attribution of every zero-commit cycle (the trace
+    /// layer's cycle-level stall taxonomy; always collected).
+    pub stall_taxonomy: StallTaxonomy,
     /// Of those, cycles where at least one instruction satisfied every
     /// out-of-order commit condition but was not at the head (the paper's
     /// 72% observation).
@@ -61,6 +64,7 @@ impl Default for SimStats {
             squashed: 0,
             dispatch_stalls: StallBreakdown::default(),
             commit_stall_cycles: 0,
+            stall_taxonomy: StallTaxonomy::default(),
             commit_stall_ooo_ready: 0,
             issue_conflict_cycles: 0,
             issued: 0,

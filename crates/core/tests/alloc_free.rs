@@ -10,6 +10,12 @@
 //! (hence mispredicting) branches, so the measured window exercises the
 //! issue, wakeup, unordered-commit, squash and re-inject paths — not just
 //! the easy straight-line case.
+//!
+//! Both tracing states are covered: with the lifecycle tracer left
+//! disabled (the default — the `Option<Box<Tracer>>` guard must stay off
+//! the allocation path entirely) and with it enabled (the ring buffer is
+//! allocated once at `enable_tracing` time; recording, including
+//! overwrite once the ring is full, must not allocate again).
 
 use orinoco_core::{CommitKind, Core, CoreConfig, SchedulerKind};
 use orinoco_isa::{ArchReg, Emulator, ProgramBuilder};
@@ -57,13 +63,7 @@ fn alu_branch_kernel(iters: i64) -> Emulator {
     Emulator::new(b.build(), 1 << 16)
 }
 
-#[test]
-fn steady_state_cycle_is_allocation_free() {
-    let cfg = CoreConfig::base()
-        .with_scheduler(SchedulerKind::Orinoco)
-        .with_commit(CommitKind::Orinoco);
-    let mut core = Core::new(alu_branch_kernel(4_000_000), cfg);
-
+fn measure_steady_state(core: &mut Core) -> u64 {
     // Warmup: let every scratch buffer, queue and table reach its
     // steady-state capacity (including squash/re-inject paths).
     for _ in 0..50_000 {
@@ -86,8 +86,42 @@ fn steady_state_cycle_is_allocation_free() {
     let stats = core.stats();
     assert!(stats.squashed > 0, "kernel never exercised the squash path");
     assert!(stats.ooo_commits > 0, "kernel never committed out of order");
+    allocs
+}
+
+/// Tracing compiled in but **disabled** (the shipping default): the
+/// steady-state cycle must not allocate at all.
+#[test]
+fn steady_state_cycle_is_allocation_free() {
+    let cfg = CoreConfig::base()
+        .with_scheduler(SchedulerKind::Orinoco)
+        .with_commit(CommitKind::Orinoco);
+    let mut core = Core::new(alu_branch_kernel(4_000_000), cfg);
+    let allocs = measure_steady_state(&mut core);
     assert_eq!(
         allocs, 0,
-        "steady-state Core::step allocated {allocs} times over {MEASURED} cycles"
+        "steady-state Core::step allocated {allocs} times over the measured window"
     );
 }
+
+/// Tracing **enabled**: the ring buffer is the one allocation, made up
+/// front by `enable_tracing`; recording events — including overwriting
+/// the oldest once the ring wraps — must stay allocation-free.
+#[test]
+fn steady_state_cycle_is_allocation_free_with_tracing_enabled() {
+    let cfg = CoreConfig::base()
+        .with_scheduler(SchedulerKind::Orinoco)
+        .with_commit(CommitKind::Orinoco);
+    let mut core = Core::new(alu_branch_kernel(4_000_000), cfg);
+    // Small ring: guarantees the measured window runs in overwrite mode.
+    core.enable_tracing(1 << 12);
+    let allocs = measure_steady_state(&mut core);
+    let tracer = core.tracer().expect("tracing enabled");
+    assert!(tracer.dropped() > 0, "ring never wrapped; overwrite path untested");
+    assert!(tracer.total() > 100_000, "tracer recorded implausibly few events");
+    assert_eq!(
+        allocs, 0,
+        "traced Core::step allocated {allocs} times over the measured window"
+    );
+}
+

@@ -1,0 +1,224 @@
+//! Property test: the LSQ's store-to-load forwarding search, replay
+//! detection and non-speculative promotion match a naive O(LQ×SQ)
+//! reference that rescans every queue entry with explicit sequence
+//! numbers, under random interleavings of allocation, address
+//! resolution, commit, squash and slot recycling.
+
+use orinoco_core::{LoadSearch, Lsq};
+use orinoco_util::prop;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+const LQ: usize = 8;
+const SQ: usize = 6;
+/// Small address pool so aliases are common.
+const ADDRS: [u64; 4] = [0x100, 0x140, 0x180, 0x1C0];
+
+struct LoadModel {
+    seq: u64,
+    rob: usize,
+    addr: Option<u64>,
+    translated: bool,
+    fwd_seq: Option<u64>,
+    /// SQ slots this load still speculates past.
+    pending: HashSet<usize>,
+}
+
+struct StoreModel {
+    seq: u64,
+    rob: usize,
+    addr: Option<u64>,
+}
+
+#[derive(Default)]
+struct Model {
+    loads: HashMap<usize, LoadModel>,
+    stores: HashMap<usize, StoreModel>,
+    /// SQ FIFO order, oldest first.
+    fifo: VecDeque<usize>,
+    next_seq: u64,
+}
+
+impl Model {
+    /// Naive forwarding search: the youngest older resolved store to the
+    /// same address.
+    fn forward_for(&self, seq: u64, addr: u64) -> Option<u64> {
+        self.stores
+            .values()
+            .filter(|s| s.seq < seq && s.addr == Some(addr))
+            .map(|s| s.seq)
+            .max()
+    }
+
+    fn check(&self, lsq: &Lsq) {
+        for (&slot, m) in &self.loads {
+            let want = m.addr.is_some() && m.translated && m.pending.is_empty();
+            assert_eq!(lsq.load_nonspeculative(slot), want, "load slot {slot}");
+            let e = lsq.load(slot).expect("model load live");
+            assert_eq!((e.seq, e.addr, e.fwd_seq), (m.seq, m.addr, m.fwd_seq));
+        }
+        assert_eq!(lsq.lq_len(), self.loads.len());
+        assert_eq!(lsq.sq_len(), self.stores.len());
+    }
+}
+
+#[test]
+fn lsq_forwarding_and_replays_match_naive_reference() {
+    prop::check("lsq_naive_reference", 0x15C0, |rng| {
+        let mut lsq = Lsq::new(LQ, SQ);
+        let mut m = Model::default();
+        let steps = rng.gen_range(1..120usize);
+        for _ in 0..steps {
+            match rng.gen_range(0..6u8) {
+                // Dispatch a load.
+                0 => {
+                    let seq = m.next_seq;
+                    if let Some(slot) = lsq.alloc_load(seq as usize, seq) {
+                        m.next_seq += 1;
+                        m.loads.insert(
+                            slot,
+                            LoadModel {
+                                seq,
+                                rob: seq as usize,
+                                addr: None,
+                                translated: false,
+                                fwd_seq: None,
+                                pending: HashSet::new(),
+                            },
+                        );
+                    }
+                }
+                // Dispatch a store.
+                1 => {
+                    let seq = m.next_seq;
+                    if let Some(slot) = lsq.alloc_store(seq as usize, seq) {
+                        m.next_seq += 1;
+                        m.stores.insert(slot, StoreModel { seq, rob: seq as usize, addr: None });
+                        m.fifo.push_back(slot);
+                    }
+                }
+                // A load's AGU fires: forwarding must pick the youngest
+                // older resolved same-address store; the pending set is
+                // the older unresolved stores.
+                2 => {
+                    let unresolved: Vec<usize> = m
+                        .loads
+                        .iter()
+                        .filter(|(_, l)| l.addr.is_none())
+                        .map(|(&s, _)| s)
+                        .collect();
+                    if let Some(&slot) = unresolved.get(rng.gen_range(0..unresolved.len().max(1)))
+                    {
+                        let addr = ADDRS[rng.gen_range(0..ADDRS.len())];
+                        let translated = rng.gen_range(0..8u8) != 0;
+                        let seq = m.loads[&slot].seq;
+                        let want_fwd = m.forward_for(seq, addr);
+                        let got = lsq.load_agu(slot, addr, translated);
+                        match want_fwd {
+                            Some(store_seq) => {
+                                assert_eq!(got, LoadSearch::Forward { store_seq })
+                            }
+                            None => assert_eq!(got, LoadSearch::Cache),
+                        }
+                        let pending: HashSet<usize> = m
+                            .stores
+                            .iter()
+                            .filter(|(_, s)| s.seq < seq && s.addr.is_none())
+                            .map(|(&s, _)| s)
+                            .collect();
+                        let l = m.loads.get_mut(&slot).expect("live");
+                        l.addr = Some(addr);
+                        l.translated = translated;
+                        l.fwd_seq = want_fwd;
+                        l.pending = pending;
+                    }
+                }
+                // A store's AGU fires: replays are exactly the younger
+                // same-address resolved loads not shielded by a younger
+                // forwarding store.
+                3 => {
+                    let unresolved: Vec<usize> = m
+                        .stores
+                        .iter()
+                        .filter(|(_, s)| s.addr.is_none())
+                        .map(|(&s, _)| s)
+                        .collect();
+                    if let Some(&slot) = unresolved.get(rng.gen_range(0..unresolved.len().max(1)))
+                    {
+                        let addr = ADDRS[rng.gen_range(0..ADDRS.len())];
+                        let store_seq = m.stores[&slot].seq;
+                        let mut want: Vec<usize> = m
+                            .loads
+                            .values()
+                            .filter(|l| {
+                                l.seq > store_seq
+                                    && l.addr == Some(addr)
+                                    && l.fwd_seq.is_none_or(|f| f <= store_seq)
+                            })
+                            .map(|l| l.rob)
+                            .collect();
+                        want.sort_unstable();
+                        let mut got = lsq.store_agu(slot, addr);
+                        got.sort_unstable();
+                        assert_eq!(got, want, "replay set for store seq {store_seq}");
+                        m.stores.get_mut(&slot).expect("live").addr = Some(addr);
+                        let replayed: HashSet<usize> = want.into_iter().collect();
+                        for l in m.loads.values_mut() {
+                            // Conflicting loads keep the bit; everyone
+                            // else is released.
+                            if !replayed.contains(&l.rob) {
+                                l.pending.remove(&slot);
+                            }
+                        }
+                    }
+                }
+                // Retire a load (commit or squash — the matrix treats
+                // both as slot recycling).
+                4 => {
+                    let live: Vec<usize> = m.loads.keys().copied().collect();
+                    if let Some(&slot) = live.get(rng.gen_range(0..live.len().max(1))) {
+                        lsq.free_load(slot);
+                        m.loads.remove(&slot);
+                    }
+                }
+                // Store leaves the SQ: commit from the head (resolved
+                // only) or squash from the tail, releasing its column.
+                _ => {
+                    if rng.gen::<bool>() {
+                        if let Some(&head) = m.fifo.front() {
+                            if m.stores[&head].addr.is_some() {
+                                let e = lsq.commit_store_head(m.stores[&head].rob);
+                                assert_eq!(e.seq, m.stores[&head].seq);
+                                m.fifo.pop_front();
+                                m.stores.remove(&head);
+                                for l in m.loads.values_mut() {
+                                    l.pending.remove(&head);
+                                }
+                            }
+                        }
+                    } else if let Some(&tail) = m.fifo.back() {
+                        let tail_seq = m.stores[&tail].seq;
+                        // A squash runs youngest-first: every younger load
+                        // dies before the store does.
+                        let victims: Vec<usize> = m
+                            .loads
+                            .iter()
+                            .filter(|(_, l)| l.seq > tail_seq)
+                            .map(|(&s, _)| s)
+                            .collect();
+                        for slot in victims {
+                            lsq.free_load(slot);
+                            m.loads.remove(&slot);
+                        }
+                        lsq.squash_store_tail(m.stores[&tail].rob);
+                        m.fifo.pop_back();
+                        m.stores.remove(&tail);
+                        for l in m.loads.values_mut() {
+                            l.pending.remove(&tail);
+                        }
+                    }
+                }
+            }
+            m.check(&lsq);
+        }
+    });
+}

@@ -1,0 +1,239 @@
+//! Property tests for the combined lockdown protocol: the
+//! [`LockdownMatrix`] (which older non-performed loads pin each
+//! committed-unordered load) driven together with the [`LockdownTable`]
+//! (per-line refcounts and withheld acknowledgements), the way the
+//! pipeline drives them.
+//!
+//! The load-bearing property: **a line is never released — and an
+//! invalidation to it is never acknowledged — while any
+//! committed-unordered load holding a lockdown on that line still waits
+//! on a non-performed older load.**
+
+use orinoco_matrix::{BitVec64, LockdownMatrix, LockdownTable};
+use orinoco_util::prop;
+
+const LDT: usize = 8;
+const LQ: usize = 16;
+
+/// Model state: one active lockdown row = (line, mask of older
+/// non-performed LQ slots it still waits on).
+#[derive(Default)]
+struct Model {
+    rows: Vec<Option<(u64, u16)>>,
+    /// LQ slots currently holding a non-performed load.
+    nonperformed: u16,
+    /// Withheld acknowledgements per line.
+    withheld: Vec<u32>,
+}
+
+impl Model {
+    fn new(lines: usize) -> Self {
+        Self { rows: vec![None; LDT], nonperformed: 0, withheld: vec![0; lines] }
+    }
+
+    fn line_locked(&self, line: u64) -> bool {
+        self.rows.iter().flatten().any(|&(l, _)| l == line)
+    }
+
+    fn slot_pinned(&self, slot: usize) -> bool {
+        self.rows.iter().flatten().any(|&(_, m)| m >> slot & 1 == 1)
+    }
+}
+
+/// Cross-checks every observable of the matrix/table pair against the
+/// model after each protocol step.
+fn check_state(ldm: &LockdownMatrix, ldt: &LockdownTable, model: &Model, lines: usize) {
+    for (r, row) in model.rows.iter().enumerate() {
+        match row {
+            Some((_, mask)) => {
+                assert_eq!(ldm.ordered(r), *mask == 0, "row {r} ordered");
+                assert_eq!(ldm.pending(r), mask.count_ones(), "row {r} pending");
+                let want: Vec<usize> = (0..LQ).filter(|&s| mask >> s & 1 == 1).collect();
+                assert_eq!(ldm.waiting_on(r), want, "row {r} waiting set");
+            }
+            None => assert!(ldm.ordered(r), "free row {r} must read ordered"),
+        }
+    }
+    let want_pending: Vec<(usize, u32)> = model
+        .rows
+        .iter()
+        .enumerate()
+        .filter_map(|(r, row)| {
+            row.and_then(|(_, m)| (m != 0).then_some((r, m.count_ones())))
+        })
+        .collect();
+    assert_eq!(ldm.pending_rows(), want_pending);
+    // THE property: table lock state is exactly "some row holds the line".
+    let mut active = 0usize;
+    for line in 0..lines as u64 {
+        let locked = model.line_locked(line);
+        assert_eq!(ldt.is_locked(line), locked, "line {line} lock state");
+        assert_eq!(ldt.withheld_count(line), model.withheld[line as usize], "line {line} acks");
+        active += model
+            .rows
+            .iter()
+            .flatten()
+            .filter(|&&(l, _)| l == line)
+            .count();
+    }
+    assert_eq!(ldt.active(), active);
+    let want_lines: Vec<u64> =
+        (0..lines as u64).filter(|&l| model.line_locked(l)).collect();
+    assert_eq!(ldt.locked_lines(), want_lines);
+}
+
+/// Random protocol walks: commit-unordered loads acquire lockdowns over
+/// random older non-performed sets, loads perform in random order,
+/// invalidations arrive at random lines — and at every step the line is
+/// locked (acks withheld) exactly while some unordered commit still waits
+/// on an older load, with all withheld acks flushed on the last release.
+#[test]
+fn lockdown_never_releases_while_older_loads_outstanding() {
+    prop::check("lockdown_protocol_walk", 0x10CD, |rng| {
+        let lines = 4usize;
+        let steps = rng.gen_range(1..80usize);
+        let mut ldm = LockdownMatrix::new(LDT, LQ);
+        let mut ldt = LockdownTable::new();
+        let mut model = Model::new(lines);
+        for _ in 0..steps {
+            match rng.gen_range(0..4u8) {
+                // A new load enters the LQ (non-performed) in a slot no
+                // lockdown still waits on.
+                0 => {
+                    let slot = rng.gen_range(0..LQ);
+                    if !model.slot_pinned(slot) {
+                        model.nonperformed |= 1 << slot;
+                    }
+                }
+                // A load commits out of order: pick a free row, lock its
+                // line, record a random subset of the current older
+                // non-performed loads.
+                1 => {
+                    if let Some(r) = (0..LDT).find(|&r| model.rows[r].is_none()) {
+                        let line = rng.gen_range(0..lines as u64);
+                        let mask = (rng.gen::<u16>()) & model.nonperformed;
+                        ldm.commit_load(
+                            r,
+                            &BitVec64::from_indices(LQ, (0..LQ).filter(|&s| mask >> s & 1 == 1)),
+                        );
+                        ldt.acquire(line);
+                        model.rows[r] = Some((line, mask));
+                        // An immediately-ordered commit (no older
+                        // non-performed loads) releases right away, as the
+                        // pipeline's release pass would.
+                    }
+                }
+                // An older load performs: clear its column, then run the
+                // release pass over newly-ordered rows.
+                2 => {
+                    let live: Vec<usize> =
+                        (0..LQ).filter(|&s| model.nonperformed >> s & 1 == 1).collect();
+                    if let Some(&slot) = live.get(rng.gen_range(0..live.len().max(1))) {
+                        ldm.load_performed(slot);
+                        model.nonperformed &= !(1 << slot);
+                        for row in model.rows.iter_mut().flatten() {
+                            row.1 &= !(1 << slot);
+                        }
+                    }
+                }
+                // An invalidation arrives: acked iff the line holds no
+                // active lockdown.
+                _ => {
+                    let line = rng.gen_range(0..lines as u64);
+                    let locked = model.line_locked(line);
+                    let acked = ldt.incoming_invalidation(line);
+                    assert_eq!(acked, !locked, "ack while line {line} locked");
+                    if locked {
+                        model.withheld[line as usize] += 1;
+                    }
+                }
+            }
+            // Release pass (as the pipeline runs after every perform /
+            // commit): ordered rows release their line; the last release
+            // of a line must return every withheld ack, earlier ones none.
+            for r in 0..LDT {
+                if let Some((line, mask)) = model.rows[r] {
+                    if mask == 0 {
+                        assert!(ldm.ordered(r));
+                        model.rows[r] = None;
+                        let released = ldt.release(line);
+                        if model.line_locked(line) {
+                            assert_eq!(released, 0, "acks flushed early for line {line}");
+                        } else {
+                            assert_eq!(
+                                released, model.withheld[line as usize],
+                                "withheld acks lost on last release of line {line}"
+                            );
+                            model.withheld[line as usize] = 0;
+                        }
+                    }
+                }
+            }
+            check_state(&ldm, &ldt, &model, lines);
+        }
+    });
+}
+
+/// Overlap stress: many lockdowns on the *same* line, pinned by
+/// overlapping older-load sets. The line must stay locked until the very
+/// last pinned row orders — releasing any proper subset must not unlock.
+#[test]
+fn same_line_lockdowns_release_only_together() {
+    prop::check("same_line_overlap", 0x10CE, |rng| {
+        let nrows = rng.gen_range(2..LDT + 1);
+        let line = 0x40u64;
+        let mut ldm = LockdownMatrix::new(LDT, LQ);
+        let mut ldt = LockdownTable::new();
+        // Each row waits on a random nonempty set; sets may overlap.
+        let mut masks: Vec<u16> = (0..nrows)
+            .map(|_| loop {
+                let m = rng.gen::<u16>();
+                if m != 0 {
+                    break m;
+                }
+            })
+            .collect();
+        for (r, &m) in masks.iter().enumerate() {
+            ldm.commit_load(r, &BitVec64::from_indices(LQ, (0..LQ).filter(|&s| m >> s & 1 == 1)));
+            ldt.acquire(line);
+        }
+        assert!(!ldt.incoming_invalidation(line));
+        let mut withheld = 1u32;
+        // Perform loads one slot at a time in random order.
+        let mut order: Vec<usize> = (0..LQ).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..i + 1));
+        }
+        let mut released_rows = vec![false; nrows];
+        let mut live = nrows;
+        for slot in order {
+            if live == 0 {
+                break;
+            }
+            ldm.load_performed(slot);
+            for m in &mut masks {
+                *m &= !(1 << slot);
+            }
+            for r in 0..nrows {
+                if !released_rows[r] && masks[r] == 0 {
+                    assert!(ldm.ordered(r), "model mask empty but matrix row not zero");
+                    released_rows[r] = true;
+                    live -= 1;
+                    let released = ldt.release(line);
+                    if live > 0 {
+                        assert_eq!(released, 0, "line unlocked with {live} rows live");
+                        assert!(ldt.is_locked(line));
+                        // Pile on another withheld ack while still locked.
+                        assert!(!ldt.incoming_invalidation(line));
+                        withheld += 1;
+                    } else {
+                        assert_eq!(released, withheld, "withheld acks lost");
+                        assert!(!ldt.is_locked(line));
+                    }
+                }
+            }
+        }
+        assert_eq!(live, 0, "some lockdown never ordered");
+        assert!(ldt.incoming_invalidation(line));
+    });
+}

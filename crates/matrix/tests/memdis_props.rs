@@ -1,0 +1,152 @@
+//! Property tests for the memory disambiguation matrix against a naive
+//! O(LQ×SQ) boolean-matrix reference: random interleavings of load
+//! issues, store resolutions (with arbitrary conflict masks), squashes
+//! and slot recycling must leave every observable — per-load
+//! non-speculative state, pending-store counts, per-store waiting sets —
+//! identical to the reference at every step.
+
+use orinoco_matrix::{BitVec64, MemDisambigMatrix};
+use orinoco_util::prop;
+
+const LQ: usize = 24;
+const SQ: usize = 12;
+
+/// The naive reference: an explicit LQ×SQ boolean matrix updated by
+/// scanning whole rows/columns.
+struct Naive {
+    bits: Vec<Vec<bool>>,
+}
+
+impl Naive {
+    fn new() -> Self {
+        Self { bits: vec![vec![false; SQ]; LQ] }
+    }
+    fn load_issue(&mut self, l: usize, stores: &[bool; SQ]) {
+        self.bits[l].copy_from_slice(stores);
+    }
+    fn store_resolved(&mut self, s: usize, no_conflict: &[bool; LQ]) {
+        for (row, &clear) in self.bits.iter_mut().zip(no_conflict) {
+            if clear {
+                row[s] = false;
+            }
+        }
+    }
+    fn store_cleared(&mut self, s: usize) {
+        for row in &mut self.bits {
+            row[s] = false;
+        }
+    }
+    fn load_cleared(&mut self, l: usize) {
+        self.bits[l] = vec![false; SQ];
+    }
+    fn load_nonspeculative(&self, l: usize) -> bool {
+        self.bits[l].iter().all(|&b| !b)
+    }
+    fn pending_stores(&self, l: usize) -> u32 {
+        self.bits[l].iter().filter(|&&b| b).count() as u32
+    }
+    fn loads_waiting_on(&self, s: usize) -> Vec<usize> {
+        (0..LQ).filter(|&l| self.bits[l][s]).collect()
+    }
+}
+
+fn check_equal(mdm: &MemDisambigMatrix, naive: &Naive) {
+    for l in 0..LQ {
+        assert_eq!(mdm.load_nonspeculative(l), naive.load_nonspeculative(l), "load {l}");
+        assert_eq!(mdm.pending_stores(l), naive.pending_stores(l), "load {l} pending");
+    }
+    for s in 0..SQ {
+        assert_eq!(
+            mdm.loads_waiting_on(s).iter_ones().collect::<Vec<_>>(),
+            naive.loads_waiting_on(s),
+            "store {s} waiters"
+        );
+    }
+}
+
+/// Any interleaving of the four mutators leaves the matrix equal to the
+/// naive reference on every observable.
+#[test]
+fn memdis_matches_naive_reference_under_random_walks() {
+    prop::check("memdis_naive_walk", 0x3D15, |rng| {
+        let mut mdm = MemDisambigMatrix::new(LQ, SQ);
+        let mut naive = Naive::new();
+        let steps = rng.gen_range(1..120usize);
+        for _ in 0..steps {
+            match rng.gen_range(0..4u8) {
+                0 => {
+                    // A load issues past a random unresolved-store set
+                    // (re-issue over a dirty row included).
+                    let l = rng.gen_range(0..LQ);
+                    let mut stores = [false; SQ];
+                    for b in &mut stores {
+                        *b = rng.gen::<bool>();
+                    }
+                    mdm.load_issue(
+                        l,
+                        &BitVec64::from_indices(SQ, (0..SQ).filter(|&s| stores[s])),
+                    );
+                    naive.load_issue(l, &stores);
+                }
+                1 => {
+                    // A store resolves with an arbitrary no-conflict mask.
+                    let s = rng.gen_range(0..SQ);
+                    let mut ok = [false; LQ];
+                    for b in &mut ok {
+                        *b = rng.gen::<bool>();
+                    }
+                    mdm.store_resolved(
+                        s,
+                        &BitVec64::from_indices(LQ, (0..LQ).filter(|&l| ok[l])),
+                    );
+                    naive.store_resolved(s, &ok);
+                }
+                2 => {
+                    let s = rng.gen_range(0..SQ);
+                    mdm.store_cleared(s);
+                    naive.store_cleared(s);
+                }
+                _ => {
+                    let l = rng.gen_range(0..LQ);
+                    mdm.load_cleared(l);
+                    naive.load_cleared(l);
+                }
+            }
+            check_equal(&mdm, &naive);
+        }
+    });
+}
+
+/// Release monotonicity: once a load goes non-speculative it stays that
+/// way under store resolutions and clears — only a fresh `load_issue`
+/// (slot recycling / replay re-issue) can make it speculative again.
+#[test]
+fn nonspeculative_is_stable_until_reissue() {
+    prop::check("memdis_monotone", 0x3D16, |rng| {
+        let mut mdm = MemDisambigMatrix::new(LQ, SQ);
+        // Issue one tracked load with a known pending set.
+        let l = rng.gen_range(0..LQ);
+        let mask: u16 = rng.gen::<u16>() & ((1 << SQ) - 1);
+        mdm.load_issue(l, &BitVec64::from_indices(SQ, (0..SQ).filter(|&s| mask >> s & 1 == 1)));
+        let mut pending = mask;
+        let all_loads = BitVec64::ones(LQ);
+        while pending != 0 {
+            assert!(!mdm.load_nonspeculative(l));
+            let s = rng.gen_range(0..SQ);
+            if rng.gen::<bool>() {
+                mdm.store_resolved(s, &all_loads);
+            } else {
+                mdm.store_cleared(s);
+            }
+            pending &= !(1 << s);
+        }
+        assert!(mdm.load_nonspeculative(l));
+        // No further store activity can regress it.
+        for _ in 0..SQ {
+            let s = rng.gen_range(0..SQ);
+            mdm.store_resolved(s, &BitVec64::new(LQ)); // conflict mask for everyone else
+            mdm.store_cleared(s);
+            assert!(mdm.load_nonspeculative(l));
+        }
+    });
+}

@@ -22,6 +22,6 @@ mod summary;
 mod table;
 
 pub use histogram::Histogram;
-pub use stall::{Resource, StallBreakdown};
+pub use stall::{Resource, StallBreakdown, StallCause, StallTaxonomy};
 pub use summary::{geomean, improvement_pct, mean, speedup};
 pub use table::{Align, TextTable};

@@ -5,6 +5,7 @@
 //! so the simulator attributes every dispatch-blocked cycle to the first
 //! exhausted resource.
 
+use crate::table::TextTable;
 use std::fmt;
 
 /// A back-end resource whose exhaustion can block dispatch (a "full window
@@ -139,6 +140,216 @@ impl fmt::Display for StallBreakdown {
     }
 }
 
+/// Why a cycle made no commit progress — the cycle-level stall taxonomy
+/// recorded by the trace layer's per-cycle attribution pass.
+///
+/// Unlike [`StallBreakdown`] (which only attributes *dispatch*-blocked
+/// cycles to the first exhausted resource), this taxonomy classifies every
+/// zero-commit cycle, including the commit-side reasons that are unique to
+/// the Orinoco design: a completed head still waiting for its `SPEC` bit
+/// to clear, and a machine sitting inside a lockdown-protected window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StallCause {
+    /// No instruction anywhere in the window: the frontend has not
+    /// delivered (redirect penalty, fetch stall, frontend pipe fill).
+    FrontendEmpty,
+    /// Dispatch blocked on ROB entries while commit made no progress.
+    RobFull,
+    /// Dispatch blocked on IQ entries while commit made no progress.
+    IqFull,
+    /// Dispatch blocked on LQ entries while commit made no progress.
+    LqFull,
+    /// Dispatch blocked on SQ entries while commit made no progress.
+    SqFull,
+    /// Dispatch blocked on physical registers while commit made no
+    /// progress.
+    RegFileFull,
+    /// Instructions are waiting in the IQ but none is ready to issue.
+    NoReady,
+    /// The ROB head has completed but its `SPEC` bit is still set, so no
+    /// commit policy may retire it yet.
+    CommitBlockedBySpec,
+    /// Progress is gated by the lockdown machinery: either the Lockdown
+    /// Table is out of rows (an unordered load grant was withheld), or the
+    /// machine is waiting out a lockdown-protected window (older
+    /// non-performed loads pinning active lockdowns).
+    LockdownHeld,
+    /// None of the above: instructions are simply in flight (execution or
+    /// memory latency) and the head has not completed.
+    ExecPending,
+}
+
+impl StallCause {
+    /// All causes, in reporting order.
+    pub const ALL: [StallCause; 10] = [
+        StallCause::FrontendEmpty,
+        StallCause::RobFull,
+        StallCause::IqFull,
+        StallCause::LqFull,
+        StallCause::SqFull,
+        StallCause::RegFileFull,
+        StallCause::NoReady,
+        StallCause::CommitBlockedBySpec,
+        StallCause::LockdownHeld,
+        StallCause::ExecPending,
+    ];
+
+    /// Dense index of this cause (stable; used by the binary trace
+    /// encoding).
+    #[must_use]
+    pub fn idx(self) -> usize {
+        match self {
+            StallCause::FrontendEmpty => 0,
+            StallCause::RobFull => 1,
+            StallCause::IqFull => 2,
+            StallCause::LqFull => 3,
+            StallCause::SqFull => 4,
+            StallCause::RegFileFull => 5,
+            StallCause::NoReady => 6,
+            StallCause::CommitBlockedBySpec => 7,
+            StallCause::LockdownHeld => 8,
+            StallCause::ExecPending => 9,
+        }
+    }
+
+    /// Inverse of [`StallCause::idx`]; `None` for out-of-range values
+    /// (a corrupt binary trace).
+    #[must_use]
+    pub fn from_idx(idx: usize) -> Option<StallCause> {
+        StallCause::ALL.get(idx).copied()
+    }
+
+    /// The full-window-stall cause corresponding to an exhausted dispatch
+    /// resource.
+    #[must_use]
+    pub fn from_resource(resource: Resource) -> StallCause {
+        match resource {
+            Resource::Rob => StallCause::RobFull,
+            Resource::Iq => StallCause::IqFull,
+            Resource::Lq => StallCause::LqFull,
+            Resource::Sq => StallCause::SqFull,
+            Resource::RegFile => StallCause::RegFileFull,
+        }
+    }
+
+    /// Kebab-case label, as emitted in JSONL traces.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::FrontendEmpty => "frontend-empty",
+            StallCause::RobFull => "rob-full",
+            StallCause::IqFull => "iq-full",
+            StallCause::LqFull => "lq-full",
+            StallCause::SqFull => "sq-full",
+            StallCause::RegFileFull => "regfile-full",
+            StallCause::NoReady => "no-ready",
+            StallCause::CommitBlockedBySpec => "commit-blocked-by-spec",
+            StallCause::LockdownHeld => "lockdown-held",
+            StallCause::ExecPending => "exec-pending",
+        }
+    }
+}
+
+impl fmt::Display for StallCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-cause counters over every zero-commit cycle of a run.
+///
+/// # Examples
+///
+/// ```
+/// use orinoco_stats::{StallCause, StallTaxonomy};
+///
+/// let mut t = StallTaxonomy::default();
+/// t.record(StallCause::CommitBlockedBySpec);
+/// t.record(StallCause::CommitBlockedBySpec);
+/// t.record(StallCause::FrontendEmpty);
+/// assert_eq!(t.count(StallCause::CommitBlockedBySpec), 2);
+/// assert_eq!(t.total(), 3);
+/// let table = t.table(10);
+/// assert!(table.to_string().contains("commit-blocked-by-spec"));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StallTaxonomy {
+    counts: [u64; 10],
+}
+
+impl StallTaxonomy {
+    /// Records one zero-commit cycle attributed to `cause`.
+    pub fn record(&mut self, cause: StallCause) {
+        self.counts[cause.idx()] += 1;
+    }
+
+    /// Cycles attributed to `cause`.
+    #[must_use]
+    pub fn count(&self, cause: StallCause) -> u64 {
+        self.counts[cause.idx()]
+    }
+
+    /// Total attributed (zero-commit) cycles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of attributed cycles with this cause (0.0 when none).
+    #[must_use]
+    pub fn fraction(&self, cause: StallCause) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(cause) as f64 / total as f64
+        }
+    }
+
+    /// Renders the taxonomy as a table: cause, cycles, share of stall
+    /// cycles, and share of all `cycles` in the run.
+    #[must_use]
+    pub fn table(&self, cycles: u64) -> TextTable {
+        let mut t = TextTable::new(vec!["stall cause", "cycles", "% of stalls", "% of run"]);
+        for cause in StallCause::ALL {
+            let n = self.count(cause);
+            if n == 0 {
+                continue;
+            }
+            let of_run = if cycles == 0 {
+                0.0
+            } else {
+                100.0 * n as f64 / cycles as f64
+            };
+            t.row(vec![
+                cause.label().to_string(),
+                n.to_string(),
+                format!("{:.1}", 100.0 * self.fraction(cause)),
+                format!("{of_run:.1}"),
+            ]);
+        }
+        t
+    }
+}
+
+impl fmt::Display for StallTaxonomy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stall-cycles{{")?;
+        let mut first = true;
+        for c in StallCause::ALL {
+            if self.count(c) == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{c}:{}", self.count(c))?;
+        }
+        write!(f, "}}")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +396,43 @@ mod tests {
         for r in Resource::ALL {
             assert!(text.contains(&r.to_string()));
         }
+    }
+
+    #[test]
+    fn stall_cause_index_round_trips() {
+        for (i, c) in StallCause::ALL.iter().enumerate() {
+            assert_eq!(c.idx(), i);
+            assert_eq!(StallCause::from_idx(i), Some(*c));
+        }
+        assert_eq!(StallCause::from_idx(StallCause::ALL.len()), None);
+    }
+
+    #[test]
+    fn stall_cause_labels_are_unique_kebab_case() {
+        let mut seen = std::collections::HashSet::new();
+        for c in StallCause::ALL {
+            let l = c.label();
+            assert!(seen.insert(l), "duplicate label {l}");
+            assert!(l
+                .chars()
+                .all(|ch| ch.is_ascii_lowercase() || ch == '-'));
+        }
+    }
+
+    #[test]
+    fn taxonomy_counts_and_table() {
+        let mut t = StallTaxonomy::default();
+        for r in Resource::ALL {
+            t.record(StallCause::from_resource(r));
+        }
+        t.record(StallCause::LockdownHeld);
+        t.record(StallCause::LockdownHeld);
+        assert_eq!(t.total(), 7);
+        assert!((t.fraction(StallCause::LockdownHeld) - 2.0 / 7.0).abs() < 1e-12);
+        let rendered = t.table(70).to_string();
+        assert!(rendered.contains("lockdown-held"));
+        assert!(rendered.contains("rob-full"));
+        // Zero-count causes are omitted from the table.
+        assert!(!rendered.contains("frontend-empty"));
     }
 }

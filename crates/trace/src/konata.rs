@@ -1,0 +1,185 @@
+//! Konata pipeline-view exporter.
+//!
+//! [Konata](https://github.com/shioyadan/Konata) is the de-facto viewer
+//! for cycle-level pipeline traces (gem5 O3, RSD, ...). Its text format
+//! ("Kanata", tab-separated) declares instructions (`I`/`L`), moves the
+//! clock (`C=`/`C`), opens and closes stages (`S`/`E`) and retires or
+//! flushes (`R`). This module replays a recorded event stream into that
+//! format so any run window can be inspected stage-by-stage.
+//!
+//! Stage lanes used here: `F` fetch/frontend, `Rn` rename, `Ds`
+//! dispatched (waiting in the IQ), `Is` issued, `Ex` executing, `Cm`
+//! completed (waiting for commit). Commit-eligibility and wakeups are
+//! attached as mouse-over annotations rather than stages. Per-cycle
+//! stall records have no instruction lane and are skipped.
+
+use crate::ring::{TraceEventKind, Tracer};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn stage_for(kind: TraceEventKind) -> Option<&'static str> {
+    match kind {
+        TraceEventKind::Fetch => Some("F"),
+        TraceEventKind::Rename => Some("Rn"),
+        TraceEventKind::Dispatch => Some("Ds"),
+        TraceEventKind::Issue => Some("Is"),
+        TraceEventKind::Execute => Some("Ex"),
+        TraceEventKind::Complete => Some("Cm"),
+        _ => None,
+    }
+}
+
+impl Tracer {
+    /// Appends the held records as a Konata ("Kanata 0004") pipeline
+    /// view. Instructions whose fetch fell off the ring are skipped; an
+    /// instruction re-fetched after a squash gets a fresh lane.
+    pub fn write_konata(&self, out: &mut String) {
+        out.push_str("Kanata\t0004\n");
+        let mut started = false;
+        let mut cur = 0u64;
+        // seq -> open lane uid; uid -> currently open stage.
+        let mut uid_of: HashMap<u64, usize> = HashMap::new();
+        let mut stage_of: Vec<Option<&'static str>> = Vec::new();
+        let mut retired = 0usize;
+        for r in self.records() {
+            // Skip records that render nothing (stalls, and events whose
+            // fetch fell off the ring) before touching the clock.
+            if r.kind == TraceEventKind::Stall
+                || (r.kind != TraceEventKind::Fetch && !uid_of.contains_key(&r.seq))
+            {
+                continue;
+            }
+            if !started {
+                let _ = writeln!(out, "C=\t{}", r.cycle);
+                cur = r.cycle;
+                started = true;
+            } else if r.cycle > cur {
+                let _ = writeln!(out, "C\t{}", r.cycle - cur);
+                cur = r.cycle;
+            }
+            match r.kind {
+                TraceEventKind::Fetch => {
+                    let uid = stage_of.len();
+                    if let Some(old) = uid_of.insert(r.seq, uid) {
+                        // A lane left open (fetch overwrote an unclosed
+                        // episode): flush it so the viewer stays sane.
+                        if let Some(s) = stage_of[old].take() {
+                            let _ = writeln!(out, "E\t{old}\t0\t{s}");
+                            let _ = writeln!(out, "R\t{old}\t{retired}\t1");
+                            retired += 1;
+                        }
+                    }
+                    stage_of.push(Some("F"));
+                    let _ = writeln!(out, "I\t{uid}\t{uid}\t0");
+                    let _ = writeln!(out, "L\t{uid}\t0\tseq {} pc {:#x}", r.seq, r.arg);
+                    let _ = writeln!(out, "S\t{uid}\t0\tF");
+                }
+                TraceEventKind::Rename
+                | TraceEventKind::Dispatch
+                | TraceEventKind::Issue
+                | TraceEventKind::Execute
+                | TraceEventKind::Complete => {
+                    let Some(&uid) = uid_of.get(&r.seq) else { continue };
+                    let new = stage_for(r.kind).expect("stage kinds have lanes");
+                    if stage_of[uid] == Some(new) {
+                        continue;
+                    }
+                    if let Some(old) = stage_of[uid] {
+                        let _ = writeln!(out, "E\t{uid}\t0\t{old}");
+                    }
+                    let _ = writeln!(out, "S\t{uid}\t0\t{new}");
+                    stage_of[uid] = Some(new);
+                }
+                TraceEventKind::Wakeup => {
+                    let Some(&uid) = uid_of.get(&r.seq) else { continue };
+                    let _ = writeln!(out, "L\t{uid}\t1\twakeup p{} @{}", r.arg, r.cycle);
+                }
+                TraceEventKind::CommitEligible => {
+                    let Some(&uid) = uid_of.get(&r.seq) else { continue };
+                    let _ = writeln!(out, "L\t{uid}\t1\tcommit-eligible @{}", r.cycle);
+                }
+                TraceEventKind::Commit | TraceEventKind::Squash => {
+                    let Some(uid) = uid_of.remove(&r.seq) else { continue };
+                    if let Some(old) = stage_of[uid].take() {
+                        let _ = writeln!(out, "E\t{uid}\t0\t{old}");
+                    }
+                    let flush = u8::from(r.kind == TraceEventKind::Squash);
+                    let _ = writeln!(out, "R\t{uid}\t{retired}\t{flush}");
+                    retired += 1;
+                }
+                TraceEventKind::Stall => unreachable!("skipped above"),
+            }
+        }
+    }
+
+    /// The held records as a Konata pipeline-view string.
+    #[must_use]
+    pub fn to_konata(&self) -> String {
+        let mut s = String::with_capacity(64 + self.len() * 24);
+        self.write_konata(&mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::STALL_SEQ;
+
+    fn lifecycle(t: &mut Tracer, seq: u64, start: u64, commit: bool) {
+        t.record(start, TraceEventKind::Fetch, seq, 0x40 + 4 * seq);
+        t.record(start + 2, TraceEventKind::Rename, seq, 0);
+        t.record(start + 2, TraceEventKind::Dispatch, seq, 1);
+        t.record(start + 3, TraceEventKind::Issue, seq, 0);
+        t.record(start + 3, TraceEventKind::Execute, seq, 0);
+        t.record(start + 4, TraceEventKind::Complete, seq, 0);
+        t.record(start + 4, TraceEventKind::CommitEligible, seq, 0);
+        let kind = if commit { TraceEventKind::Commit } else { TraceEventKind::Squash };
+        t.record(start + 5, kind, seq, u64::from(!commit));
+    }
+
+    #[test]
+    fn full_lifecycle_renders_all_stages_and_retires() {
+        let mut t = Tracer::new(64);
+        lifecycle(&mut t, 0, 10, true);
+        lifecycle(&mut t, 1, 11, false);
+        let k = t.to_konata();
+        assert!(k.starts_with("Kanata\t0004\nC=\t10\n"));
+        for stage in ["F", "Rn", "Ds", "Is", "Ex", "Cm"] {
+            assert!(k.contains(&format!("S\t0\t0\t{stage}")), "missing {stage}");
+        }
+        assert!(k.contains("R\t0\t0\t0"), "seq 0 retires");
+        assert!(k.contains("R\t1\t1\t1"), "seq 1 flushes");
+        assert!(k.contains("commit-eligible @14"));
+    }
+
+    #[test]
+    fn clock_advances_by_deltas() {
+        let mut t = Tracer::new(64);
+        t.record(100, TraceEventKind::Fetch, 0, 0x40);
+        t.record(107, TraceEventKind::Rename, 0, 0);
+        let k = t.to_konata();
+        assert!(k.contains("C=\t100\n"));
+        assert!(k.contains("C\t7\n"));
+    }
+
+    #[test]
+    fn orphan_events_and_stalls_are_skipped() {
+        let mut t = Tracer::new(64);
+        // No fetch for seq 9 (fell off the ring) and a stall record.
+        t.record(5, TraceEventKind::Issue, 9, 0);
+        t.record(6, TraceEventKind::Stall, STALL_SEQ, 0);
+        let k = t.to_konata();
+        assert_eq!(k, "Kanata\t0004\n");
+    }
+
+    #[test]
+    fn refetch_after_unclosed_episode_flushes_old_lane() {
+        let mut t = Tracer::new(64);
+        t.record(1, TraceEventKind::Fetch, 3, 0x40);
+        t.record(2, TraceEventKind::Fetch, 3, 0x40);
+        let k = t.to_konata();
+        assert!(k.contains("R\t0\t0\t1"), "old lane flushed: {k}");
+        assert!(k.contains("I\t1\t1\t0"), "new lane opened");
+    }
+}

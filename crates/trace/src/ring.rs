@@ -1,0 +1,271 @@
+//! The trace event model and the fixed-capacity ring buffer.
+
+/// Sentinel `seq` carried by per-cycle [`TraceEventKind::Stall`] records,
+/// which are not tied to any one instruction.
+pub const STALL_SEQ: u64 = u64::MAX;
+
+/// A pipeline transition (or per-cycle stall attribution) kind.
+///
+/// The discriminants are stable — they are the on-disk encoding of the
+/// binary trace format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TraceEventKind {
+    /// The instruction entered the frontend; `arg` is its PC.
+    Fetch = 0,
+    /// Architectural registers renamed; `arg` is 1 for wrong-path fills.
+    Rename = 1,
+    /// Allocated into ROB/IQ/LSQ; `arg` is 1 if dispatched with `SPEC`
+    /// set (speculative), 0 if safe from dispatch.
+    Dispatch = 2,
+    /// The instruction's last source operand became ready (a writeback
+    /// woke it); `arg` is the producing physical register.
+    Wakeup = 3,
+    /// Granted by the issue stage; `arg` is the grant rank within the
+    /// cycle (0 = highest-priority grant of the age-matrix pick).
+    Issue = 4,
+    /// Entered a functional unit; `arg` is the FU pool index.
+    Execute = 5,
+    /// Result produced / ROB entry marked completed.
+    Complete = 6,
+    /// The `SPEC` bit cleared through an architectural resolution event
+    /// (branch resolved, store address known, load past disambiguation) —
+    /// the instruction is now eligible for unordered commit.
+    CommitEligible = 7,
+    /// Retired. `arg` is the sequence number of the oldest live
+    /// instruction at commit time (`u64::MAX` if the window drained), so
+    /// `arg < seq` identifies an out-of-order commit.
+    Commit = 8,
+    /// Squashed (mispredict or exception sweep); `arg` is 1 for
+    /// wrong-path instructions, 0 for correct-path re-injections.
+    Squash = 9,
+    /// Per-cycle stall attribution: `seq` is [`STALL_SEQ`] and `arg` is
+    /// [`orinoco_stats::StallCause::idx`].
+    Stall = 10,
+}
+
+impl TraceEventKind {
+    /// All kinds, indexed by discriminant.
+    pub const ALL: [TraceEventKind; 11] = [
+        TraceEventKind::Fetch,
+        TraceEventKind::Rename,
+        TraceEventKind::Dispatch,
+        TraceEventKind::Wakeup,
+        TraceEventKind::Issue,
+        TraceEventKind::Execute,
+        TraceEventKind::Complete,
+        TraceEventKind::CommitEligible,
+        TraceEventKind::Commit,
+        TraceEventKind::Squash,
+        TraceEventKind::Stall,
+    ];
+
+    /// Decodes a discriminant; `None` for out-of-range bytes.
+    #[must_use]
+    pub fn from_u8(v: u8) -> Option<TraceEventKind> {
+        TraceEventKind::ALL.get(v as usize).copied()
+    }
+
+    /// Kebab-case label, as emitted in JSONL dumps.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceEventKind::Fetch => "fetch",
+            TraceEventKind::Rename => "rename",
+            TraceEventKind::Dispatch => "dispatch",
+            TraceEventKind::Wakeup => "wakeup",
+            TraceEventKind::Issue => "issue",
+            TraceEventKind::Execute => "execute",
+            TraceEventKind::Complete => "complete",
+            TraceEventKind::CommitEligible => "commit-eligible",
+            TraceEventKind::Commit => "commit",
+            TraceEventKind::Squash => "squash",
+            TraceEventKind::Stall => "stall",
+        }
+    }
+}
+
+/// One trace event: a fixed-size record so the ring buffer never chases
+/// pointers and the binary dump is a flat array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Cycle the transition happened.
+    pub cycle: u64,
+    /// Dynamic sequence number of the instruction ([`STALL_SEQ`] for
+    /// per-cycle stall records).
+    pub seq: u64,
+    /// Kind-specific payload; see [`TraceEventKind`].
+    pub arg: u64,
+    /// The transition kind.
+    pub kind: TraceEventKind,
+}
+
+/// Fixed-capacity ring buffer of [`TraceRecord`]s.
+///
+/// All storage is allocated in [`Tracer::new`]; [`Tracer::record`] is
+/// branch-plus-store and never allocates, so a tracer can sit inside the
+/// simulator's allocation-free steady-state loop. When the ring is full
+/// the oldest events are overwritten and [`Tracer::dropped`] counts them.
+///
+/// # Examples
+///
+/// ```
+/// use orinoco_trace::{TraceEventKind, Tracer};
+///
+/// let mut t = Tracer::new(2);
+/// t.record(1, TraceEventKind::Fetch, 7, 0);
+/// t.record(2, TraceEventKind::Issue, 7, 0);
+/// t.record(3, TraceEventKind::Commit, 7, u64::MAX);
+/// // Capacity 2: the fetch was overwritten.
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.dropped(), 1);
+/// let kinds: Vec<_> = t.records().map(|r| r.kind).collect();
+/// assert_eq!(kinds, [TraceEventKind::Issue, TraceEventKind::Commit]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    ring: Vec<TraceRecord>,
+    capacity: usize,
+    total: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer holding up to `capacity` records (rounded up to
+    /// 1). This is the only allocation the tracer ever performs.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            ring: Vec::with_capacity(capacity),
+            capacity,
+            total: 0,
+        }
+    }
+
+    /// Records one event. Never allocates; overwrites the oldest event
+    /// when the ring is full.
+    #[inline]
+    pub fn record(&mut self, cycle: u64, kind: TraceEventKind, seq: u64, arg: u64) {
+        let rec = TraceRecord { cycle, seq, arg, kind };
+        if self.ring.len() < self.capacity {
+            self.ring.push(rec);
+        } else {
+            let at = (self.total % self.capacity as u64) as usize;
+            self.ring[at] = rec;
+        }
+        self.total += 1;
+    }
+
+    /// Number of records currently held (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` if no events have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Ring capacity in records.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to ring overwrite.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.total.saturating_sub(self.capacity as u64)
+    }
+
+    /// Discards all held records (capacity and allocation are kept).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.total = 0;
+    }
+
+    /// Iterates the held records oldest → newest.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        let split = if self.total > self.capacity as u64 {
+            (self.total % self.capacity as u64) as usize
+        } else {
+            0
+        };
+        self.ring[split..].iter().chain(self.ring[..split].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_discriminants_round_trip() {
+        for (i, k) in TraceEventKind::ALL.iter().enumerate() {
+            assert_eq!(*k as u8 as usize, i);
+            assert_eq!(TraceEventKind::from_u8(i as u8), Some(*k));
+        }
+        assert_eq!(TraceEventKind::from_u8(TraceEventKind::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn ring_preserves_order_without_wrap() {
+        let mut t = Tracer::new(8);
+        for c in 0..5 {
+            t.record(c, TraceEventKind::Fetch, c, 0);
+        }
+        let cycles: Vec<u64> = t.records().map(|r| r.cycle).collect();
+        assert_eq!(cycles, [0, 1, 2, 3, 4]);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.total(), 5);
+    }
+
+    #[test]
+    fn ring_wraps_keeping_newest() {
+        let mut t = Tracer::new(4);
+        for c in 0..11 {
+            t.record(c, TraceEventKind::Fetch, c, 0);
+        }
+        let cycles: Vec<u64> = t.records().map(|r| r.cycle).collect();
+        assert_eq!(cycles, [7, 8, 9, 10]);
+        assert_eq!(t.dropped(), 7);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn record_in_steady_state_does_not_grow_the_ring() {
+        let mut t = Tracer::new(3);
+        for c in 0..100 {
+            t.record(c, TraceEventKind::Issue, c, 0);
+        }
+        assert_eq!(t.ring.capacity(), 3);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut t = Tracer::new(4);
+        t.record(0, TraceEventKind::Fetch, 0, 0);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.capacity(), 4);
+        assert_eq!(t.total(), 0);
+        let cap = t.ring.capacity();
+        t.record(1, TraceEventKind::Fetch, 1, 0);
+        assert_eq!(t.ring.capacity(), cap);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut t = Tracer::new(0);
+        t.record(0, TraceEventKind::Fetch, 0, 0);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Post-hoc trace sinks: a JSONL dump for humans/diffs and a compact
+//! binary encoding for bulk capture. Both are deterministic byte-for-byte
+//! given the same run, which is what makes golden-trace tests possible.
+
+use crate::ring::{TraceEventKind, TraceRecord, Tracer};
+use orinoco_stats::StallCause;
+use std::fmt::Write as _;
+
+/// Magic bytes opening a binary trace dump (format version 1).
+pub const BINARY_MAGIC: &[u8; 8] = b"ORTRACE1";
+
+/// Bytes per record in the binary encoding: three little-endian `u64`s
+/// (cycle, seq, arg) plus the kind discriminant byte.
+pub const BINARY_RECORD_BYTES: usize = 25;
+
+impl TraceRecord {
+    /// Appends this record as one JSON line (newline included). The field
+    /// order is fixed so dumps are byte-stable.
+    pub fn write_jsonl(&self, out: &mut String) {
+        let c = self.cycle;
+        match self.kind {
+            TraceEventKind::Stall => {
+                let cause = StallCause::from_idx(self.arg as usize)
+                    .map_or("unknown", StallCause::label);
+                let _ = writeln!(out, r#"{{"cycle":{c},"event":"stall","cause":"{cause}"}}"#);
+                return;
+            }
+            _ => {
+                let _ = write!(
+                    out,
+                    r#"{{"cycle":{c},"seq":{},"event":"{}""#,
+                    self.seq,
+                    self.kind.label()
+                );
+            }
+        }
+        match self.kind {
+            TraceEventKind::Fetch => {
+                let _ = write!(out, r#","pc":"{:#x}""#, self.arg);
+            }
+            TraceEventKind::Rename | TraceEventKind::Squash => {
+                let _ = write!(out, r#","wrong_path":{}"#, self.arg != 0);
+            }
+            TraceEventKind::Dispatch => {
+                let _ = write!(out, r#","speculative":{}"#, self.arg != 0);
+            }
+            TraceEventKind::Wakeup => {
+                let _ = write!(out, r#","reg":{}"#, self.arg);
+            }
+            TraceEventKind::Issue => {
+                let _ = write!(out, r#","rank":{}"#, self.arg);
+            }
+            TraceEventKind::Execute => {
+                let _ = write!(out, r#","pool":{}"#, self.arg);
+            }
+            TraceEventKind::Commit => {
+                if self.arg == u64::MAX {
+                    let _ = write!(out, r#","oldest_live":null"#);
+                } else {
+                    let _ = write!(out, r#","oldest_live":{}"#, self.arg);
+                }
+            }
+            TraceEventKind::Complete
+            | TraceEventKind::CommitEligible
+            | TraceEventKind::Stall => {}
+        }
+        out.push_str("}\n");
+    }
+}
+
+impl Tracer {
+    /// Appends the held records (oldest → newest) as JSON lines.
+    pub fn write_jsonl(&self, out: &mut String) {
+        for r in self.records() {
+            r.write_jsonl(out);
+        }
+    }
+
+    /// The held records as a JSONL string.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(self.len() * 64);
+        self.write_jsonl(&mut s);
+        s
+    }
+
+    /// Appends the held records in the compact binary encoding:
+    /// [`BINARY_MAGIC`], a little-endian `u64` record count, then
+    /// [`BINARY_RECORD_BYTES`] per record.
+    pub fn write_binary(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(BINARY_MAGIC);
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for r in self.records() {
+            out.extend_from_slice(&r.cycle.to_le_bytes());
+            out.extend_from_slice(&r.seq.to_le_bytes());
+            out.extend_from_slice(&r.arg.to_le_bytes());
+            out.push(r.kind as u8);
+        }
+    }
+
+    /// The held records in the binary encoding.
+    #[must_use]
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(16 + self.len() * BINARY_RECORD_BYTES);
+        self.write_binary(&mut v);
+        v
+    }
+}
+
+/// Decodes a binary trace dump produced by [`Tracer::write_binary`].
+///
+/// # Errors
+///
+/// Returns a description of the first framing problem: bad magic,
+/// truncated payload, or an unknown event-kind byte.
+pub fn read_binary(bytes: &[u8]) -> Result<Vec<TraceRecord>, String> {
+    let payload = bytes
+        .strip_prefix(BINARY_MAGIC.as_slice())
+        .ok_or_else(|| "bad trace magic".to_string())?;
+    let (count_bytes, mut rest) = payload
+        .split_at_checked(8)
+        .ok_or_else(|| "truncated record count".to_string())?;
+    let count = u64::from_le_bytes(count_bytes.try_into().expect("8-byte split"));
+    let mut out = Vec::with_capacity(count as usize);
+    for i in 0..count {
+        let (rec, tail) = rest
+            .split_at_checked(BINARY_RECORD_BYTES)
+            .ok_or_else(|| format!("truncated at record {i}/{count}"))?;
+        rest = tail;
+        let word = |at: usize| {
+            u64::from_le_bytes(rec[at..at + 8].try_into().expect("8-byte field"))
+        };
+        let kind = TraceEventKind::from_u8(rec[24])
+            .ok_or_else(|| format!("unknown event kind {} at record {i}", rec[24]))?;
+        out.push(TraceRecord {
+            cycle: word(0),
+            seq: word(8),
+            arg: word(16),
+            kind,
+        });
+    }
+    if !rest.is_empty() {
+        return Err(format!("{} trailing bytes after {count} records", rest.len()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::STALL_SEQ;
+
+    fn sample() -> Tracer {
+        let mut t = Tracer::new(16);
+        t.record(5, TraceEventKind::Fetch, 3, 0x48);
+        t.record(6, TraceEventKind::Rename, 3, 0);
+        t.record(6, TraceEventKind::Dispatch, 3, 1);
+        t.record(8, TraceEventKind::Wakeup, 3, 17);
+        t.record(9, TraceEventKind::Issue, 3, 2);
+        t.record(9, TraceEventKind::Execute, 3, 1);
+        t.record(12, TraceEventKind::Complete, 3, 0);
+        t.record(12, TraceEventKind::CommitEligible, 3, 0);
+        t.record(13, TraceEventKind::Commit, 3, 1);
+        t.record(14, TraceEventKind::Commit, 4, u64::MAX);
+        t.record(15, TraceEventKind::Squash, 5, 1);
+        t.record(16, TraceEventKind::Stall, STALL_SEQ, StallCause::NoReady.idx() as u64);
+        t
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_record_with_kind_fields() {
+        let t = sample();
+        let jsonl = t.to_jsonl();
+        assert_eq!(jsonl.lines().count(), t.len());
+        assert!(jsonl.contains(r#""event":"fetch","pc":"0x48""#));
+        assert!(jsonl.contains(r#""event":"dispatch","speculative":true"#));
+        assert!(jsonl.contains(r#""event":"issue","rank":2"#));
+        assert!(jsonl.contains(r#""event":"commit","oldest_live":1"#));
+        assert!(jsonl.contains(r#""event":"commit","oldest_live":null"#));
+        assert!(jsonl.contains(r#""event":"stall","cause":"no-ready""#));
+        // Stall lines carry no seq field.
+        let stall = jsonl.lines().find(|l| l.contains("stall")).unwrap();
+        assert!(!stall.contains("seq"));
+    }
+
+    #[test]
+    fn binary_round_trips() {
+        let t = sample();
+        let bytes = t.to_binary();
+        assert_eq!(
+            bytes.len(),
+            BINARY_MAGIC.len() + 8 + t.len() * BINARY_RECORD_BYTES
+        );
+        let decoded = read_binary(&bytes).unwrap();
+        let original: Vec<TraceRecord> = t.records().copied().collect();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let t = sample();
+        let mut bytes = t.to_binary();
+        assert!(read_binary(&bytes[1..]).is_err(), "bad magic");
+        let truncated = &bytes[..bytes.len() - 3];
+        assert!(read_binary(truncated).is_err(), "truncated");
+        let kind_at = bytes.len() - 1;
+        bytes[kind_at] = 0xEE;
+        assert!(read_binary(&bytes).is_err(), "unknown kind");
+    }
+}

@@ -26,9 +26,11 @@
 pub mod gen;
 pub mod litmus;
 pub mod oracle;
+pub mod traceinv;
 
 pub use gen::{generate, shrink, ProgSpec};
 pub use oracle::{run_cosim, CosimOptions, CosimReport, Divergence, LockstepChecker};
+pub use traceinv::{check_lifecycle, trace_invariant_campaign, TraceCheck, TraceInvOutcome};
 
 use orinoco_core::{CommitKind, CoreConfig, SchedulerKind};
 use orinoco_util::Rng;
@@ -339,11 +341,22 @@ pub fn fuzz_campaign_par(
 
 /// Replays one program seed: rebuilds the exact program and configuration
 /// and re-runs the co-simulation (optionally with an armed SPEC flip).
+/// `trace_capacity > 0` records the last that many lifecycle-trace events
+/// in the DUT; on a divergence the report's `trace_tail` carries the
+/// window as JSONL for inspection.
 #[must_use]
-pub fn replay(pseed: u64, inject: Option<u64>) -> (ProgSpec, &'static str, CosimReport) {
+pub fn replay(
+    pseed: u64,
+    inject: Option<u64>,
+    trace_capacity: usize,
+) -> (ProgSpec, &'static str, CosimReport) {
     let (cfg, label) = config_for_seed(pseed);
     let spec = gen::generate(pseed);
-    let opts = CosimOptions { inject_spec_flip: inject, ..CosimOptions::default() };
+    let opts = CosimOptions {
+        inject_spec_flip: inject,
+        trace_capacity,
+        ..CosimOptions::default()
+    };
     let report = oracle::with_quiet_panics(|| run_cosim(&spec.build(), cfg, &opts));
     (spec, label, report)
 }
@@ -379,7 +392,7 @@ mod tests {
     fn replay_reproduces_campaign_runs() {
         let seeds = program_seeds(0xD1FF, 3);
         for pseed in seeds {
-            let (_, _, report) = replay(pseed, None);
+            let (_, _, report) = replay(pseed, None, 0);
             assert!(report.clean(), "replay {pseed:#x} diverged: {:?}", report.divergence);
         }
     }

@@ -1,4 +1,5 @@
-//! TSO litmus tests (MP, SB, LB) over the lockdown machinery of §3.3.
+//! TSO litmus tests (MP, SB, LB) and per-location coherence shapes
+//! (CoRR, CoWW) over the lockdown machinery of §3.3.
 //!
 //! A two-core abstract machine is explored exhaustively: each core runs a
 //! short load/store program; stores drain through a FIFO store buffer;
@@ -25,7 +26,7 @@
 //! invalidation aimed at the locked line has its acknowledgement
 //! withheld.
 
-use orinoco_core::{CommitKind, Core, CoreConfig, SchedulerKind};
+use orinoco_core::{CommitKind, Core, CoreConfig, SchedulerKind, StallCause, TraceEventKind};
 use orinoco_isa::{ArchReg, Emulator, ProgramBuilder};
 use orinoco_matrix::{BitVec64, LockdownMatrix, LockdownTable};
 use std::collections::{BTreeSet, HashSet, VecDeque};
@@ -111,6 +112,53 @@ pub fn lb() -> Litmus {
         forbidden: vec![vec![1, 1]],
         must_allow: vec![vec![0, 0], vec![0, 1], vec![1, 0]],
         lockdown_protected: false,
+    }
+}
+
+/// Coherence, read-read: P0 writes a single variable once; P1 reads it
+/// twice. The second (program-order later) read observing an *older*
+/// value than the first (`1,0`) violates per-location coherence — exactly
+/// the shape an unprotected unordered load commit produces when the
+/// younger read commits early with 0 and the older read later sees 1.
+#[must_use]
+pub fn corr() -> Litmus {
+    Litmus {
+        name: "CoRR",
+        progs: [
+            vec![LitmusOp::St(0, 1)],
+            vec![LitmusOp::Ld(0), LitmusOp::Ld(0)],
+        ],
+        outcome_loads: vec![(1, 0), (1, 1)],
+        forbidden: vec![vec![1, 0]],
+        must_allow: vec![vec![0, 0], vec![0, 1], vec![1, 1]],
+        lockdown_protected: true,
+    }
+}
+
+/// Coherence, write-write order: P0 writes the same variable twice
+/// (draining in FIFO order, so memory goes 0 → 1 → 2); P1 reads it
+/// twice. Any outcome where the second read observes an older value than
+/// the first (`1,0`, `2,0`, `2,1`) would mean the two writes were
+/// observed out of order.
+#[must_use]
+pub fn coww() -> Litmus {
+    Litmus {
+        name: "CoWW",
+        progs: [
+            vec![LitmusOp::St(0, 1), LitmusOp::St(0, 2)],
+            vec![LitmusOp::Ld(0), LitmusOp::Ld(0)],
+        ],
+        outcome_loads: vec![(1, 0), (1, 1)],
+        forbidden: vec![vec![1, 0], vec![2, 0], vec![2, 1]],
+        must_allow: vec![
+            vec![0, 0],
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 1],
+            vec![1, 2],
+            vec![2, 2],
+        ],
+        lockdown_protected: true,
     }
 }
 
@@ -336,12 +384,31 @@ fn apply(m: &mut Machine, lit: &Litmus, lockdown: bool, act: Act) {
 /// of reachable outcome tuples.
 #[must_use]
 pub fn explore(lit: &Litmus, lockdown: bool) -> BTreeSet<Vec<u64>> {
+    explore_counting(lit, lockdown).0
+}
+
+/// [`explore`], additionally counting the reachable states in which some
+/// store-buffer drain was *blocked* by a remote lockdown — the abstract
+/// machine's version of the pipeline's lockdown-held stall reason. Zero
+/// with lockdown disabled (nothing ever locks); nonzero for the patterns
+/// whose forbidden interleavings the matrix actually intercepts.
+#[must_use]
+pub fn explore_counting(lit: &Litmus, lockdown: bool) -> (BTreeSet<Vec<u64>>, u64) {
     let mut outcomes = BTreeSet::new();
+    let mut lockdown_held_states = 0u64;
     let mut seen = HashSet::new();
     let mut stack = vec![Machine::new(lit)];
     while let Some(m) = stack.pop() {
         if !seen.insert(m.key()) {
             continue;
+        }
+        if (0..2).any(|c| {
+            m.cores[c]
+                .sb
+                .front()
+                .is_some_and(|&(var, _)| m.cores[1 - c].ldt.is_locked(line_of(var)))
+        }) {
+            lockdown_held_states += 1;
         }
         if m.done() {
             outcomes.insert(m.outcome(lit));
@@ -353,7 +420,7 @@ pub fn explore(lit: &Litmus, lockdown: bool) -> BTreeSet<Vec<u64>> {
             stack.push(next);
         }
     }
-    outcomes
+    (outcomes, lockdown_held_states)
 }
 
 /// Verdict of one litmus pattern under both lockdown modes.
@@ -372,6 +439,10 @@ pub struct LitmusVerdict {
     /// Disabling lockdown exposes a forbidden outcome (trivially true
     /// for patterns the lockdown matrix does not protect).
     pub matrix_load_bearing: bool,
+    /// Reachable states (lockdown active) where a store-buffer drain was
+    /// blocked by a remote lockdown — the interleavings the matrix
+    /// actually intercepted.
+    pub lockdown_held_states: u64,
 }
 
 impl LitmusVerdict {
@@ -385,7 +456,7 @@ impl LitmusVerdict {
 /// Runs one pattern under both modes and scores it.
 #[must_use]
 pub fn run(lit: &Litmus) -> LitmusVerdict {
-    let outcomes = explore(lit, true);
+    let (outcomes, lockdown_held_states) = explore_counting(lit, true);
     let outcomes_unprotected = explore(lit, false);
     let forbidden_blocked = lit.forbidden.iter().all(|o| !outcomes.contains(o));
     let all_allowed_seen = lit.must_allow.iter().all(|o| outcomes.contains(o));
@@ -398,13 +469,14 @@ pub fn run(lit: &Litmus) -> LitmusVerdict {
         forbidden_blocked,
         all_allowed_seen,
         matrix_load_bearing,
+        lockdown_held_states,
     }
 }
 
-/// Runs the full pattern suite (MP, SB, LB).
+/// Runs the full pattern suite (MP, SB, LB, CoRR, CoWW).
 #[must_use]
 pub fn run_all() -> Vec<LitmusVerdict> {
-    [mp(), sb(), lb()].iter().map(run).collect()
+    [mp(), sb(), lb(), corr(), coww()].iter().map(run).collect()
 }
 
 /// What the cycle-level lockdown demo observed.
@@ -417,13 +489,19 @@ pub struct RealCoreDemo {
     pub ack_withheld: bool,
     /// After the run drained, the same invalidation acks immediately.
     pub ack_after_release: bool,
+    /// The lifecycle trace attributed at least one zero-commit cycle to
+    /// the lockdown-held stall reason while the window was open.
+    pub lockdown_stall_traced: bool,
 }
 
 impl RealCoreDemo {
     /// `true` when the cycle-level core exhibited the full §3.3 protocol.
     #[must_use]
     pub fn holds(&self) -> bool {
-        self.lockdown_engaged && self.ack_withheld && self.ack_after_release
+        self.lockdown_engaged
+            && self.ack_withheld
+            && self.ack_after_release
+            && self.lockdown_stall_traced
     }
 }
 
@@ -448,10 +526,12 @@ pub fn real_core_lockdown_demo() -> RealCoreDemo {
         .with_scheduler(SchedulerKind::Orinoco)
         .with_commit(CommitKind::Orinoco);
     let mut core = Core::new(emu, cfg);
+    core.enable_tracing(1 << 12);
     let mut demo = RealCoreDemo {
         lockdown_engaged: false,
         ack_withheld: false,
         ack_after_release: false,
+        lockdown_stall_traced: false,
     };
     let mut locked = None;
     let mut cycles = 0u64;
@@ -471,6 +551,11 @@ pub fn real_core_lockdown_demo() -> RealCoreDemo {
         demo.ack_after_release =
             core.active_lockdowns() == 0 && core.inject_invalidation(line);
     }
+    demo.lockdown_stall_traced = core.tracer().is_some_and(|t| {
+        t.records().any(|r| {
+            r.kind == TraceEventKind::Stall && r.arg == StallCause::LockdownHeld.idx() as u64
+        })
+    });
     demo
 }
 
@@ -508,5 +593,44 @@ mod tests {
     fn cycle_level_core_withholds_acks_under_lockdown() {
         let demo = real_core_lockdown_demo();
         assert!(demo.holds(), "real-core lockdown demo failed: {demo:?}");
+        assert!(
+            demo.lockdown_stall_traced,
+            "no lockdown-held stall reason in the lifecycle trace: {demo:?}"
+        );
+    }
+
+    #[test]
+    fn corr_coherence_holds_and_matrix_is_load_bearing() {
+        let v = run(&corr());
+        assert!(v.holds(), "CoRR verdict: {v:?}");
+        assert!(v.matrix_load_bearing, "CoRR must be lockdown-protected: {v:?}");
+        assert!(!v.outcomes.contains(&vec![1, 0]));
+        assert!(v.outcomes_unprotected.contains(&vec![1, 0]));
+    }
+
+    #[test]
+    fn coww_write_order_holds_and_matrix_is_load_bearing() {
+        let v = run(&coww());
+        assert!(v.holds(), "CoWW verdict: {v:?}");
+        assert!(v.matrix_load_bearing, "CoWW must be lockdown-protected: {v:?}");
+        for f in &coww().forbidden {
+            assert!(!v.outcomes.contains(f), "forbidden {f:?} reachable");
+        }
+    }
+
+    #[test]
+    fn lockdown_held_states_attribute_the_intercepted_interleavings() {
+        // Protected patterns reach states where the matrix withholds a
+        // drain; with lockdown disabled nothing ever locks.
+        for lit in [mp(), corr(), coww()] {
+            let v = run(&lit);
+            assert!(
+                v.lockdown_held_states > 0,
+                "{}: no lockdown-held state with the matrix active",
+                lit.name
+            );
+            let (_, unprotected_held) = explore_counting(&lit, false);
+            assert_eq!(unprotected_held, 0, "{}: lock without lockdown", lit.name);
+        }
     }
 }

@@ -3,9 +3,14 @@
 //!
 //! ```text
 //! verif fuzz --programs N --seed S [--max-seconds T] [--jobs J]
-//! verif replay <seed> [--inject N]
+//! verif replay <seed> [--inject N] [--trace N]
 //! verif litmus
+//! verif traceinv [--programs N] [--seed S]
 //! ```
+//!
+//! `replay --trace N` arms the DUT's lifecycle-trace ring buffer with
+//! capacity `N`; if the replay diverges, the window of pipeline events
+//! leading up to the failure is printed as JSONL.
 //!
 //! `--jobs J` shards the campaign's per-seed co-simulations over `J`
 //! worker threads (default: available parallelism, overridable with
@@ -17,14 +22,15 @@
 //! the SPEC-flip fault-injection pass is never caught by the oracle (the
 //! oracle must be proven load-bearing in the same run).
 
-use orinoco_verif::{fuzz_campaign_par, litmus, replay};
+use orinoco_verif::{fuzz_campaign_par, litmus, replay, trace_invariant_campaign};
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  verif fuzz --programs N --seed S [--max-seconds T] [--jobs J]\n  \
-         verif replay <seed> [--inject N]\n  verif litmus"
+         verif replay <seed> [--inject N] [--trace N]\n  verif litmus\n  \
+         verif traceinv [--programs N] [--seed S]"
     );
     ExitCode::from(2)
 }
@@ -107,6 +113,7 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         return usage();
     };
     let mut inject = None;
+    let mut trace = 0usize;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -114,10 +121,14 @@ fn cmd_replay(args: &[String]) -> ExitCode {
                 Some(v) => inject = Some(v),
                 None => return usage(),
             },
+            "--trace" => match it.next().and_then(|v| parse_u64(v)) {
+                Some(v) => trace = v as usize,
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
-    let (spec, config, report) = replay(pseed, inject);
+    let (spec, config, report) = replay(pseed, inject, trace);
     println!(
         "replay seed {pseed:#x}: config {config}, {} blocks / {} ops (~{} dyn insts)",
         spec.blocks.len(),
@@ -140,6 +151,17 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         }
         Some(d) => {
             println!("DIVERGENCE: {d}");
+            match &report.trace_tail {
+                Some(tail) => {
+                    println!("--- lifecycle trace window (last {trace} events) ---");
+                    print!("{tail}");
+                    println!("--- end trace window ---");
+                }
+                None if trace > 0 => {
+                    println!("(trace window lost: the pipeline panicked before it could be read)");
+                }
+                None => {}
+            }
             ExitCode::FAILURE
         }
     }
@@ -153,24 +175,80 @@ fn cmd_litmus() -> ExitCode {
         };
         println!(
             "{}: outcomes {} | unprotected {} | forbidden blocked: {} | \
-             allowed covered: {} | matrix load-bearing: {}",
+             allowed covered: {} | matrix load-bearing: {} | lockdown-held states: {}",
             v.name,
             fmt(&v.outcomes),
             fmt(&v.outcomes_unprotected),
             v.forbidden_blocked,
             v.all_allowed_seen,
-            v.matrix_load_bearing
+            v.matrix_load_bearing,
+            v.lockdown_held_states
         );
         ok &= v.holds() && v.matrix_load_bearing;
     }
     let demo = litmus::real_core_lockdown_demo();
     println!(
-        "cycle-level core: lockdown engaged: {} | ack withheld: {} | ack after release: {}",
-        demo.lockdown_engaged, demo.ack_withheld, demo.ack_after_release
+        "cycle-level core: lockdown engaged: {} | ack withheld: {} | \
+         ack after release: {} | lockdown-held stall traced: {}",
+        demo.lockdown_engaged,
+        demo.ack_withheld,
+        demo.ack_after_release,
+        demo.lockdown_stall_traced
     );
     ok &= demo.holds();
     if ok {
         println!("PASS: TSO litmus suite holds");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_traceinv(args: &[String]) -> ExitCode {
+    let mut programs = 24u64;
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let val = |it: &mut std::slice::Iter<String>| it.next().and_then(|v| parse_u64(v));
+        match a.as_str() {
+            "--programs" => match val(&mut it) {
+                Some(v) => programs = v,
+                None => return usage(),
+            },
+            "--seed" => match val(&mut it) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    println!("traceinv: {programs} programs, campaign seed {seed}");
+    let out = trace_invariant_campaign(programs, seed);
+    println!(
+        "clean pass: {} programs, {} events checked, {} commits \
+         ({} unordered, {} speculative), {} violations, {} panics",
+        out.programs_run,
+        out.total_events,
+        out.total_commits,
+        out.total_unordered,
+        out.total_speculative,
+        out.violations.len(),
+        out.panics.len()
+    );
+    for (pseed, v) in &out.violations {
+        println!("  VIOLATION seed {pseed:#x}: {v}");
+    }
+    for (pseed, msg) in &out.panics {
+        println!("  PANIC seed {pseed:#x}: {msg}");
+    }
+    println!(
+        "injection pass: {} runs, SPEC flip caught: {}",
+        out.injection_runs,
+        if out.injection_caught > 0 { "yes" } else { "NO" }
+    );
+    if out.passed() {
+        println!("PASS: lifecycle invariants hold; trace harness is load-bearing");
         ExitCode::SUCCESS
     } else {
         println!("FAIL");
@@ -184,6 +262,7 @@ fn main() -> ExitCode {
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("litmus") => cmd_litmus(),
+        Some("traceinv") => cmd_traceinv(&args[1..]),
         _ => usage(),
     }
 }

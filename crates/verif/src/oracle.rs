@@ -17,7 +17,7 @@
 //! assertions (wrong-path retirement, queue hygiene) are part of the
 //! oracle, so an injected fault that trips one is a successful catch.
 
-use orinoco_core::{CommitEvent, Core, CoreConfig};
+use orinoco_core::{CommitEvent, Core, CoreConfig, Tracer};
 use orinoco_isa::{DynInst, Emulator};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -209,11 +209,21 @@ pub struct CosimOptions {
     /// Run the naive O(n²) commit-invariant cross-check every this many
     /// cycles (0 disables it).
     pub invariant_check_period: u64,
+    /// Record the last `trace_capacity` lifecycle events in the DUT's
+    /// ring buffer (0 disables tracing). On a divergence the report's
+    /// `trace_tail` carries the window as JSONL, so the pipeline activity
+    /// leading up to the failure can be inspected without a re-run.
+    pub trace_capacity: usize,
 }
 
 impl Default for CosimOptions {
     fn default() -> Self {
-        Self { max_cycles: 50_000_000, inject_spec_flip: None, invariant_check_period: 0 }
+        Self {
+            max_cycles: 50_000_000,
+            inject_spec_flip: None,
+            invariant_check_period: 0,
+            trace_capacity: 0,
+        }
     }
 }
 
@@ -230,6 +240,11 @@ pub struct CosimReport {
     pub ooo_commits: u64,
     /// Whether an armed SPEC-flip injection actually fired.
     pub injection_fired: bool,
+    /// JSONL dump of the DUT's lifecycle-trace window around the
+    /// divergence. Present only when `CosimOptions::trace_capacity > 0`
+    /// and the run diverged without panicking (a panic unwinds past the
+    /// core, so its ring buffer is lost).
+    pub trace_tail: Option<String>,
 }
 
 impl CosimReport {
@@ -261,6 +276,9 @@ pub fn run_cosim(emu: &Emulator, cfg: CoreConfig, opts: &CosimOptions) -> CosimR
     let result = catch_unwind(AssertUnwindSafe(move || {
         let mut core = Core::new(dut_emu, cfg);
         core.enable_commit_trace();
+        if opts.trace_capacity > 0 {
+            core.enable_tracing(opts.trace_capacity);
+        }
         if let Some(nth) = opts.inject_spec_flip {
             core.inject_spec_flip(nth);
         }
@@ -289,12 +307,15 @@ pub fn run_cosim(emu: &Emulator, cfg: CoreConfig, opts: &CosimOptions) -> CosimR
         if divergence.is_none() {
             divergence = checker.finalize(core.emulator()).err();
         }
+        let trace_tail =
+            if divergence.is_some() { core.tracer().map(Tracer::to_jsonl) } else { None };
         CosimReport {
             divergence,
             cycles,
             committed: checker.committed,
             ooo_commits: checker.ooo_commits,
             injection_fired: core.spec_flip_fired(),
+            trace_tail,
         }
     }));
     match result {
@@ -307,6 +328,7 @@ pub fn run_cosim(emu: &Emulator, cfg: CoreConfig, opts: &CosimOptions) -> CosimR
             // A panic implies pipeline-internal assertions fired; with an
             // armed injector that is only reachable after the flip.
             injection_fired: opts.inject_spec_flip.is_some(),
+            trace_tail: None,
         },
     }
 }
@@ -338,6 +360,29 @@ mod tests {
         let report = run_cosim(&emu, cfg, &CosimOptions::default());
         assert!(report.clean(), "unexpected divergence: {:?}", report.divergence);
         assert!(report.committed > 0);
+    }
+
+    #[test]
+    fn divergence_report_carries_trace_window() {
+        let emu = gen::generate(1).build();
+        let cfg = CoreConfig::base()
+            .with_scheduler(SchedulerKind::Orinoco)
+            .with_commit(CommitKind::Orinoco);
+        // A tiny cycle budget forces a Deadlock divergence without a
+        // panic, so the DUT's ring buffer survives to be dumped.
+        let opts =
+            CosimOptions { max_cycles: 50, trace_capacity: 64, ..CosimOptions::default() };
+        let report = run_cosim(&emu, cfg.clone(), &opts);
+        assert!(matches!(report.divergence, Some(Divergence::Deadlock { .. })));
+        let tail = report.trace_tail.expect("diverged with tracing armed");
+        assert!(tail.lines().count() > 0 && tail.lines().count() <= 64);
+        assert!(tail.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+
+        // Clean runs never carry a window, traced or not.
+        let clean_opts = CosimOptions { trace_capacity: 64, ..CosimOptions::default() };
+        let clean = run_cosim(&emu, cfg, &clean_opts);
+        assert!(clean.clean());
+        assert!(clean.trace_tail.is_none());
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Golden-trace regression tests: the lifecycle trace of two canonical
+//! runs — the `quickstart` example's Orinoco configuration and an
+//! `exception_storm` window — is checked in as JSONL under
+//! `tests/golden/` and byte-diffed on every run. Any change to pipeline
+//! timing, event ordering or the trace encoding shows up as a diff.
+//!
+//! Regenerate the blessed files after an *intentional* change with:
+//!
+//! ```text
+//! ORINOCO_BLESS=1 cargo test --test golden_trace
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use orinoco::core::{CommitKind, Core, CoreConfig, SchedulerKind};
+use orinoco::workloads::Workload;
+use orinoco_verif::check_lifecycle;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+const MAX_CYCLES: u64 = 100_000_000;
+
+/// The quickstart example's Orinoco core on a short `mix_like` prefix,
+/// traced end to end (ring sized so nothing is overwritten).
+fn quickstart_core() -> Core {
+    let mut emu = Workload::MixLike.build(42, 1);
+    emu.set_step_limit(300);
+    let cfg = CoreConfig::base()
+        .with_scheduler(SchedulerKind::Orinoco)
+        .with_commit(CommitKind::Orinoco);
+    let mut core = Core::new(emu, cfg);
+    core.enable_tracing(1 << 16);
+    core
+}
+
+fn quickstart_trace() -> String {
+    let mut core = quickstart_core();
+    core.run(MAX_CYCLES);
+    let t = core.take_tracer().expect("tracing enabled");
+    assert_eq!(t.dropped(), 0, "quickstart ring sized to hold the whole run");
+    t.to_jsonl()
+}
+
+/// The exception-storm example's configuration with the fault rate turned
+/// up so the bounded 512-record window is guaranteed to straddle precise
+/// squash/refetch episodes.
+fn exception_storm_window() -> String {
+    let mut emu = Workload::StreamLike.build(7, 1);
+    emu.set_step_limit(3_000);
+    let mut cfg = CoreConfig::base()
+        .with_scheduler(SchedulerKind::Orinoco)
+        .with_commit(CommitKind::Orinoco);
+    cfg.pagefault_per_million = 20_000;
+    let mut core = Core::new(emu, cfg);
+    core.enable_tracing(512);
+    core.run(MAX_CYCLES);
+    let t = core.take_tracer().expect("tracing enabled");
+    assert!(t.dropped() > 0, "window should be a strict suffix of the run");
+    t.to_jsonl()
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Byte-compares `actual` against the blessed file, or rewrites the file
+/// when `ORINOCO_BLESS` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("ORINOCO_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing blessed trace {}: {e}\nregenerate with ORINOCO_BLESS=1 cargo test --test golden_trace",
+            path.display()
+        )
+    });
+    if want != actual {
+        let first = want
+            .lines()
+            .zip(actual.lines())
+            .position(|(w, a)| w != a)
+            .unwrap_or_else(|| want.lines().count().min(actual.lines().count()));
+        let show = |s: &str| s.lines().nth(first).unwrap_or("<end of trace>").to_owned();
+        panic!(
+            "{name} diverges from the blessed golden trace at line {} \
+             ({} golden lines, {} actual):\n  golden: {}\n  actual: {}\n\
+             if the timing change is intentional, re-bless with \
+             ORINOCO_BLESS=1 cargo test --test golden_trace",
+            first + 1,
+            want.lines().count(),
+            actual.lines().count(),
+            show(&want),
+            show(actual),
+        );
+    }
+}
+
+#[test]
+fn quickstart_trace_matches_golden() {
+    let trace = quickstart_trace();
+    // Sanity on shape before diffing: a full lifecycle per instruction,
+    // including unordered commits (this is the Orinoco configuration).
+    for ev in ["fetch", "dispatch", "issue", "complete", "commit", "stall"] {
+        assert!(
+            trace.contains(&format!(r#""event":"{ev}""#)),
+            "quickstart trace missing {ev} events"
+        );
+    }
+    assert_golden("quickstart.jsonl", &trace);
+}
+
+#[test]
+fn exception_storm_window_matches_golden() {
+    let window = exception_storm_window();
+    assert!(
+        window.contains(r#""event":"squash""#),
+        "storm window should straddle at least one precise-exception squash"
+    );
+    assert_golden("exception_storm.jsonl", &window);
+}
+
+/// The traces themselves are deterministic — two identical runs produce
+/// byte-identical JSONL, which is what makes the golden diff meaningful.
+#[test]
+fn traces_are_byte_deterministic() {
+    assert_eq!(quickstart_trace(), quickstart_trace());
+    assert_eq!(exception_storm_window(), exception_storm_window());
+}
+
+/// The blessed quickstart trace passes the lifecycle-invariant checker
+/// and exhibits genuine unordered commit — the golden file documents the
+/// behaviour the paper claims.
+#[test]
+fn quickstart_golden_is_lifecycle_clean_and_unordered() {
+    let mut core = quickstart_core();
+    core.run(MAX_CYCLES);
+    let t = core.take_tracer().expect("tracing enabled");
+    let check = check_lifecycle(t.records());
+    assert!(check.clean(), "violations: {:?}", check.violations);
+    assert!(check.commits > 0);
+    assert!(
+        check.unordered_commits > 0,
+        "quickstart's Orinoco config should commit out of order"
+    );
+}
+
+/// Sensitivity: a single injected SPEC-bit flip in the commit scheduler
+/// must change the trace (so the byte-diff fails) or crash the pipeline's
+/// own invariants — it cannot slip through the golden test unseen.
+#[test]
+fn golden_diff_catches_spec_flip_injection() {
+    let clean = quickstart_trace();
+    let injected = orinoco_verif::oracle::with_quiet_panics(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut core = quickstart_core();
+            core.inject_spec_flip(1);
+            core.run(MAX_CYCLES);
+            assert!(core.spec_flip_fired(), "flip ordinal 1 must fire");
+            core.take_tracer().expect("tracing enabled").to_jsonl()
+        }))
+    });
+    // An Err means the pipeline invariants caught the flip even earlier.
+    if let Ok(trace) = injected {
+        assert_ne!(
+            trace, clean,
+            "SPEC flip left the lifecycle trace byte-identical"
+        );
+    }
+}
