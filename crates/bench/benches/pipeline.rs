@@ -3,6 +3,12 @@
 //! two headline configurations, plus heap allocations per iteration via
 //! the counting global allocator.
 //!
+//! The core is constructed once per case outside the timed region and
+//! reused through [`Core::reset`], so each iteration measures simulation
+//! throughput rather than structure allocation. The `memlat_like` pair
+//! (fast-forward on vs off) quantifies the idle-cycle fast-forward win on
+//! a pure memory-latency-bound workload (DESIGN.md §10).
+//!
 //! `harness = false`: plain binary on the in-workspace
 //! [`orinoco_util::bench`] timer (run with `cargo bench -p orinoco-bench`).
 //! Writes the machine-readable `BENCH_pipeline.json` to the workspace root
@@ -19,10 +25,14 @@ static ALLOC: CountingAlloc = CountingAlloc;
 
 const INSTRS: u64 = 10_000;
 
-fn sim(workload: Workload, cfg: CoreConfig) -> u64 {
+fn fresh_emu(workload: Workload) -> orinoco_isa::Emulator {
     let mut emu = workload.build(13, 1);
     emu.set_step_limit(INSTRS);
-    let mut core = Core::new(emu, cfg);
+    emu
+}
+
+fn sim(core: &mut Core, workload: Workload) -> u64 {
+    core.reset(fresh_emu(workload));
     core.run(1_000_000_000).cycles
 }
 
@@ -45,12 +55,26 @@ fn main() {
         cases.push((format!("pipeline/orinoco_full/{}", w.name()), w, orinoco()));
     }
     cases.push(("pipeline/ultra_orinoco_gemm".to_owned(), Workload::GemmLike, ultra()));
+    cases.push((
+        "pipeline/orinoco_full/memlat_like".to_owned(),
+        Workload::MemlatLike,
+        orinoco(),
+    ));
+    cases.push((
+        "pipeline/orinoco_noff/memlat_like".to_owned(),
+        Workload::MemlatLike,
+        orinoco().without_fast_forward(),
+    ));
     for (name, w, cfg) in cases {
+        // Core construction happens once, outside the timed region; each
+        // iteration rebuilds the (cheap) emulator and reuses the core's
+        // allocations through `reset`.
+        let mut core = Core::new(fresh_emu(w), cfg);
         // One untimed run learns the deterministic cycle count, so the
         // entry can report simulated cycles/instructions per second.
-        let cycles = sim(w, cfg.clone());
+        let cycles = sim(&mut core, w);
         let entry = b
-            .run_entry(&name, || black_box(sim(w, cfg.clone())))
+            .run_entry(&name, || black_box(sim(&mut core, w)))
             .with_throughput(cycles, INSTRS);
         report.push(entry);
     }

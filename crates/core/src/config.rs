@@ -275,6 +275,12 @@ pub struct CoreConfig {
     /// RNG seed for deterministic wrong-path synthesis and fault
     /// injection.
     pub seed: u64,
+    /// Idle-cycle fast-forward: when a cycle ends with the machine
+    /// provably frozen (nothing issued, dispatched, fetched, completed or
+    /// committed), jump the clock to the next scheduled event in one step.
+    /// Observationally equivalent to cycle-by-cycle simulation — identical
+    /// `SimStats`, stall taxonomy and lifecycle traces — just faster.
+    pub fast_forward: bool,
 }
 
 impl CoreConfig {
@@ -307,6 +313,7 @@ impl CoreConfig {
             pagefault_per_million: 0,
             pagefault_penalty: 300,
             seed: 0xC0FFEE,
+            fast_forward: true,
         }
     }
 
@@ -393,6 +400,14 @@ impl CoreConfig {
     #[must_use]
     pub fn with_banked_dispatch(mut self) -> Self {
         self.banked_dispatch = true;
+        self
+    }
+
+    /// Disables the idle-cycle fast-forward (cycle-by-cycle simulation;
+    /// used by the equivalence harness and perf comparisons).
+    #[must_use]
+    pub fn without_fast_forward(mut self) -> Self {
+        self.fast_forward = false;
         self
     }
 

@@ -128,6 +128,16 @@ impl CriticalityEngine {
     pub fn ist_len(&self) -> usize {
         self.ist.len()
     }
+
+    /// Forgets every table entry in place, keeping allocations (core
+    /// reset path).
+    pub fn reset(&mut self) {
+        self.cct.fill(CctEntry { pc: 0, count: 0, last_used: 0, valid: false });
+        self.ist.clear();
+        self.ist_next = 0;
+        self.last_writer = [None; NUM_ARCH_REGS];
+        self.tick = 0;
+    }
 }
 
 impl Default for CriticalityEngine {

@@ -55,6 +55,13 @@ impl FuBank {
     pub fn total(&self) -> usize {
         self.units.iter().map(Vec::len).sum()
     }
+
+    /// Frees every unit in place (core reset path).
+    pub fn reset(&mut self) {
+        for pool in &mut self.units {
+            pool.fill(0);
+        }
+    }
 }
 
 /// Timing events delivered to the pipeline.
@@ -139,6 +146,12 @@ impl EventQueue {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Drops every scheduled event, keeping the heap allocation (core
+    /// reset path).
+    pub fn clear(&mut self) {
+        self.heap.clear();
     }
 }
 

@@ -103,6 +103,31 @@ impl FetchUnit {
         self.wrong_path_owner.is_some()
     }
 
+    /// The cycle until which fetch is stalled by a redirect penalty
+    /// (fetch produces nothing while `now < stalled_until()`). Used by the
+    /// idle-cycle fast-forward to bound its clock jump.
+    #[must_use]
+    pub fn stalled_until(&self) -> u64 {
+        self.stall_until
+    }
+
+    /// Rebinds the unit to a fresh emulator and returns every predictor
+    /// structure to its post-construction state, keeping all allocations
+    /// (core reset path). `cfg` must be the configuration the unit was
+    /// built with.
+    pub fn reset(&mut self, emu: Emulator, cfg: &CoreConfig) {
+        self.emu = emu;
+        self.pushback.clear();
+        self.predictor.reset();
+        self.btb.reset();
+        self.ras.clear();
+        self.wrong_path_owner = None;
+        self.stall_until = 0;
+        self.wp_seq = WRONG_PATH_SEQ_BASE;
+        self.rng = cfg.seed | 1;
+        self.stats = FetchStats::default();
+    }
+
     fn next_rand(&mut self) -> u64 {
         let mut x = self.rng;
         x ^= x >> 12;

@@ -81,6 +81,10 @@ pub struct IssueQueue {
     /// ready (mirrors [`IqEntry::is_ready`], updated at allocation and
     /// wake-up).
     ready_bits: BitVec64,
+    /// Population count of `ready_bits`, maintained incrementally at the
+    /// three mutation sites (allocate, remove, wake-up) so the per-cycle
+    /// request-vector probe is O(1) instead of a popcount scan.
+    nready: usize,
     /// Dispatch-order view as `(slot, generation)` pairs, maintained for
     /// the plain Orinoco scheduler only: without criticality adjustment
     /// the matrix age order *is* the dispatch order, so the full-width
@@ -122,6 +126,7 @@ impl IssueQueue {
             waiters: Vec::new(),
             seq_of: vec![u64::MAX; cap],
             ready_bits: BitVec64::new(cap),
+            nready: 0,
             order: VecDeque::with_capacity(cap * 2),
             gen_of: vec![0; cap],
             scratch_ready: Vec::with_capacity(cap),
@@ -231,7 +236,9 @@ impl IssueQueue {
         let src_ready = entry.src_ready;
         let seq = entry.seq;
         self.seq_of[slot] = seq;
-        self.ready_bits.assign(slot, entry.is_ready());
+        let ready = entry.is_ready();
+        self.ready_bits.assign(slot, ready);
+        self.nready += usize::from(ready);
         self.slots[slot] = Some(entry);
         self.count += 1;
         for i in 0..2 {
@@ -291,6 +298,7 @@ impl IssueQueue {
         });
         self.count -= 1;
         self.seq_of[slot] = u64::MAX;
+        self.nready -= usize::from(self.ready_bits.get(slot));
         self.ready_bits.clear(slot);
         if self.uses_matrix() {
             self.age.free(slot);
@@ -341,6 +349,7 @@ impl IssueQueue {
                     e.src_ready[i as usize] = true;
                     if e.is_ready() && !self.ready_bits.get(slot) {
                         self.ready_bits.set(slot);
+                        self.nready += 1;
                         if let Some(w) = woken.as_deref_mut() {
                             w.push(seq);
                         }
@@ -352,10 +361,42 @@ impl IssueQueue {
         self.waiters[p.0 as usize] = list;
     }
 
-    /// Number of entries with all issue-gating operands ready.
+    /// Number of entries with all issue-gating operands ready. O(1): the
+    /// count is maintained incrementally by allocate/remove/wake-up rather
+    /// than recomputed from the request vector every cycle.
     #[must_use]
     pub fn ready_count(&self) -> usize {
-        self.ready_bits.count_ones() as usize
+        debug_assert_eq!(self.nready, self.ready_bits.count_ones() as usize);
+        self.nready
+    }
+
+    /// Returns the queue to its post-construction state in place, keeping
+    /// every allocation — including the pre-sized wakeup lists of
+    /// [`IssueQueue::with_regs`] (core reset path). Free-list order and
+    /// the RNG are reinitialised exactly as in [`IssueQueue::new`] so a
+    /// reset queue schedules byte-identically to a fresh one.
+    pub fn reset(&mut self) {
+        for slot in 0..self.cap {
+            if self.slots[slot].take().is_some() && self.uses_matrix() {
+                self.age.free(slot);
+            }
+            self.seq_of[slot] = u64::MAX;
+            self.gen_of[slot] = 0;
+        }
+        self.free.clear();
+        self.free.extend((0..self.cap).rev());
+        self.cri.clear_all();
+        self.count = 0;
+        self.head = 0;
+        self.tail = 0;
+        self.span = 0;
+        self.rng = 0x9E37_79B9_7F4A_7C15 ^ self.cap as u64;
+        for list in &mut self.waiters {
+            list.clear();
+        }
+        self.ready_bits.clear_all();
+        self.nready = 0;
+        self.order.clear();
     }
 
     fn circ_position(&self, slot: usize) -> usize {
@@ -772,6 +813,53 @@ mod tests {
     #[should_panic(expected = "empty IQ slot")]
     fn remove_empty_panics() {
         IssueQueue::new(SchedulerKind::Rand, 4).remove(0);
+    }
+
+    #[test]
+    fn reset_matches_fresh_queue() {
+        for kind in SchedulerKind::ALL {
+            let mut iq = IssueQueue::new(kind, 8).with_regs(64);
+            let mut e = entry(0, 0, Pool::Int);
+            e.srcs = [Some(PhysReg(5)), None];
+            iq.allocate(e).unwrap();
+            fill(&mut iq, &[1, 2, 3]);
+            let _ = iq.select(&mut budgets(8), 2);
+            iq.reset();
+            let mut fresh = IssueQueue::new(kind, 8).with_regs(64);
+            assert_eq!(iq.len(), 0);
+            assert_eq!(iq.ready_count(), 0);
+            // Same allocation, wakeup and grant behaviour after reset.
+            for q in [10u64, 11, 12] {
+                assert_eq!(
+                    iq.allocate(entry(q as usize, q, Pool::Int)),
+                    fresh.allocate(entry(q as usize, q, Pool::Int)),
+                    "{kind:?} slot placement diverged"
+                );
+            }
+            let ga: Vec<u64> =
+                iq.select(&mut budgets(8), 8).iter().map(|(_, e)| e.seq).collect();
+            let gb: Vec<u64> =
+                fresh.select(&mut budgets(8), 8).iter().map(|(_, e)| e.seq).collect();
+            assert_eq!(ga, gb, "{kind:?} grant order diverged");
+        }
+    }
+
+    #[test]
+    fn ready_count_stays_consistent_under_churn() {
+        let mut iq = IssueQueue::new(SchedulerKind::Orinoco, 8);
+        let mut e = entry(0, 0, Pool::Int);
+        e.srcs = [Some(PhysReg(3)), Some(PhysReg(4))];
+        let s = iq.allocate(e).unwrap();
+        assert_eq!(iq.ready_count(), 0);
+        iq.writeback(PhysReg(3));
+        assert_eq!(iq.ready_count(), 0);
+        iq.writeback(PhysReg(4));
+        assert_eq!(iq.ready_count(), 1);
+        // Duplicate writeback must not double-count.
+        iq.writeback(PhysReg(4));
+        assert_eq!(iq.ready_count(), 1);
+        iq.remove(s);
+        assert_eq!(iq.ready_count(), 0);
     }
 
     /// The dispatch-order walk of the plain Orinoco scheduler selects the

@@ -368,6 +368,27 @@ impl Lsq {
         }
     }
 
+    /// Restores the freshly-constructed state in place, keeping every
+    /// allocation (core reset path). The LQ free list is rebuilt in
+    /// pristine pop order so slot placement matches a newly built LSQ.
+    pub fn reset(&mut self) {
+        self.lq.fill(None);
+        self.lq_free.clear();
+        self.lq_free.extend((0..self.lq.len()).rev());
+        self.sq.fill(None);
+        self.sq_head = 0;
+        self.sq_tail = 0;
+        self.sq_count = 0;
+        for l in 0..self.lq.len() {
+            self.mdm.load_cleared(l);
+        }
+        for s in 0..self.sq.len() {
+            self.mdm.store_cleared(s);
+        }
+        self.scratch_sq.clear_all();
+        self.scratch_lq.clear_all();
+    }
+
     /// Oldest non-performed load sequence number, if any (barrier/fence
     /// draining).
     #[must_use]

@@ -264,6 +264,31 @@ impl RenameUnit {
         }
     }
 
+    /// Rebuilds the initial architectural mapping in place, keeping every
+    /// allocation (core reset path). Free lists are repopulated in the same
+    /// order as [`RenameUnit::new`] so allocation order — and therefore the
+    /// whole simulation — is byte-identical to a fresh unit.
+    pub fn reset(&mut self) {
+        const ARCH_PER_FILE: usize = NUM_ARCH_REGS / 2;
+        let phys_count = self.int_count;
+        self.state.fill(PhysState::default());
+        for (a, m) in self.map.iter_mut().enumerate() {
+            let p = if a < ARCH_PER_FILE { a } else { phys_count + (a - ARCH_PER_FILE) };
+            *m = PhysReg(p as u16);
+            self.state[p] =
+                PhysState { allocated: true, ready: true, consumers: 0, remapped: false };
+        }
+        self.free_int.clear();
+        self.free_int
+            .extend((ARCH_PER_FILE..phys_count).rev().map(|i| PhysReg(i as u16)));
+        self.free_fp.clear();
+        self.free_fp.extend(
+            (phys_count + ARCH_PER_FILE..2 * phys_count)
+                .rev()
+                .map(|i| PhysReg(i as u16)),
+        );
+    }
+
     /// Consistency check for tests: every allocated register is either
     /// mapped or awaiting remap/consumers, and free-list entries are
     /// unallocated.
@@ -424,6 +449,23 @@ mod tests {
         assert_eq!(rn.free_count(), before + 1);
         let _ = prev;
         rn.assert_consistent();
+    }
+
+    #[test]
+    fn reset_matches_fresh_unit() {
+        let mut rn = RenameUnit::new(40);
+        let _ = rn.rename_dest(x(1)).unwrap();
+        let _ = rn.rename_source(x(1));
+        let _ = rn.rename_dest(ArchReg::fp(3)).unwrap();
+        rn.reset();
+        let mut fresh = RenameUnit::new(40);
+        rn.assert_consistent();
+        assert_eq!(rn.free_count(), fresh.free_count());
+        // Same allocation order after reset.
+        for i in 1..8u8 {
+            assert_eq!(rn.rename_dest(x(i)), fresh.rename_dest(x(i)));
+            assert_eq!(rn.rename_dest(ArchReg::fp(i)), fresh.rename_dest(ArchReg::fp(i)));
+        }
     }
 
     #[test]

@@ -528,6 +528,26 @@ impl Rob {
         entry
     }
 
+    /// Restores the freshly-constructed state in place, keeping every
+    /// allocation (core reset path). The free list is rebuilt in pristine
+    /// pop order so slot placement — and therefore every downstream
+    /// random-allocation decision — matches a newly built ROB exactly.
+    pub fn reset(&mut self) {
+        for i in 0..self.slots.len() {
+            if self.slots[i].take().is_some() {
+                self.sched.free(i);
+            }
+            self.gens[i] = 0;
+            self.seq_of[i] = u64::MAX;
+        }
+        self.completed.clear_all();
+        self.retired_bits.clear_all();
+        self.order.clear();
+        self.free.clear();
+        self.free.extend((0..self.slots.len()).rev());
+        self.logical_used = 0;
+    }
+
     /// Cross-checks the deque-based program order against the age matrix
     /// (tests only; O(n²)).
     pub fn assert_order_consistent(&self) {

@@ -83,6 +83,30 @@ impl Default for SimStats {
 }
 
 impl SimStats {
+    /// Zeroes every counter in place, keeping the commit-width
+    /// histogram's bucket allocation (core reset path).
+    pub fn reset(&mut self) {
+        self.cycles = 0;
+        self.committed = 0;
+        self.squashed = 0;
+        self.dispatch_stalls = StallBreakdown::default();
+        self.commit_stall_cycles = 0;
+        self.stall_taxonomy = StallTaxonomy::default();
+        self.commit_stall_ooo_ready = 0;
+        self.issue_conflict_cycles = 0;
+        self.issued = 0;
+        self.ooo_commits = 0;
+        self.bank_conflict_stalls = 0;
+        self.replays = 0;
+        self.exceptions = 0;
+        self.rob_occ_sum = 0;
+        self.iq_occ_sum = 0;
+        self.iq_ready_sum = 0;
+        self.fetch = FetchStats::default();
+        self.mem = MemStats::default();
+        self.commit_width_hist.clear();
+    }
+
     /// Committed instructions per cycle.
     #[must_use]
     pub fn ipc(&self) -> f64 {

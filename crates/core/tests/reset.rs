@@ -1,0 +1,83 @@
+//! `Core::reset` reuse tests.
+//!
+//! The bench harness constructs one core per case and reuses it across
+//! timed iterations through [`Core::reset`], so the reported throughput
+//! and allocation counts are only meaningful if a reset core is
+//! behaviourally indistinguishable from a freshly constructed one:
+//! identical `SimStats` and identical lifecycle traces, run after run.
+
+use orinoco_core::{CommitKind, Core, CoreConfig, SchedulerKind};
+use orinoco_isa::Emulator;
+use orinoco_workloads::Workload;
+
+fn orinoco_cfg() -> CoreConfig {
+    CoreConfig::base()
+        .with_scheduler(SchedulerKind::Orinoco)
+        .with_commit(CommitKind::Orinoco)
+}
+
+fn emu_for(w: Workload, seed: u64) -> Emulator {
+    let mut emu = w.build(seed, 1);
+    emu.set_step_limit(5_000);
+    emu
+}
+
+/// Runs `core` on a fresh emulator for `w` and returns the `SimStats`
+/// Debug rendering plus the lifecycle-trace JSONL.
+fn run_traced(core: &mut Core, w: Workload, seed: u64) -> (String, String) {
+    core.reset(emu_for(w, seed));
+    let stats = format!("{:?}", core.run(100_000_000));
+    let trace = core.tracer().map(orinoco_core::Tracer::to_jsonl).unwrap_or_default();
+    (stats, trace)
+}
+
+#[test]
+fn reset_core_matches_fresh_core() {
+    for w in [Workload::GemmLike, Workload::HashjoinLike, Workload::MemlatLike] {
+        let mut fresh = Core::new(emu_for(w, 13), orinoco_cfg());
+        fresh.enable_tracing(1 << 14);
+        let fresh_stats = format!("{:?}", fresh.run(100_000_000));
+        let fresh_trace = fresh.tracer().expect("tracing enabled").to_jsonl();
+
+        // Dirty the reused core with a different workload first, so the
+        // reset has real state to clear.
+        let mut reused = Core::new(emu_for(Workload::ExchangeLike, 7), orinoco_cfg());
+        reused.enable_tracing(1 << 14);
+        let _ = reused.run(100_000_000);
+        let (stats, trace) = run_traced(&mut reused, w, 13);
+        assert_eq!(stats, fresh_stats, "{w}: SimStats diverge after reset");
+        assert_eq!(trace, fresh_trace, "{w}: lifecycle trace diverges after reset");
+    }
+}
+
+#[test]
+fn repeated_resets_are_deterministic() {
+    let mut core = Core::new(emu_for(Workload::McfLike, 3), orinoco_cfg());
+    let (first, _) = run_traced(&mut core, Workload::McfLike, 3);
+    for round in 0..3 {
+        let (again, _) = run_traced(&mut core, Workload::McfLike, 3);
+        assert_eq!(again, first, "round {round} diverged from the first run");
+    }
+}
+
+#[test]
+fn reset_switches_configs_cleanly_across_workloads() {
+    // A tiny-queue core reset across very different workloads must keep
+    // matching per-workload fresh runs (free lists, LSQ ring, rename map
+    // and scheduler matrices all rebuilt to pristine order).
+    let mut cfg = orinoco_cfg();
+    cfg.rob_entries = 24;
+    cfg.iq_entries = 12;
+    cfg.lq_entries = 6;
+    cfg.sq_entries = 5;
+    cfg.phys_regs = 40;
+    cfg.vb_entries = 4;
+    let mut reused = Core::new(emu_for(Workload::StreamLike, 1), cfg.clone());
+    for w in [Workload::MixLike, Workload::PerlLike, Workload::StreamLike] {
+        reused.reset(emu_for(w, 5));
+        let reused_stats = format!("{:?}", reused.run(100_000_000));
+        let mut fresh = Core::new(emu_for(w, 5), cfg.clone());
+        let fresh_stats = format!("{:?}", fresh.run(100_000_000));
+        assert_eq!(reused_stats, fresh_stats, "{w}: reset run diverges from fresh run");
+    }
+}

@@ -93,6 +93,15 @@ impl Btb {
     pub fn capacity(&self) -> usize {
         self.entries.len() * self.ways
     }
+
+    /// Invalidates every entry in place, keeping the allocation (core
+    /// reset path).
+    pub fn reset(&mut self) {
+        for set in &mut self.entries {
+            set.fill(BtbEntry { tag: 0, target: 0, last_used: 0, valid: false });
+        }
+        self.tick = 0;
+    }
 }
 
 /// A return-address stack for call/return target prediction.
@@ -134,6 +143,12 @@ impl ReturnAddressStack {
     #[must_use]
     pub fn depth(&self) -> usize {
         self.stack.len()
+    }
+
+    /// Empties the stack in place, keeping the allocation (core reset
+    /// path).
+    pub fn clear(&mut self) {
+        self.stack.clear();
     }
 }
 

@@ -18,6 +18,10 @@ pub trait DirectionPredictor {
 
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
+
+    /// Returns the predictor to its freshly-constructed state in place,
+    /// keeping all allocations (core reset path).
+    fn reset(&mut self);
 }
 
 /// A saturating 2-bit counter.
@@ -96,6 +100,10 @@ impl DirectionPredictor for Bimodal {
     fn name(&self) -> &'static str {
         "bimodal"
     }
+
+    fn reset(&mut self) {
+        self.table.fill(Counter2::new(1));
+    }
 }
 
 /// Gshare: 2-bit counters indexed by `PC ⊕ global history`.
@@ -146,6 +154,11 @@ impl DirectionPredictor for Gshare {
     fn name(&self) -> &'static str {
         "gshare"
     }
+
+    fn reset(&mut self) {
+        self.table.fill(Counter2::new(1));
+        self.history = 0;
+    }
 }
 
 /// Static always-taken predictor (the weakest baseline).
@@ -160,6 +173,7 @@ impl DirectionPredictor for AlwaysTaken {
     fn name(&self) -> &'static str {
         "always-taken"
     }
+    fn reset(&mut self) {}
 }
 
 #[cfg(test)]

@@ -343,6 +343,26 @@ impl DirectionPredictor for Tage {
     fn name(&self) -> &'static str {
         "tage"
     }
+
+    fn reset(&mut self) {
+        self.base.fill(Counter2::new(1));
+        for t in &mut self.tables {
+            t.fill(TageEntry::default());
+        }
+        self.hist = [false; MAX_HIST];
+        self.hist_pos = 0;
+        for f in self
+            .folded_idx
+            .iter_mut()
+            .chain(self.folded_tag0.iter_mut())
+            .chain(self.folded_tag1.iter_mut())
+        {
+            f.comp = 0;
+        }
+        self.use_alt_on_na = 0;
+        self.rng = 0x9E37_79B9_7F4A_7C15;
+        self.ctx = PredictCtx::default();
+    }
 }
 
 #[cfg(test)]

@@ -122,6 +122,11 @@ impl LockdownMatrix {
     pub fn waiting_on(&self, ldt_slot: usize) -> Vec<usize> {
         self.m.read_row(ldt_slot).iter_ones().collect()
     }
+
+    /// Clears every row in place (core reset path; keeps the allocation).
+    pub fn clear(&mut self) {
+        self.m.clear_all();
+    }
 }
 
 /// Lockdown table: per-address reference counts of active lockdowns, with
@@ -204,6 +209,13 @@ impl LockdownTable {
     #[must_use]
     pub fn withheld_count(&self, line: u64) -> u32 {
         self.withheld.get(&line).copied().unwrap_or(0)
+    }
+
+    /// Drops every lockdown and withheld ack in place (core reset path;
+    /// keeps the map capacity).
+    pub fn clear(&mut self) {
+        self.locks.clear();
+        self.withheld.clear();
     }
 }
 

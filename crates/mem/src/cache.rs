@@ -164,6 +164,15 @@ impl Cache {
     pub fn misses(&self) -> u64 {
         self.misses
     }
+
+    /// Invalidates every line and zeroes the statistics in place, keeping
+    /// the tag-store allocation (core reset path).
+    pub fn clear(&mut self) {
+        self.lines.fill(Line::default());
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
 }
 
 #[cfg(test)]

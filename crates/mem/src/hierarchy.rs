@@ -246,6 +246,30 @@ impl MemorySystem {
         self.reclaim_mshrs(now);
         self.outstanding.len()
     }
+
+    /// Earliest cycle at which an outstanding miss completes, or `None`
+    /// when no miss is in flight. Completed-but-unreclaimed entries are
+    /// included; callers filtering for *future* events must discard values
+    /// `<= now`. Used by the core's idle-cycle fast-forward to bound its
+    /// clock jump.
+    #[must_use]
+    pub fn next_completion_cycle(&self) -> Option<u64> {
+        self.outstanding.values().map(|&(done, _)| done).min()
+    }
+
+    /// Returns the memory system to its post-construction state in place:
+    /// cold caches, untrained prefetcher, empty MSHRs, zeroed statistics.
+    /// Keeps every allocation (core reset path).
+    pub fn reset(&mut self) {
+        self.l1.clear();
+        self.l2.clear();
+        self.llc.clear();
+        if let Some(pf) = self.prefetcher.as_mut() {
+            pf.reset();
+        }
+        self.outstanding.clear();
+        self.stats = MemStats::default();
+    }
 }
 
 #[cfg(test)]
@@ -367,5 +391,37 @@ mod tests {
         mem.access(0x0, AccessKind::Load, 0).unwrap();
         assert_eq!(mem.mshrs_busy(10), 1);
         assert_eq!(mem.mshrs_busy(1000), 0);
+    }
+
+    #[test]
+    fn next_completion_cycle_tracks_outstanding_min() {
+        let mut mem = MemorySystem::new(no_prefetch());
+        assert_eq!(mem.next_completion_cycle(), None);
+        let a = mem.access(0x0, AccessKind::Load, 0).unwrap();
+        let b = mem.access(0x8000, AccessKind::Load, 50).unwrap();
+        assert_eq!(
+            mem.next_completion_cycle(),
+            Some(a.complete_at.min(b.complete_at))
+        );
+        // Reclaiming (via mshrs_busy) drops completed entries.
+        mem.mshrs_busy(a.complete_at.max(b.complete_at) + 1);
+        assert_eq!(mem.next_completion_cycle(), None);
+    }
+
+    #[test]
+    fn reset_matches_fresh_construction() {
+        let mut mem = MemorySystem::new(MemConfig::default());
+        for i in 0..32u64 {
+            mem.access(i * 64, AccessKind::Load, i * 10).unwrap();
+        }
+        mem.reset();
+        let mut fresh = MemorySystem::new(MemConfig::default());
+        // Behaviorally identical after reset: same outcome sequence.
+        for i in 0..16u64 {
+            let a = mem.access(i * 4096, AccessKind::Load, i * 7).unwrap();
+            let b = fresh.access(i * 4096, AccessKind::Load, i * 7).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(format!("{:?}", mem.stats()), format!("{:?}", fresh.stats()));
     }
 }

@@ -73,6 +73,20 @@ impl StreamPrefetcher {
         self.issued
     }
 
+    /// Forgets every trained stream and zeroes the counters in place,
+    /// keeping the stream-table allocation (core reset path).
+    pub fn reset(&mut self) {
+        self.streams.fill(Stream {
+            last_line: 0,
+            stride: 0,
+            confidence: 0,
+            last_used: 0,
+            valid: false,
+        });
+        self.tick = 0;
+        self.issued = 0;
+    }
+
     /// Observes a demand access to `addr` and returns the byte addresses to
     /// prefetch (possibly empty).
     pub fn on_access(&mut self, addr: u64) -> Vec<u64> {

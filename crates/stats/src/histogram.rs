@@ -54,6 +54,32 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Records `value` as `n` identical samples (bulk aggregation for
+    /// fast-forwarded cycle runs). Equivalent to calling
+    /// [`Histogram::record`] `n` times; a no-op when `n` is zero so `max`
+    /// is never tainted by a zero-weight value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        match self.buckets.get_mut(value as usize) {
+            Some(b) => *b += n,
+            None => self.overflow += n,
+        }
+        self.count += n;
+        self.sum += value * n;
+        self.max = self.max.max(value);
+    }
+
+    /// Resets every counter in place, keeping the bucket allocation.
+    pub fn clear(&mut self) {
+        self.buckets.fill(0);
+        self.overflow = 0;
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+
     /// Number of samples recorded.
     #[must_use]
     pub fn count(&self) -> u64 {
@@ -146,5 +172,38 @@ mod tests {
     #[should_panic(expected = "at least one bucket")]
     fn zero_cap_panics() {
         let _ = Histogram::new(0);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Histogram::new(4);
+        let mut naive = Histogram::new(4);
+        bulk.record_n(2, 5);
+        bulk.record_n(9, 3);
+        bulk.record_n(1, 0); // no-op
+        for _ in 0..5 {
+            naive.record(2);
+        }
+        for _ in 0..3 {
+            naive.record(9);
+        }
+        assert_eq!(bulk.count(), naive.count());
+        assert_eq!(bulk.bucket(2), naive.bucket(2));
+        assert_eq!(bulk.overflow(), naive.overflow());
+        assert_eq!(bulk.max(), naive.max());
+        assert_eq!(bulk.mean(), naive.mean());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut h = Histogram::new(4);
+        h.record(1);
+        h.record(100);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.bucket(1), 0);
+        assert_eq!(h.mean(), 0.0);
     }
 }

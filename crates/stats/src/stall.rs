@@ -283,6 +283,12 @@ impl StallTaxonomy {
         self.counts[cause.idx()] += 1;
     }
 
+    /// Records `n` zero-commit cycles attributed to `cause` (bulk
+    /// attribution for fast-forwarded idle runs).
+    pub fn record_n(&mut self, cause: StallCause, n: u64) {
+        self.counts[cause.idx()] += n;
+    }
+
     /// Cycles attributed to `cause`.
     #[must_use]
     pub fn count(&self, cause: StallCause) -> u64 {
@@ -417,6 +423,18 @@ mod tests {
                 .chars()
                 .all(|ch| ch.is_ascii_lowercase() || ch == '-'));
         }
+    }
+
+    #[test]
+    fn taxonomy_record_n_matches_repeated_record() {
+        let mut bulk = StallTaxonomy::default();
+        let mut naive = StallTaxonomy::default();
+        bulk.record_n(StallCause::ExecPending, 7);
+        bulk.record_n(StallCause::NoReady, 0);
+        for _ in 0..7 {
+            naive.record(StallCause::ExecPending);
+        }
+        assert_eq!(bulk, naive);
     }
 
     #[test]

@@ -156,6 +156,16 @@ impl Tracer {
         self.total += 1;
     }
 
+    /// Records a run of `n` consecutive per-cycle [`TraceEventKind::Stall`]
+    /// attributions with the same cause, starting at `first_cycle`. The
+    /// fast-forward path uses this to emit exactly the records a
+    /// cycle-by-cycle run would have produced for a frozen machine.
+    pub fn record_stall_run(&mut self, first_cycle: u64, n: u64, cause_idx: u64) {
+        for c in first_cycle..first_cycle + n {
+            self.record(c, TraceEventKind::Stall, STALL_SEQ, cause_idx);
+        }
+    }
+
     /// Number of records currently held (≤ capacity).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -260,6 +270,20 @@ mod tests {
         let cap = t.ring.capacity();
         t.record(1, TraceEventKind::Fetch, 1, 0);
         assert_eq!(t.ring.capacity(), cap);
+    }
+
+    #[test]
+    fn stall_run_matches_per_cycle_records() {
+        let mut bulk = Tracer::new(16);
+        let mut naive = Tracer::new(16);
+        bulk.record_stall_run(10, 4, 9);
+        for c in 10..14 {
+            naive.record(c, TraceEventKind::Stall, STALL_SEQ, 9);
+        }
+        let a: Vec<_> = bulk.records().copied().collect();
+        let b: Vec<_> = naive.records().copied().collect();
+        assert_eq!(a, b);
+        assert_eq!(bulk.total(), naive.total());
     }
 
     #[test]

@@ -23,11 +23,13 @@
 
 #![warn(missing_docs)]
 
+pub mod ffeq;
 pub mod gen;
 pub mod litmus;
 pub mod oracle;
 pub mod traceinv;
 
+pub use ffeq::{ff_equivalence_campaign, FfEqMismatch, FfEqOutcome};
 pub use gen::{generate, shrink, ProgSpec};
 pub use oracle::{run_cosim, CosimOptions, CosimReport, Divergence, LockstepChecker};
 pub use traceinv::{check_lifecycle, trace_invariant_campaign, TraceCheck, TraceInvOutcome};

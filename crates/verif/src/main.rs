@@ -6,7 +6,12 @@
 //! verif replay <seed> [--inject N] [--trace N]
 //! verif litmus
 //! verif traceinv [--programs N] [--seed S]
+//! verif ffeq [--programs N] [--seed S] [--jobs J]
 //! ```
+//!
+//! `ffeq` runs every fuzz program to completion twice — idle-cycle
+//! fast-forward on and off — and fails unless commit streams, `SimStats`
+//! and stall taxonomies are identical (DESIGN.md §10).
 //!
 //! `replay --trace N` arms the DUT's lifecycle-trace ring buffer with
 //! capacity `N`; if the replay diverges, the window of pipeline events
@@ -22,7 +27,7 @@
 //! the SPEC-flip fault-injection pass is never caught by the oracle (the
 //! oracle must be proven load-bearing in the same run).
 
-use orinoco_verif::{fuzz_campaign_par, litmus, replay, trace_invariant_campaign};
+use orinoco_verif::{ff_equivalence_campaign, fuzz_campaign_par, litmus, replay, trace_invariant_campaign};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -30,7 +35,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  verif fuzz --programs N --seed S [--max-seconds T] [--jobs J]\n  \
          verif replay <seed> [--inject N] [--trace N]\n  verif litmus\n  \
-         verif traceinv [--programs N] [--seed S]"
+         verif traceinv [--programs N] [--seed S]\n  \
+         verif ffeq [--programs N] [--seed S] [--jobs J]"
     );
     ExitCode::from(2)
 }
@@ -256,6 +262,59 @@ fn cmd_traceinv(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_ffeq(args: &[String]) -> ExitCode {
+    let mut programs = 50u64;
+    let mut seed = 42u64;
+    let mut jobs = orinoco_util::pool::default_jobs();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let val = |it: &mut std::slice::Iter<String>| it.next().and_then(|v| parse_u64(v));
+        match a.as_str() {
+            "--programs" => match val(&mut it) {
+                Some(v) => programs = v,
+                None => return usage(),
+            },
+            "--seed" => match val(&mut it) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--jobs" => match val(&mut it) {
+                Some(v) => jobs = (v as usize).max(1),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    println!("ffeq: {programs} programs, campaign seed {seed}, {jobs} jobs");
+    let last_decile = std::sync::atomic::AtomicU64::new(0);
+    let out = ff_equivalence_campaign(programs, seed, jobs, |done, total| {
+        let decile = done * 10 / total;
+        if last_decile.fetch_max(decile, std::sync::atomic::Ordering::Relaxed) < decile {
+            println!("  ... {done}/{total} run pairs");
+        }
+    });
+    println!(
+        "{} programs, {} cycles, {} commits cross-checked, {} mismatches",
+        out.programs_run,
+        out.total_cycles,
+        out.total_commits,
+        out.mismatches.len()
+    );
+    for m in &out.mismatches {
+        println!(
+            "  MISMATCH [{}] seed {:#x}: {}\n    reproduce with: verif replay {:#x}",
+            m.config, m.program_seed, m.detail, m.program_seed
+        );
+    }
+    if out.passed() {
+        println!("PASS: idle-cycle fast-forward is observationally invisible");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -263,6 +322,7 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args[1..]),
         Some("litmus") => cmd_litmus(),
         Some("traceinv") => cmd_traceinv(&args[1..]),
+        Some("ffeq") => cmd_ffeq(&args[1..]),
         _ => usage(),
     }
 }

@@ -91,6 +91,31 @@ pub(crate) fn pointer_chase(rng: &mut Rng, scale: u32, ways: usize) -> Emulator 
     })
 }
 
+/// `memlat_like`: a dependent pointer chase over an **8 MiB** ring —
+/// far larger than the LLC, so nearly every hop is a full DRAM round
+/// trip with zero MLP and only loop bookkeeping between misses. The
+/// pipeline sits completely idle for the vast majority of cycles
+/// waiting on the single outstanding miss, which makes this the stress
+/// workload for the idle-cycle fast-forward path (and the worst case
+/// for a naive cycle loop).
+pub(crate) fn memlat(rng: &mut Rng, scale: u32) -> Emulator {
+    let mem: usize = 16 << 20;
+    let iters = 30_000 * i64::from(scale);
+    let nodes = (8 << 20) / LINE as usize;
+    let mut b = ProgramBuilder::new();
+    let ctr = x(1);
+    b.li(ctr, iters);
+    let top = b.label();
+    b.bind(top);
+    b.ld(x(10), x(10), 0);
+    b.addi(ctr, ctr, -1);
+    b.bne(ctr, ArchReg::ZERO, top);
+    finish(b, mem, |emu| {
+        init_chase_region(emu, 0, nodes, rng);
+        emu.set_reg(x(10), 0);
+    })
+}
+
 /// `stream_like`: `a[i] = b[i] + c[i]` over 1 MiB arrays — unit-stride,
 /// prefetcher-friendly, high MLP.
 pub(crate) fn stream(rng: &mut Rng, scale: u32) -> Emulator {

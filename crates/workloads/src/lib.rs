@@ -59,11 +59,15 @@ pub enum Workload {
     /// Long-latency divide chains interleaved with independent loads —
     /// the in-order-commit worst case.
     MixLike,
+    /// Dependent pointer chase over an 8 MiB (larger-than-LLC) ring with
+    /// nothing but loop bookkeeping between misses — pure memory-latency
+    /// bound, the idle-cycle fast-forward stress workload.
+    MemlatLike,
 }
 
 impl Workload {
     /// Every workload, in reporting order.
-    pub const ALL: [Workload; 12] = [
+    pub const ALL: [Workload; 13] = [
         Workload::McfLike,
         Workload::StreamLike,
         Workload::GemmLike,
@@ -76,6 +80,7 @@ impl Workload {
         Workload::DeepsjengLike,
         Workload::StencilLike,
         Workload::MixLike,
+        Workload::MemlatLike,
     ];
 
     /// Short name used in figures.
@@ -94,6 +99,7 @@ impl Workload {
             Workload::DeepsjengLike => "deepsjeng_like",
             Workload::StencilLike => "stencil_like",
             Workload::MixLike => "mix_like",
+            Workload::MemlatLike => "memlat_like",
         }
     }
 
@@ -121,6 +127,7 @@ impl Workload {
             Workload::DeepsjengLike => kernels::deepsjeng(&mut rng, scale),
             Workload::StencilLike => kernels::stencil(&mut rng, scale),
             Workload::MixLike => kernels::divmix(&mut rng, scale),
+            Workload::MemlatLike => kernels::memlat(&mut rng, scale),
         }
     }
 }
@@ -247,7 +254,7 @@ mod tests {
 
     #[test]
     fn memory_bound_kernels_are_load_heavy() {
-        for w in [Workload::McfLike, Workload::LinkedlistLike] {
+        for w in [Workload::McfLike, Workload::LinkedlistLike, Workload::MemlatLike] {
             let m = characterize(w, 5, 1);
             assert!(m.load > 0.15, "{w} load fraction {}", m.load);
         }
