@@ -50,6 +50,7 @@ pub mod pipeline;
 pub mod rename;
 pub mod rob;
 pub mod stats;
+pub mod system;
 
 pub use config::{
     exec_latency, is_unpipelined, CommitKind, CoreConfig, FuPools, Pool, SchedulerKind,
@@ -58,7 +59,8 @@ pub use crit::CriticalityEngine;
 pub use fetch::{FetchStats, FetchUnit, Fetched};
 pub use iq::{IqEntry, IssueQueue};
 pub use lsq::{LoadSearch, Lsq};
-pub use pipeline::{CommitEvent, Core};
+pub use pipeline::{CohEvent, CommitEvent, Core};
+pub use system::{System, SystemConfig, SystemStats};
 pub use orinoco_stats::{StallCause, StallTaxonomy};
 pub use orinoco_trace::{TraceEventKind, TraceRecord, Tracer, STALL_SEQ};
 pub use rename::{PhysReg, RenameUnit};

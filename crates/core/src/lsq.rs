@@ -26,6 +26,10 @@ pub struct LqEntry {
     pub fwd_seq: Option<u64>,
     /// Address translated without fault.
     pub translated: bool,
+    /// The cache access that performed this load hit a core-private level
+    /// (anything above DRAM). Coherence uses this to decide whether the
+    /// load could legally have observed a stale line.
+    pub private_hit: bool,
 }
 
 /// A store-queue entry.
@@ -120,6 +124,7 @@ impl Lsq {
             performed: false,
             fwd_seq: None,
             translated: false,
+            private_hit: false,
         });
         self.mdm.load_cleared(slot);
         Some(slot)
@@ -271,6 +276,16 @@ impl Lsq {
     /// Panics if the slot is empty.
     pub fn load_performed(&mut self, lq_slot: usize) {
         self.lq[lq_slot].as_mut().expect("empty LQ slot").performed = true;
+    }
+
+    /// Records whether the cache access serving this load hit a
+    /// core-private level (see [`LqEntry::private_hit`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn set_load_private_hit(&mut self, lq_slot: usize, private: bool) {
+        self.lq[lq_slot].as_mut().expect("empty LQ slot").private_hit = private;
     }
 
     /// `true` once every older store has resolved without conflicting and

@@ -49,6 +49,40 @@ impl CommitEvent {
     }
 }
 
+/// A coherence-relevant observation from inside the pipeline, drained each
+/// cycle by the multicore `System` (which turns them into directory fills
+/// and reads-from resolutions). Only produced when coherence observation
+/// is enabled; the single-core paths never allocate for these.
+#[derive(Clone, Copy, Debug)]
+pub enum CohEvent {
+    /// A cache access for `addr` was accepted by the hierarchy (the line
+    /// is — or is being — filled locally). Emitted for wrong-path and
+    /// squashed loads too: they pollute the caches at access time.
+    LineFilled {
+        /// Accessed byte address.
+        addr: u64,
+        /// The access was served by a core-private level (not DRAM).
+        private_hit: bool,
+    },
+    /// A load performed (its data returned). The `System` resolves which
+    /// store the load read from: `fwd_seq` when it forwarded locally,
+    /// otherwise the coherence directory's latest installed write.
+    LoadPerformed {
+        /// Sequence number of the load.
+        seq: u64,
+        /// Loaded byte address.
+        addr: u64,
+        /// The access that performed it hit a core-private level.
+        private_hit: bool,
+        /// Local same-word store it forwarded from (store-buffer entries
+        /// included), if any.
+        fwd_seq: Option<u64>,
+        /// The load is on the wrong path (the `System` ignores it for
+        /// reads-from purposes).
+        wrong_path: bool,
+    },
+}
+
 /// The simulated core.
 pub struct Core {
     cfg: CoreConfig,
@@ -65,8 +99,25 @@ pub struct Core {
     fus: FuBank,
     events: EventQueue,
     mem: MemorySystem,
-    /// Post-commit store buffer: line addresses draining to memory.
-    sb: VecDeque<u64>,
+    /// Post-commit store buffer: `(address, seq)` pairs draining to
+    /// memory in program order.
+    sb: VecDeque<(u64, u64)>,
+    /// Multicore mode: the store buffer drains through the coherence hub
+    /// (the `System` pops entries via [`Core::external_drain_commit`])
+    /// instead of going straight to the local hierarchy.
+    external_drain: bool,
+    /// Live fence sequence numbers, maintained only in multicore mode:
+    /// a load may not read the cache past an older undrained fence (the
+    /// TSO fence→read ordering a single core cannot observe).
+    fence_seqs: Vec<u64>,
+    /// Coherence observation log ([`Core::enable_coh_log`]), drained by
+    /// the `System` each cycle. `None` = single-core mode, zero overhead.
+    coh_log: Option<Vec<CohEvent>>,
+    /// Withheld invalidation acks released by lockdown lifts, as
+    /// `(line byte address, count)` — drained by the `System`.
+    released_acks: Vec<(u64, u32)>,
+    /// This core's id in a multicore `System` (tags lifecycle traces).
+    core_id: Option<u32>,
     crit: Option<CriticalityEngine>,
     /// Lockdown matrix + table for committed loads that passed older
     /// non-performed loads (engaged by the Orinoco commit policy).
@@ -74,6 +125,16 @@ pub struct Core {
     ldt: LockdownTable,
     ldt_free: Vec<usize>,
     ldt_line: Vec<Option<u64>>,
+    /// Lockdown rows pinned on a *replayed* blocking load: the squash
+    /// freed its LQ slot but the load re-executes under the same seq, so
+    /// the row must stay held until the re-dispatched instance re-enters
+    /// the LQ (re-pinning the new slot) and performs. Entries are
+    /// `(ldt row, seq)`.
+    pending_reblock: Vec<(usize, u64)>,
+    /// Seqs of correct-path loads squashed for replay and not yet
+    /// re-dispatched: architecturally live non-performed loads the LQ
+    /// cannot see, which the TSO read→write drain gate must still honour.
+    limbo_load_seqs: Vec<u64>,
     handled_faults: HashSet<u64>,
     /// Stores whose data register was in flight at issue, as
     /// `(register, ROB index, generation)` triples completed when the
@@ -162,11 +223,18 @@ impl Core {
             events: EventQueue::new(),
             mem: MemorySystem::new(cfg.mem),
             sb: VecDeque::new(),
+            external_drain: false,
+            fence_seqs: Vec::new(),
+            coh_log: None,
+            released_acks: Vec::new(),
+            core_id: None,
             crit,
             ldm: LockdownMatrix::new(LDT_ROWS, cfg.lq_entries),
             ldt: LockdownTable::new(),
             ldt_free: (0..LDT_ROWS).rev().collect(),
             ldt_line: vec![None; LDT_ROWS],
+            pending_reblock: Vec::new(),
+            limbo_load_seqs: Vec::new(),
             handled_faults: HashSet::new(),
             store_data_waiters: Vec::new(),
             stats: SimStats::default(),
@@ -220,6 +288,14 @@ impl Core {
         self.events.clear();
         self.mem.reset();
         self.sb.clear();
+        // `external_drain`, `core_id` and the presence of the coherence
+        // log are *modes*, not run state: they survive a reset like the
+        // tracers do, with their buffers cleared.
+        self.fence_seqs.clear();
+        if let Some(log) = self.coh_log.as_mut() {
+            log.clear();
+        }
+        self.released_acks.clear();
         if let Some(ce) = self.crit.as_mut() {
             ce.reset();
         }
@@ -228,6 +304,8 @@ impl Core {
         self.ldt_free.clear();
         self.ldt_free.extend((0..LDT_ROWS).rev());
         self.ldt_line.fill(None);
+        self.pending_reblock.clear();
+        self.limbo_load_seqs.clear();
         self.handled_faults.clear();
         self.store_data_waiters.clear();
         self.stats.reset();
@@ -302,6 +380,20 @@ impl Core {
                 self.fast_forward_skip(max_cycles);
             }
         }
+        self.finalize_run_stats();
+        &self.stats
+    }
+
+    /// Checks the end-of-run architectural invariants and finalises the
+    /// statistics snapshot. [`Core::run`] calls this itself; the multicore
+    /// `System`, which steps cores directly, calls it once per core when
+    /// that core drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics on architectural bookkeeping divergence — every correct-path
+    /// instruction must commit exactly once.
+    pub fn finalize_run_stats(&mut self) {
         // Every correct-path instruction committed exactly once.
         let n = self.fetch.emulator().executed();
         assert_eq!(self.committed_count, n, "commit count diverged");
@@ -310,7 +402,6 @@ impl Core {
         self.stats.fetch = *self.fetch.stats();
         self.stats.mem = *self.mem.stats();
         self.stats.cycles = self.now;
-        &self.stats
     }
 
     /// Advances one cycle.
@@ -369,7 +460,11 @@ impl Core {
     /// stall attribution is recorded; once the ring fills, the oldest
     /// events are overwritten.
     pub fn enable_tracing(&mut self, capacity: usize) {
-        self.tracer = Some(Box::new(Tracer::new(capacity)));
+        let mut t = Box::new(Tracer::new(capacity));
+        if let Some(id) = self.core_id {
+            t.set_core_id(id);
+        }
+        self.tracer = Some(t);
     }
 
     /// The lifecycle tracer, if enabled.
@@ -486,6 +581,150 @@ impl Core {
         self.ldt.locked_lines().into_iter().map(|l| l * 64).collect()
     }
 
+    // ------------------------------------------------------------------
+    // Multicore (`System`) hooks
+    // ------------------------------------------------------------------
+
+    /// Delivers a remote coherence invalidation from the `System`'s
+    /// directory: invalidate locally (like [`Core::inject_invalidation`]),
+    /// then check whether the invalidation makes a committed-early load's
+    /// value stale — a performed, uncommitted, correct-path load to the
+    /// invalidated line with an older non-performed load still in flight
+    /// must replay, because its (already read) value may now violate TSO
+    /// once the remote store installs. Returns `true` when the ack can go
+    /// out immediately, `false` when an active lockdown withholds it.
+    pub fn apply_remote_invalidation(&mut self, addr: u64) -> bool {
+        let ack_now = self.inject_invalidation(addr);
+        let line = addr / 64;
+        let mut victim: Option<(usize, u64)> = None;
+        for slot in 0..self.cfg.lq_entries {
+            let Some(l) = self.lsq.load(slot) else { continue };
+            // Performed loads may hold a now-stale value; non-performed
+            // loads with a resolved address may have a *fill in flight*
+            // that started before this invalidation — it would complete
+            // with the old copy after the directory already dropped this
+            // core as a sharer, so no further invalidation would ever
+            // reach it. Both must replay (the re-issued access starts
+            // after the invalidation and re-registers the sharer).
+            // Forwarded loads read the core's own store — TSO's one
+            // legal W→R relaxation — and are immune.
+            if l.addr.is_none_or(|a| a / 64 != line) || l.fwd_seq.is_some() {
+                continue;
+            }
+            let Some(e) = self.rob.get(l.rob_idx) else { continue };
+            if e.wrong_path || e.lq_slot != Some(slot) {
+                continue;
+            }
+            self.lsq
+                .older_nonperformed_loads_into(l.seq, &mut self.scratch_older_np);
+            if self.scratch_older_np.is_zero() {
+                continue; // ordered: its value is architecturally final
+            }
+            if victim.is_none_or(|(_, s)| l.seq < s) {
+                victim = Some((l.rob_idx, l.seq));
+            }
+        }
+        if let Some((idx, _)) = victim {
+            self.replay_from(idx);
+        }
+        ack_now
+    }
+
+    /// Switches the store buffer to external draining: committed stores
+    /// stay queued until the `System` pops them through the coherence
+    /// directory ([`Core::external_drain_commit`]). Also engages the
+    /// multicore-only TSO orderings a single core cannot observe (the
+    /// read→write drain gate and the fence→read gate).
+    pub fn set_external_drain(&mut self, on: bool) {
+        self.external_drain = on;
+    }
+
+    /// The store buffer's head entry, `(address, seq)`, if any.
+    #[must_use]
+    pub fn sb_head(&self) -> Option<(u64, u64)> {
+        self.sb.front().copied()
+    }
+
+    /// Store-buffer occupancy.
+    #[must_use]
+    pub fn sb_len(&self) -> usize {
+        self.sb.len()
+    }
+
+    /// TSO read→write drain gate: the store at the SB head may only make
+    /// its write globally visible once every older load has performed.
+    /// (Unordered commit lets the store *commit* earlier than that; the
+    /// single-core hierarchy cannot tell, but a remote reader could.)
+    #[must_use]
+    pub fn store_drain_allowed(&self, seq: u64) -> bool {
+        // Replayed loads in the refetch gap (`limbo_load_seqs`) are
+        // architecturally live and non-performed even though the LQ has
+        // no entry for them — a committed store draining past one would
+        // become visible before a program-order-earlier load reads.
+        self.lsq.oldest_nonperformed_load().is_none_or(|o| o > seq)
+            && self.limbo_load_seqs.iter().all(|&s| s > seq)
+    }
+
+    /// Drains the SB head into the local hierarchy (the `System` calls
+    /// this when the directory grants the write, or directly for private
+    /// addresses). Returns `false` if the SB is empty or the hierarchy
+    /// rejected the access this cycle (MSHRs full).
+    pub fn external_drain_commit(&mut self) -> bool {
+        let Some(&(addr, _)) = self.sb.front() else {
+            return false;
+        };
+        if self.mem.access(addr, AccessKind::Store, self.now).is_some() {
+            self.sb.pop_front();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Turns on the coherence observation log drained by
+    /// [`Core::drain_coh_events`].
+    pub fn enable_coh_log(&mut self) {
+        if self.coh_log.is_none() {
+            self.coh_log = Some(Vec::new());
+        }
+    }
+
+    /// Moves the coherence events observed since the last drain into
+    /// `out` (appending). No-op when the log is disabled.
+    pub fn drain_coh_events(&mut self, out: &mut Vec<CohEvent>) {
+        if let Some(log) = self.coh_log.as_mut() {
+            out.append(log);
+        }
+    }
+
+    /// Moves the `(line address, withheld-ack count)` pairs released by
+    /// lockdown lifts since the last drain into `out` (appending).
+    pub fn take_released_acks(&mut self, out: &mut Vec<(u64, u32)>) {
+        out.append(&mut self.released_acks);
+    }
+
+    /// Tags this core's lifecycle trace lines with `"core":id` and
+    /// remembers the id for tracers enabled later.
+    pub fn set_core_id(&mut self, id: u32) {
+        self.core_id = Some(id);
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.set_core_id(id);
+        }
+    }
+
+    /// Jumps the clock from a frozen state to `target`, replicating the
+    /// per-cycle accounting exactly like the single-core fast-forward
+    /// path. The caller (the `System`) is responsible for having proven
+    /// the machine frozen and `target` conservative; `target <= now` is a
+    /// no-op.
+    pub fn bulk_skip_to(&mut self, target: u64) {
+        if target <= self.now {
+            return;
+        }
+        self.skip_frozen_cycles(target - self.now);
+        self.now = target;
+    }
+
     /// The issue queue serving `pool` (queue 0 when unified).
     fn iq_index(&self, pool: Pool) -> usize {
         if self.cfg.split_iq {
@@ -504,7 +743,12 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn drain_store_buffer(&mut self) {
-        if let Some(&addr) = self.sb.front() {
+        if self.external_drain {
+            // Multicore mode: the `System` drains the SB through the
+            // coherence directory between steps.
+            return;
+        }
+        if let Some(&(addr, _)) = self.sb.front() {
             // Even a rejected attempt touches the memory hierarchy, so a
             // cycle with store-buffer traffic is never quiet.
             self.cyc_quiet = false;
@@ -702,10 +946,32 @@ impl Core {
 
     fn try_load_access(&mut self, idx: usize) {
         let e = self.rob.entry(idx);
-        let (addr, pc, wrong_path) =
-            (e.mem_addr.expect("load without address"), e.pc, e.wrong_path);
+        let (addr, pc, wrong_path, seq) =
+            (e.mem_addr.expect("load without address"), e.pc, e.wrong_path, e.seq);
+        // Multicore TSO fence→read gate: the cache read must wait for
+        // every older fence to retire (its drain is externally visible
+        // there). Forwarding from the local SQ/SB is never gated — a
+        // forwarded value is the core's own and cannot violate TSO.
+        if self.external_drain && self.fence_seqs.iter().any(|&f| f < seq) {
+            self.events.push(Event {
+                at: self.now + 2,
+                kind: EventKind::MemRetry,
+                rob_idx: idx,
+                gen: self.rob.generation(idx),
+            });
+            return;
+        }
         match self.mem.access(addr, AccessKind::Load, self.now) {
             Some(out) => {
+                let private_hit = out.level != HitLevel::Dram;
+                if let Some(slot) = self.rob.entry(idx).lq_slot {
+                    self.lsq.set_load_private_hit(slot, private_hit);
+                }
+                if let Some(log) = self.coh_log.as_mut() {
+                    // Wrong-path accesses pollute the caches too: the
+                    // directory must learn about every accepted fill.
+                    log.push(CohEvent::LineFilled { addr, private_hit });
+                }
                 if !wrong_path && matches!(out.level, HitLevel::Llc | HitLevel::Dram) {
                     if let Some(ce) = self.crit.as_mut() {
                         ce.record_event(pc);
@@ -733,6 +999,35 @@ impl Core {
     fn on_mem_done(&mut self, idx: usize) {
         let lq_slot = self.rob.entry(idx).lq_slot;
         if let Some(slot) = lq_slot {
+            if self.coh_log.is_some() {
+                let e = self.rob.entry(idx);
+                let (seq, wrong_path) = (e.seq, e.wrong_path);
+                let l = self.lsq.load(slot).expect("performing load has an LQ entry");
+                let addr = l.addr.expect("performing load has an address");
+                let private_hit = l.private_hit;
+                let mut fwd = l.fwd_seq;
+                if fwd.is_none() {
+                    // Committed-but-undrained older stores left the SQ for
+                    // the SB; the youngest same-word one still forwards
+                    // architecturally (TSO reads its own store buffer).
+                    let word = addr & !7;
+                    fwd = self
+                        .sb
+                        .iter()
+                        .rev()
+                        .find(|&&(a, s)| s < seq && (a & !7) == word)
+                        .map(|&(_, s)| s);
+                }
+                if let Some(log) = self.coh_log.as_mut() {
+                    log.push(CohEvent::LoadPerformed {
+                        seq,
+                        addr,
+                        private_hit,
+                        fwd_seq: fwd,
+                        wrong_path,
+                    });
+                }
+            }
             self.lsq.load_performed(slot);
             self.on_load_no_longer_blocking(slot);
         }
@@ -748,8 +1043,16 @@ impl Core {
         self.ldm.load_performed(lq_slot);
         for row in 0..LDT_ROWS {
             if let Some(line) = self.ldt_line[row] {
+                if self.pending_reblock.iter().any(|&(r, _)| r == row) {
+                    continue; // pinned on a replayed load not yet back in the LQ
+                }
                 if self.ldm.ordered(row) {
-                    self.ldt.release(line);
+                    let withheld = self.ldt.release(line);
+                    if withheld > 0 && self.external_drain {
+                        // The lockdown was holding invalidation acks
+                        // hostage; hand them to the `System` to forward.
+                        self.released_acks.push((line * 64, withheld));
+                    }
                     self.ldt_line[row] = None;
                     self.ldt_free.push(row);
                 }
@@ -915,6 +1218,17 @@ impl Core {
             return;
         }
         let n = next - self.now;
+        self.skip_frozen_cycles(n);
+        self.now = next;
+    }
+
+    /// Bulk-attributes `n` skipped frozen cycles: exactly the accounting
+    /// the naive cycle loop would have performed per cycle — a zero-width
+    /// commit histogram sample, the commit-stall counters, the
+    /// (unchanging) dispatch-block resource, the stall-taxonomy cause
+    /// attributed this cycle, one tracer stall record, and the occupancy
+    /// sums. The caller advances `now`.
+    fn skip_frozen_cycles(&mut self, n: u64) {
         let cause = self.cyc_stall_cause.expect("frozen cycle carries a stall cause");
         self.stats.commit_width_hist.record_n(0, n);
         // `rob.len()` is the *logical* occupancy (zombies excluded) —
@@ -936,7 +1250,6 @@ impl Core {
         }
         self.stats.rob_occ_sum += self.rob.len() as u64 * n;
         self.stats.iq_occ_sum += self.iq_len_total() as u64 * n;
-        self.now = next;
     }
 
     /// Debug probe (property tests): whether the cycle just stepped left
@@ -1224,7 +1537,10 @@ impl Core {
             let entry = self.lsq.commit_store_head(idx);
             self.rob.entry_mut(idx).sq_slot = None;
             self.sb
-                .push_back(entry.addr.expect("committing unresolved store"));
+                .push_back((entry.addr.expect("committing unresolved store"), seq));
+        }
+        if class == InstClass::Barrier && self.external_drain {
+            self.fence_seqs.retain(|&s| s != seq);
         }
     }
 
@@ -1274,6 +1590,9 @@ impl Core {
             if let Some(t) = self.tracer.as_deref_mut() {
                 t.record(self.now, TraceEventKind::Squash, e.seq, u64::from(e.wrong_path));
             }
+            if e.class == InstClass::Barrier && self.external_drain {
+                self.fence_seqs.retain(|&s| s != e.seq);
+            }
             if let Some((qi, slot)) = e.iq_slot {
                 self.iqs[qi].remove(slot);
             }
@@ -1286,6 +1605,20 @@ impl Core {
                 self.rename.rollback_dest(a, n, p);
             }
             if let Some(slot) = e.lq_slot {
+                // A correct-path load is squashed only to *re-execute*
+                // (replay/exception) under the same seq. Any lockdown it
+                // pins must stay held across the refetch gap — releasing
+                // now would let a withheld coherence ack escape while the
+                // load still owes a perform (and a remote store would
+                // install before it reads, breaking TSO).
+                if !e.wrong_path {
+                    for row in 0..LDT_ROWS {
+                        if self.ldt_line[row].is_some() && self.ldm.blocks(row, slot) {
+                            self.pending_reblock.push((row, e.seq));
+                        }
+                    }
+                    self.limbo_load_seqs.push(e.seq);
+                }
                 self.lsq.free_load(slot);
                 self.on_load_no_longer_blocking(slot);
             }
@@ -1524,6 +1857,11 @@ impl Core {
             } else {
                 self.rob.alloc(entry, speculative).expect("checked ROB space")
             };
+            if class == InstClass::Barrier && self.external_drain {
+                // Track live fences (wrong-path ones included — they gate
+                // conservatively until squashed) for the fence→read gate.
+                self.fence_seqs.push(seq);
+            }
             if speculative {
                 self.spec_dispatched += 1;
                 if self.chaos_spec_flip == Some(self.spec_dispatched) {
@@ -1560,6 +1898,24 @@ impl Core {
             e.iq_slot = Some((pool_q, iq_slot));
             e.lq_slot = lq_slot;
             e.sq_slot = sq_slot;
+            if let Some(slot) = lq_slot {
+                if !f.wrong_path {
+                    self.limbo_load_seqs.retain(|&s| s != seq);
+                    if !self.pending_reblock.is_empty() {
+                        // A replayed blocking load is back in the LQ:
+                        // re-pin the lockdown rows that stayed held for
+                        // it.
+                        self.pending_reblock.retain(|&(row, s)| {
+                            if s == seq {
+                                self.ldm.reblock(row, slot);
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                    }
+                }
+            }
             if let Some(t) = self.tracer.as_deref_mut() {
                 t.record(self.now, TraceEventKind::Rename, seq, u64::from(f.wrong_path));
                 t.record(self.now, TraceEventKind::Dispatch, seq, u64::from(speculative));

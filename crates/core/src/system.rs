@@ -1,0 +1,454 @@
+//! The multicore `System`: N cycle-level [`Core`]s sharing one MESI-style
+//! coherence directory ([`CoherenceHub`]) over the shared address window.
+//!
+//! Each core keeps its private three-level hierarchy (the latency model);
+//! the hub tracks the *observation* layer on top: which core may write a
+//! line (single-writer), who shares it, the global install order of every
+//! shared word (the `co` relation) and which installed write each load
+//! read (`rf`). Invalidations travel with configurable latency and are
+//! delivered into [`Core::apply_remote_invalidation`], so lockdown-matrix
+//! holds, squashes and replays are caused by genuine cross-core traffic
+//! under unordered commit — not by a test harness poking the core.
+//!
+//! Two orderings a single core can never observe are enforced here, in
+//! external-drain mode only (byte-identical single-core behaviour):
+//!
+//! * **read→write**: a store-buffer head only becomes globally visible
+//!   once every older load has performed (TSO forbids making a younger
+//!   write visible over an older unread load);
+//! * **fence→read**: a load may not read the cache past an older
+//!   undrained fence.
+
+use crate::config::CommitKind;
+use crate::pipeline::{CohEvent, Core};
+use orinoco_mem::{CohConfig, CohDelivery, CohStats, CoherenceHub, WriteId};
+use std::collections::BTreeMap;
+
+/// Multicore configuration: the coherence parameters plus the system-level
+/// fast-forward switch (the per-core switch must be off — the `System`
+/// owns the frozen-machine proof across cores).
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Coherence directory parameters (core count included).
+    pub coh: CohConfig,
+    /// Skip idle stretches where every core is provably frozen and the
+    /// only pending work is a scheduled core event or hub message.
+    pub fast_forward: bool,
+}
+
+impl SystemConfig {
+    /// Defaults for `cores` cores.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        Self { coh: CohConfig::new(cores), fast_forward: false }
+    }
+}
+
+/// End-of-run system statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SystemStats {
+    /// Cycles until the last core drained and the hub went idle.
+    pub cycles: u64,
+    /// Coherence-directory statistics.
+    pub coh: CohStats,
+}
+
+/// N cores over one coherence directory. See the module docs.
+pub struct System {
+    cores: Vec<Core>,
+    hub: CoherenceHub,
+    now: u64,
+    finished: Vec<bool>,
+    fast_forward: bool,
+    /// `rf`: which installed write each committed shared-window load read,
+    /// keyed by `(core, seq)`. Re-performed loads overwrite their entry;
+    /// committed loads never replay, so the final value is the
+    /// architectural one.
+    rf: BTreeMap<(usize, u64), WriteId>,
+    // Reusable scratch (the steady-state step performs no allocation).
+    scratch_deliveries: Vec<CohDelivery>,
+    scratch_events: Vec<CohEvent>,
+    scratch_acks: Vec<(u64, u32)>,
+}
+
+impl System {
+    /// Builds a system over pre-built cores (programs already loaded).
+    /// Each core is switched to external draining, given its core id and
+    /// its coherence observation log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core count mismatches `cfg.coh.cores`, a core has
+    /// its own fast-forward or prefetcher enabled (both would break the
+    /// cross-core timing model: the system owns skipping, and prefetch
+    /// fills bypass the observation hooks), or a core uses a commit
+    /// policy that retires non-performed loads (VB/BR/ECL/SPEC commit
+    /// loads whose data has not arrived — TSO-broken by design, so they
+    /// have no place under a TSO checker).
+    #[must_use]
+    pub fn new(cores: Vec<Core>, cfg: SystemConfig) -> Self {
+        cfg.coh.validate();
+        assert_eq!(cores.len(), cfg.coh.cores, "core count mismatch");
+        let mut cores = cores;
+        for (i, core) in cores.iter_mut().enumerate() {
+            let ccfg = core.config();
+            assert!(!ccfg.fast_forward, "core {i}: per-core fast-forward must be off");
+            assert_eq!(
+                ccfg.mem.prefetch_streams, 0,
+                "core {i}: prefetcher must be disabled under coherence"
+            );
+            assert!(
+                matches!(ccfg.commit, CommitKind::Orinoco | CommitKind::InOrder),
+                "core {i}: commit policy {:?} retires non-performed loads",
+                ccfg.commit
+            );
+            core.set_core_id(u32::try_from(i).expect("core count fits u32"));
+            core.set_external_drain(true);
+            core.enable_coh_log();
+        }
+        let n = cores.len();
+        Self {
+            cores,
+            hub: CoherenceHub::new(cfg.coh),
+            now: 0,
+            finished: vec![false; n],
+            fast_forward: cfg.fast_forward,
+            rf: BTreeMap::new(),
+            scratch_deliveries: Vec::new(),
+            scratch_events: Vec::new(),
+            scratch_acks: Vec::new(),
+        }
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    /// Core accessor.
+    #[must_use]
+    pub fn core(&self, i: usize) -> &Core {
+        &self.cores[i]
+    }
+
+    /// Mutable core accessor (enable traces, inspect stats).
+    pub fn core_mut(&mut self, i: usize) -> &mut Core {
+        &mut self.cores[i]
+    }
+
+    /// The cores.
+    #[must_use]
+    pub fn cores(&self) -> &[Core] {
+        &self.cores
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The coherence directory.
+    #[must_use]
+    pub fn hub(&self) -> &CoherenceHub {
+        &self.hub
+    }
+
+    /// The `rf` relation observed so far: `(core, load seq) -> write`.
+    #[must_use]
+    pub fn rf(&self) -> &BTreeMap<(usize, u64), WriteId> {
+        &self.rf
+    }
+
+    /// End-of-run statistics.
+    #[must_use]
+    pub fn stats(&self) -> SystemStats {
+        SystemStats { cycles: self.now, coh: *self.hub.stats() }
+    }
+
+    /// `true` once every core drained and the directory went idle.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.finished.iter().all(|&f| f) && self.hub.idle()
+    }
+
+    /// Advances the whole system one cycle: deliver due coherence
+    /// messages, pump store-buffer drains through the directory, step
+    /// every unfinished core, collect its coherence observations, then
+    /// advance the clock.
+    pub fn step(&mut self) {
+        self.deliver_due();
+        self.pump_drains();
+        let mut events = std::mem::take(&mut self.scratch_events);
+        let mut acks = std::mem::take(&mut self.scratch_acks);
+        for c in 0..self.cores.len() {
+            if self.finished[c] {
+                continue;
+            }
+            self.cores[c].step();
+            events.clear();
+            self.cores[c].drain_coh_events(&mut events);
+            for &ev in &events {
+                self.apply_coh_event(c, ev);
+            }
+            acks.clear();
+            self.cores[c].take_released_acks(&mut acks);
+            for &(line, count) in &acks {
+                self.hub.release_acks(line, count, self.now);
+            }
+        }
+        self.scratch_events = events;
+        self.scratch_acks = acks;
+        self.now += 1;
+        for c in 0..self.cores.len() {
+            if !self.finished[c] && self.cores[c].finished() {
+                self.cores[c].finalize_run_stats();
+                self.finished[c] = true;
+            }
+        }
+        if self.fast_forward {
+            self.fast_forward_skip();
+        }
+    }
+
+    /// Runs until [`System::finished`] or panics at `max_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock (no drain within `max_cycles`).
+    pub fn run(&mut self, max_cycles: u64) {
+        while !self.finished() {
+            assert!(
+                self.now < max_cycles,
+                "system deadlock or overrun at cycle {} (finished {:?}, hub idle {})",
+                self.now,
+                self.finished,
+                self.hub.idle(),
+            );
+            self.step();
+        }
+    }
+
+    /// Concatenated per-core lifecycle traces as JSONL (core 0's lines,
+    /// then core 1's, …), each line tagged `"core":id`. Cores without a
+    /// tracer contribute nothing.
+    #[must_use]
+    pub fn trace_jsonl(&self) -> String {
+        let mut out = String::new();
+        for core in &self.cores {
+            if let Some(t) = core.tracer() {
+                t.write_jsonl(&mut out);
+            }
+        }
+        out
+    }
+
+    fn deliver_due(&mut self) {
+        let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
+        deliveries.clear();
+        self.hub.due_deliveries(self.now, &mut deliveries);
+        for d in deliveries.drain(..) {
+            match d {
+                CohDelivery::Invalidate { core, line_addr } => {
+                    if self.cores[core].apply_remote_invalidation(line_addr) {
+                        self.hub.ack_now(line_addr, self.now);
+                    } else {
+                        // A lockdown on the victim core withholds the ack:
+                        // the writer's transaction — and therefore the
+                        // store's global visibility — waits until the
+                        // victim's older loads perform. This is the §3.3
+                        // mechanism that makes unordered commit invisible.
+                        self.hub.ack_withheld(core, line_addr);
+                    }
+                }
+                CohDelivery::GrantReady { core, .. } => {
+                    if self.cores[core].external_drain_commit() {
+                        self.hub.install(core, self.now);
+                    } else {
+                        // Local MSHRs full this cycle.
+                        self.hub.retry_grant(core, self.now);
+                    }
+                }
+            }
+        }
+        self.scratch_deliveries = deliveries;
+    }
+
+    /// One drain attempt per core per cycle (mirroring the single-core
+    /// store buffer): private heads drain straight into the local
+    /// hierarchy; shared heads open a directory transaction, gated by the
+    /// TSO read→write ordering.
+    fn pump_drains(&mut self) {
+        for c in 0..self.cores.len() {
+            let Some((addr, seq)) = self.cores[c].sb_head() else {
+                continue;
+            };
+            if !self.cores[c].store_drain_allowed(seq) {
+                continue;
+            }
+            if !self.hub.shared(addr) {
+                self.cores[c].external_drain_commit();
+            } else if !self.hub.txn_active(c) {
+                let _started = self.hub.start_store(c, addr, seq, self.now);
+                // `false` = another writer holds the line; retry next
+                // cycle (per-line serialisation totals the install order).
+            }
+        }
+    }
+
+    fn apply_coh_event(&mut self, c: usize, ev: CohEvent) {
+        match ev {
+            CohEvent::LineFilled { addr, private_hit } => {
+                if self.hub.shared(addr) {
+                    self.hub.note_line_filled(c, addr, self.now, private_hit);
+                }
+            }
+            CohEvent::LoadPerformed { seq, addr, private_hit, fwd_seq, wrong_path } => {
+                if wrong_path || !self.hub.shared(addr) {
+                    return;
+                }
+                let w = match fwd_seq {
+                    // Forwarded from the core's own SQ/SB: reads its own
+                    // not-yet-installed store (TSO's one legal W→R relax).
+                    Some(s) => WriteId::Store { core: c, seq: s },
+                    None => self.hub.resolve_load(c, addr, self.now, private_hit),
+                };
+                self.rf.insert((c, seq), w);
+            }
+        }
+    }
+
+    /// System-level idle skip: when every unfinished core is provably
+    /// frozen, no store-buffer head can make progress on its own (heads
+    /// are absent, drain-gated behind a scheduled load event, or parked
+    /// in a directory transaction whose next hop is a scheduled hub
+    /// message), the whole system state is a pure function of the next
+    /// scheduled core event or hub message — jump there in one step,
+    /// bulk-attributing the skipped cycles on every core.
+    fn fast_forward_skip(&mut self) {
+        let mut target = self.hub.next_event_at().unwrap_or(u64::MAX);
+        for c in 0..self.cores.len() {
+            if self.finished[c] {
+                continue;
+            }
+            let Some(next) = self.cores[c].debug_frozen_next_event() else {
+                return; // not frozen: cannot skip
+            };
+            target = target.min(next);
+            if let Some((addr, seq)) = self.cores[c].sb_head() {
+                if !self.hub.shared(addr) {
+                    // A private head drains by itself next cycle (or spins
+                    // on full MSHRs) — activity the skip cannot replicate.
+                    return;
+                }
+                if self.cores[c].store_drain_allowed(seq) && !self.hub.txn_active(c) {
+                    // A transaction would start next cycle.
+                    return;
+                }
+                // Otherwise the head is gated behind an older load's
+                // scheduled event, or its transaction's next hop is a hub
+                // message — both already bound `target`.
+            }
+        }
+        if target <= self.now || target == u64::MAX {
+            return;
+        }
+        for c in 0..self.cores.len() {
+            if !self.finished[c] {
+                self.cores[c].bulk_skip_to(target);
+            }
+        }
+        self.now = target;
+    }
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cores", &self.cores.len())
+            .field("cycle", &self.now)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoreConfig, SchedulerKind};
+    use orinoco_isa::{ArchReg, Emulator, ProgramBuilder};
+
+    fn mc_config() -> CoreConfig {
+        let mut cfg = CoreConfig::base()
+            .with_scheduler(SchedulerKind::Orinoco)
+            .with_commit(CommitKind::Orinoco);
+        cfg.mem.prefetch_streams = 0;
+        cfg.fast_forward = false;
+        cfg
+    }
+
+    fn core_running(build: impl FnOnce(&mut ProgramBuilder)) -> Core {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        Core::new(Emulator::new(b.build(), 1 << 16), mc_config())
+    }
+
+    /// A writer and a reader on one shared word: the system drains, the
+    /// write installs exactly once, and the reader's committed load reads
+    /// either the initial value or the writer's store — never anything
+    /// else.
+    #[test]
+    fn two_cores_drain_and_resolve_rf() {
+        let x1 = ArchReg::int(1);
+        let x2 = ArchReg::int(2);
+        let writer = core_running(|b| {
+            b.li(x1, 7);
+            b.li(x2, 0x8000);
+            b.st(x1, x2, 0);
+            b.halt();
+        });
+        let reader = core_running(|b| {
+            b.li(x2, 0x8000);
+            b.ld(x1, x2, 0);
+            b.halt();
+        });
+        let mut sys = System::new(vec![writer, reader], SystemConfig::new(2));
+        sys.run(100_000);
+        assert!(sys.finished());
+        assert_eq!(sys.hub().stats().installs, 1);
+        let order = sys.hub().memory_order();
+        assert_eq!(order.get(&0x8000).map(Vec::len), Some(1));
+        let reads: Vec<_> = sys.rf().iter().filter(|((c, _), _)| *c == 1).collect();
+        assert_eq!(reads.len(), 1, "one committed shared load on the reader");
+        let (_, &w) = reads[0];
+        assert!(
+            w == WriteId::Init || matches!(w, WriteId::Store { core: 0, .. }),
+            "reader observed {w:?}"
+        );
+    }
+
+    /// The same program on every core, private addresses only: the system
+    /// behaves exactly like N independent cores and the hub stays silent.
+    #[test]
+    fn private_programs_never_touch_the_directory() {
+        let x1 = ArchReg::int(1);
+        let x2 = ArchReg::int(2);
+        let build = |b: &mut ProgramBuilder| {
+            b.li(x2, 0x1000);
+            b.li(x1, 5);
+            b.st(x1, x2, 0);
+            b.ld(x1, x2, 0);
+            b.halt();
+        };
+        let mut sys = System::new(
+            vec![core_running(build), core_running(build)],
+            SystemConfig::new(2),
+        );
+        sys.run(100_000);
+        let s = sys.stats();
+        assert_eq!(s.coh.store_txns, 0);
+        assert_eq!(s.coh.installs, 0);
+        assert!(sys.rf().is_empty());
+    }
+}

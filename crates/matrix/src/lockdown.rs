@@ -79,6 +79,28 @@ impl LockdownMatrix {
         self.m.clear_col(lq_slot);
     }
 
+    /// `true` if the lockdown in `ldt_slot` is still pinned by the load
+    /// in LQ entry `lq_slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[must_use]
+    pub fn blocks(&self, ldt_slot: usize, lq_slot: usize) -> bool {
+        self.m.get(ldt_slot, lq_slot)
+    }
+
+    /// Re-pins the lockdown in `ldt_slot` on the load in LQ entry
+    /// `lq_slot` — a replayed (squashed but architecturally live) blocking
+    /// load re-entering the LQ must keep blocking until it re-performs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn reblock(&mut self, ldt_slot: usize, lq_slot: usize) {
+        self.m.set(ldt_slot, lq_slot);
+    }
+
     /// `true` if every older load the committed load passed has performed:
     /// the load is globally *ordered* and its lockdown is lifted.
     ///

@@ -23,9 +23,11 @@
 #![warn(clippy::all)]
 
 mod cache;
+pub mod coherence;
 mod hierarchy;
 mod prefetch;
 
 pub use cache::{Cache, CacheConfig};
+pub use coherence::{CohConfig, CohDelivery, CohStats, CoherenceHub, CoreId, LineState, WriteId};
 pub use hierarchy::{AccessKind, AccessOutcome, HitLevel, MemConfig, MemStats, MemorySystem};
 pub use prefetch::StreamPrefetcher;

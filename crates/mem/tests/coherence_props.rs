@@ -1,0 +1,263 @@
+//! Property tests for the MESI directory layer in isolation: a
+//! randomized multi-agent driver issues loads, stores, withheld acks and
+//! grant retries against the [`CoherenceHub`] and cross-checks every
+//! observable load value against a flat atomic-memory reference, while
+//! asserting the directory invariants (single-writer / multiple-reader,
+//! no coexisting owners) and the ack-before-grant ordering after every
+//! cycle. The dropped-invalidation fault must become *visible* through
+//! the same cross-check — a stale private hit disagrees with the
+//! reference — which is what makes the fault useful as a negative test
+//! for the axiomatic checker downstream.
+
+use orinoco_mem::{CohConfig, CohDelivery, CohStats, CoherenceHub, LineState, WriteId};
+use orinoco_util::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+const WORDS: [u64; 8] = [
+    0x8000, 0x8008, 0x8040, 0x8048, 0x8080, 0x8088, 0x80c0, 0x8100,
+];
+
+struct RunReport {
+    mismatches: u64,
+    stale_mismatches: u64,
+    installs_seen: u64,
+    stats: CohStats,
+}
+
+/// Drives `cores` random agents for `steps` cycles, then drains to
+/// quiescence. Every load whose line has no write in flight is
+/// cross-checked against the flat reference map.
+fn random_run(seed: u64, cores: usize, steps: u64, drop: Option<u64>) -> RunReport {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x00C0_4E4E_u64);
+    let mut cfg = CohConfig::new(cores);
+    cfg.inv_latency = rng.gen_range(1..7u64);
+    cfg.ack_latency = rng.gen_range(1..7u64);
+    cfg.grant_latency = rng.gen_range(1..5u64);
+    cfg.drop_invalidation = drop;
+    let mut hub = CoherenceHub::new(cfg);
+
+    // The atomic-memory reference: word -> last installed write.
+    let mut reference: BTreeMap<u64, WriteId> = BTreeMap::new();
+    // Which lines each agent legitimately holds (fill minus invalidation):
+    // a "private hit" is only modelled on a held line, as in the real core.
+    let mut held: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); cores];
+    let mut busy = vec![false; cores];
+    let mut seq = vec![0u64; cores];
+    // Withheld acks pending release: cycle -> lines.
+    let mut releases: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut out = Vec::new();
+    let mut report = RunReport {
+        mismatches: 0,
+        stale_mismatches: 0,
+        installs_seen: 0,
+        stats: CohStats::default(),
+    };
+
+    let check_load = |hub: &mut CoherenceHub,
+                          report: &mut RunReport,
+                          core: usize,
+                          addr: u64,
+                          now: u64,
+                          private: bool,
+                          reference: &BTreeMap<u64, WriteId>| {
+        let got = hub.resolve_load(core, addr, now, private);
+        if hub.write_in_flight(addr) {
+            return; // racing a write: either side of the install is legal
+        }
+        let want = reference.get(&(addr & !7)).copied().unwrap_or(WriteId::Init);
+        if got != want {
+            report.mismatches += 1;
+            if private {
+                report.stale_mismatches += 1;
+            }
+        }
+    };
+
+    let mut now = 0u64;
+    let mut quiesce = 0u64;
+    loop {
+        let draining = now >= steps;
+        out.clear();
+        hub.due_deliveries(now, &mut out);
+        for d in out.drain(..) {
+            match d {
+                CohDelivery::Invalidate { core, line_addr } => {
+                    held[core].remove(&line_addr);
+                    if !draining && rng.gen_bool(0.25) {
+                        // Model a lockdown withholding the ack for a while.
+                        hub.ack_withheld(core, line_addr);
+                        let at = now + rng.gen_range(1..12u64);
+                        releases.entry(at).or_default().push(line_addr);
+                    } else {
+                        hub.ack_now(line_addr, now);
+                    }
+                }
+                CohDelivery::GrantReady { core, addr, .. } => {
+                    if !draining && rng.gen_bool(0.1) {
+                        hub.retry_grant(core, now); // MSHRs full this cycle
+                    } else {
+                        hub.install(core, now);
+                        report.installs_seen += 1;
+                        reference.insert(addr & !7, WriteId::Store { core, seq: seq[core] });
+                        busy[core] = false;
+                    }
+                }
+            }
+        }
+        if let Some(lines) = releases.remove(&now) {
+            for line in lines {
+                hub.release_acks(line, 1, now);
+            }
+        }
+
+        if !draining {
+            for c in 0..cores {
+                if busy[c] {
+                    continue;
+                }
+                let addr = WORDS[rng.gen_range(0..WORDS.len())];
+                match rng.gen_range(0..10u32) {
+                    0..=3 => {
+                        let line = hub.line_addr(addr);
+                        if held[c].contains(&line) && rng.gen_bool(0.5) {
+                            check_load(&mut hub, &mut report, c, addr, now, true, &reference);
+                        } else {
+                            hub.note_line_filled(c, addr, now, false);
+                            held[c].insert(line);
+                            check_load(&mut hub, &mut report, c, addr, now, false, &reference);
+                        }
+                    }
+                    4..=5 => {
+                        let s = seq[c] + 1;
+                        if hub.start_store(c, addr, s, now) {
+                            seq[c] = s;
+                            busy[c] = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        hub.check_invariants().unwrap_or_else(|e| {
+            panic!("invariant violated at cycle {now} (seed {seed}): {e}")
+        });
+
+        now += 1;
+        if draining {
+            quiesce += 1;
+            assert!(quiesce < 10_000, "hub failed to quiesce (seed {seed})");
+            if hub.idle() && releases.is_empty() && busy.iter().all(|b| !b) {
+                break;
+            }
+        }
+    }
+    report.stats = *hub.stats();
+    report
+}
+
+/// Clean protocol, many seeds and core counts: every observable load
+/// agrees with the flat reference, the single-writer invariant holds
+/// throughout, and no grant ever overtakes its last ack.
+#[test]
+fn randomized_agents_match_atomic_reference() {
+    let mut total_installs = 0;
+    let mut total_withheld = 0;
+    for seed in 0..24u64 {
+        let cores = 2 + (seed as usize % 3);
+        let r = random_run(seed, cores, 400, None);
+        assert_eq!(r.mismatches, 0, "seed {seed}: load disagreed with reference");
+        assert_eq!(r.stats.grant_before_ack, 0, "seed {seed}: grant before ack");
+        assert_eq!(r.stats.invalidations_dropped, 0);
+        assert_eq!(r.stats.stale_reads, 0, "seed {seed}: stale read without a fault");
+        assert_eq!(r.stats.installs, r.installs_seen, "seed {seed}: install accounting");
+        total_installs += r.stats.installs;
+        total_withheld += r.stats.acks_withheld;
+    }
+    assert!(total_installs > 200, "driver too idle to mean anything: {total_installs}");
+    assert!(total_withheld > 20, "withheld-ack path never exercised: {total_withheld}");
+}
+
+/// Contended lines exercise the second-round invalidations (a reader
+/// refills mid-transaction) without ever violating the reference.
+#[test]
+fn second_round_invalidations_occur_and_stay_coherent() {
+    let mut second_rounds = 0;
+    for seed in 100..140u64 {
+        let r = random_run(seed, 4, 400, None);
+        assert_eq!(r.mismatches, 0, "seed {seed}");
+        second_rounds += r.stats.second_round_invalidations;
+    }
+    assert!(second_rounds > 0, "no mid-transaction refill was ever caught");
+}
+
+/// The dropped-invalidation fault becomes *observable*: across a seed
+/// sweep, at least one stale private hit disagrees with the reference,
+/// and only private hits ever disagree (shared fills always heal).
+#[test]
+fn dropped_invalidation_is_visible_as_a_stale_read() {
+    let mut stale = 0;
+    let mut dropped = 0;
+    for seed in 0..24u64 {
+        let r = random_run(seed, 2, 400, Some(1 + seed % 3));
+        dropped += r.stats.invalidations_dropped;
+        stale += r.stale_mismatches;
+        assert_eq!(
+            r.mismatches, r.stale_mismatches,
+            "seed {seed}: a shared (non-private) load disagreed with the reference"
+        );
+    }
+    assert!(dropped > 0, "fault flag never fired");
+    assert!(stale > 0, "dropped invalidation never became visible to a load");
+}
+
+/// Directory end-state after competing writers: exactly one Modified
+/// owner, holding exactly its own copy — no M+M or M+S coexistence.
+#[test]
+fn competing_writers_leave_a_single_owner() {
+    let mut hub = CoherenceHub::new(CohConfig::new(3));
+    let mut out = Vec::new();
+    // Everyone reads the line first.
+    for c in 0..3 {
+        hub.note_line_filled(c, 0x8000, 0, false);
+    }
+    assert_eq!(hub.line_state(0x8000).0, LineState::Shared);
+    // Two writers race; the line serialises them.
+    assert!(hub.start_store(0, 0x8000, 1, 0));
+    assert!(!hub.start_store(1, 0x8000, 1, 0));
+    let mut now = 0;
+    while !hub.idle() {
+        out.clear();
+        hub.due_deliveries(now, &mut out);
+        for d in out.drain(..) {
+            match d {
+                CohDelivery::Invalidate { line_addr, .. } => hub.ack_now(line_addr, now),
+                CohDelivery::GrantReady { core, .. } => hub.install(core, now),
+            }
+        }
+        now += 1;
+        assert!(now < 1000, "stuck");
+    }
+    let (st, sharers) = hub.line_state(0x8000);
+    assert_eq!(st, LineState::Modified(0));
+    assert_eq!(sharers, 1 << 0);
+    // Now the loser gets its turn.
+    assert!(hub.start_store(1, 0x8000, 1, now));
+    while !hub.idle() {
+        out.clear();
+        hub.due_deliveries(now, &mut out);
+        for d in out.drain(..) {
+            match d {
+                CohDelivery::Invalidate { line_addr, .. } => hub.ack_now(line_addr, now),
+                CohDelivery::GrantReady { core, .. } => hub.install(core, now),
+            }
+        }
+        now += 1;
+        assert!(now < 2000, "stuck");
+    }
+    let (st, sharers) = hub.line_state(0x8000);
+    assert_eq!(st, LineState::Modified(1));
+    assert_eq!(sharers, 1 << 1);
+    hub.check_invariants().unwrap();
+    assert_eq!(hub.stats().grant_before_ack, 0);
+}

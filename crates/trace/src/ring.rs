@@ -127,6 +127,7 @@ pub struct Tracer {
     ring: Vec<TraceRecord>,
     capacity: usize,
     total: u64,
+    core_id: Option<u32>,
 }
 
 impl Tracer {
@@ -139,7 +140,21 @@ impl Tracer {
             ring: Vec::with_capacity(capacity),
             capacity,
             total: 0,
+            core_id: None,
         }
+    }
+
+    /// Tags every JSONL line with `"core":id` (multi-core `System` runs,
+    /// where one merged dump interleaves several tracers). Untagged
+    /// tracers emit exactly the single-core format.
+    pub fn set_core_id(&mut self, id: u32) {
+        self.core_id = Some(id);
+    }
+
+    /// The core id tag, if one was set.
+    #[must_use]
+    pub fn core_id(&self) -> Option<u32> {
+        self.core_id
     }
 
     /// Records one event. Never allocates; overwrites the oldest event

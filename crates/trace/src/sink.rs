@@ -17,18 +17,29 @@ impl TraceRecord {
     /// Appends this record as one JSON line (newline included). The field
     /// order is fixed so dumps are byte-stable.
     pub fn write_jsonl(&self, out: &mut String) {
+        self.write_jsonl_tagged(out, None);
+    }
+
+    /// Like [`TraceRecord::write_jsonl`], with an optional leading
+    /// `"core":id` field (multi-core dumps). `None` reproduces the
+    /// single-core format byte for byte.
+    pub fn write_jsonl_tagged(&self, out: &mut String, core: Option<u32>) {
+        out.push('{');
+        if let Some(id) = core {
+            let _ = write!(out, r#""core":{id},"#);
+        }
         let c = self.cycle;
         match self.kind {
             TraceEventKind::Stall => {
                 let cause = StallCause::from_idx(self.arg as usize)
                     .map_or("unknown", StallCause::label);
-                let _ = writeln!(out, r#"{{"cycle":{c},"event":"stall","cause":"{cause}"}}"#);
+                let _ = writeln!(out, r#""cycle":{c},"event":"stall","cause":"{cause}"}}"#);
                 return;
             }
             _ => {
                 let _ = write!(
                     out,
-                    r#"{{"cycle":{c},"seq":{},"event":"{}""#,
+                    r#""cycle":{c},"seq":{},"event":"{}""#,
                     self.seq,
                     self.kind.label()
                 );
@@ -69,10 +80,12 @@ impl TraceRecord {
 }
 
 impl Tracer {
-    /// Appends the held records (oldest → newest) as JSON lines.
+    /// Appends the held records (oldest → newest) as JSON lines, tagged
+    /// with the tracer's core id when one was set.
     pub fn write_jsonl(&self, out: &mut String) {
+        let core = self.core_id();
         for r in self.records() {
-            r.write_jsonl(out);
+            r.write_jsonl_tagged(out, core);
         }
     }
 
@@ -181,6 +194,26 @@ mod tests {
         // Stall lines carry no seq field.
         let stall = jsonl.lines().find(|l| l.contains("stall")).unwrap();
         assert!(!stall.contains("seq"));
+    }
+
+    #[test]
+    fn core_tag_leads_every_line_and_only_when_set() {
+        let mut t = sample();
+        let untagged = t.to_jsonl();
+        assert!(!untagged.contains(r#""core":"#));
+        t.set_core_id(3);
+        let tagged = t.to_jsonl();
+        assert_eq!(tagged.lines().count(), untagged.lines().count());
+        for line in tagged.lines() {
+            assert!(line.starts_with(r#"{"core":3,"cycle":"#), "line: {line}");
+        }
+        // The tag is a pure prefix: stripping it recovers the single-core
+        // bytes, so existing goldens are untouched by the feature.
+        let stripped: String = tagged
+            .lines()
+            .map(|l| format!("{{{}\n", &l[r#"{"core":3,"#.len()..]))
+            .collect();
+        assert_eq!(stripped, untagged);
     }
 
     #[test]

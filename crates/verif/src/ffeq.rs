@@ -19,9 +19,10 @@
 //! Units are pure functions of the program seed, so the parallel campaign
 //! merges results in seed order and is byte-identical to a serial run.
 
-use crate::{config_for_seed, gen, program_seeds};
-use orinoco_core::{Core, CoreConfig};
+use crate::{config_for_seed, gen, mcm, program_seeds};
+use orinoco_core::{Core, CoreConfig, System};
 use orinoco_isa::Emulator;
+use orinoco_workloads::multicore::SharedWorkload;
 
 /// Cycle budget per run; matches the co-simulation default.
 const MAX_CYCLES: u64 = 50_000_000;
@@ -132,6 +133,128 @@ pub fn ff_equivalence_campaign(
     out
 }
 
+// ---------------------------------------------------------------------------
+// Multi-core: the system-level fast-forward must be equally invisible.
+// ---------------------------------------------------------------------------
+
+/// Cycle budget per system run; matches the mcm campaign's.
+const SYS_MAX_CYCLES: u64 = 500_000;
+
+/// Runs a built [`System`] to completion and renders every observable:
+/// per-core commit-event streams, per-core `SimStats` and stall-taxonomy
+/// `Debug` forms, the coherence-hub statistics, and the system cycle
+/// count. The system-level skip claims to preserve all of them — it may
+/// only jump the clock over cycles where every core is frozen *and* no
+/// coherence message or drain could fire.
+fn run_system_once(mut sys: System) -> (Vec<Vec<String>>, Vec<String>, String, u64) {
+    for c in 0..sys.num_cores() {
+        sys.core_mut(c).enable_commit_trace();
+    }
+    sys.run(SYS_MAX_CYCLES);
+    let cycles = sys.stats().cycles;
+    let coh_dbg = format!("{:?}", sys.stats().coh);
+    let mut commits = Vec::with_capacity(sys.num_cores());
+    let mut stats = Vec::with_capacity(sys.num_cores());
+    for c in 0..sys.num_cores() {
+        let core = sys.core_mut(c);
+        stats.push(format!("{:?}", core.stats()));
+        commits.push(core.drain_commit_trace().iter().map(|ev| format!("{ev:?}")).collect());
+    }
+    (commits, stats, coh_dbg, cycles)
+}
+
+/// Diffs one FF-on/FF-off system pair built by `build`. Returns the
+/// skipped-run cycle count, total commits checked, and the first
+/// difference found (labelled with `label` and replayable via `pseed`).
+fn sys_ffeq_pair(
+    pseed: u64,
+    label: &'static str,
+    build: impl Fn(bool) -> System,
+) -> (u64, u64, Option<FfEqMismatch>) {
+    let (commits_on, stats_on, coh_on, cycles) = run_system_once(build(true));
+    let (commits_off, stats_off, coh_off, cycles_off) = run_system_once(build(false));
+    let mismatch = |detail: String| FfEqMismatch { program_seed: pseed, config: label, detail };
+    let total_commits = commits_on.iter().map(Vec::len).sum::<usize>() as u64;
+    let diff = if cycles != cycles_off {
+        Some(mismatch(format!("cycle count differs: {cycles} with fast-forward vs {cycles_off}")))
+    } else if coh_on != coh_off {
+        Some(mismatch(format!("coherence stats differ:\n  ff  {coh_on}\n  off {coh_off}")))
+    } else {
+        (0..commits_on.len()).find_map(|c| {
+            if stats_on[c] != stats_off[c] {
+                return Some(mismatch(format!(
+                    "core {c} SimStats differ:\n  ff  {}\n  off {}",
+                    stats_on[c], stats_off[c]
+                )));
+            }
+            if commits_on[c].len() != commits_off[c].len() {
+                return Some(mismatch(format!(
+                    "core {c} commit stream length differs: {} with fast-forward vs {}",
+                    commits_on[c].len(),
+                    commits_off[c].len()
+                )));
+            }
+            commits_on[c].iter().zip(&commits_off[c]).enumerate().find_map(|(i, (a, b))| {
+                (a != b).then(|| {
+                    mismatch(format!("core {c} commit event {i} differs:\n  ff  {a}\n  off {b}"))
+                })
+            })
+        })
+    };
+    (cycles, total_commits, diff)
+}
+
+/// System-level fast-forward equivalence campaign: every generated
+/// multi-threaded program (the same generator the mcm campaign fuzzes)
+/// plus the four named [`SharedWorkload`] kernels run once with the
+/// system skip enabled and once without, and every per-core observable
+/// must agree byte-for-byte — the skip must consider pending coherence
+/// messages, gated store-buffer heads and in-flight directory
+/// transactions, and this campaign is the proof.
+pub fn sys_ff_equivalence_campaign(
+    programs: u64,
+    seed: u64,
+    jobs: usize,
+    progress: impl Fn(u64, u64) + Sync,
+) -> FfEqOutcome {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    enum Unit {
+        Generated(u64),
+        Kernel(SharedWorkload, usize),
+    }
+    let mut units: Vec<Unit> =
+        program_seeds(seed, programs).into_iter().map(Unit::Generated).collect();
+    for w in SharedWorkload::ALL {
+        for cores in [2usize, 4] {
+            units.push(Unit::Kernel(w, cores));
+        }
+    }
+    let total = units.len() as u64;
+    let done = AtomicU64::new(0);
+    let results = orinoco_util::pool::parallel_map(jobs, &units, |_, unit| {
+        let r = match *unit {
+            Unit::Generated(pseed) => {
+                let spec = mcm::generate_mt(pseed);
+                sys_ffeq_pair(pseed, "system-mt", |ff| mcm::build_system_ff(&spec, pseed, ff))
+            }
+            Unit::Kernel(w, cores) => sys_ffeq_pair(seed, w.name(), |ff| {
+                mcm::shared_workload_system(w, cores, seed, ff)
+            }),
+        };
+        progress(done.fetch_add(1, Ordering::Relaxed) + 1, total);
+        r
+    });
+    let mut out = FfEqOutcome::default();
+    for (cycles, commits, mismatch) in results {
+        out.programs_run += 1;
+        out.total_cycles += cycles;
+        out.total_commits += commits;
+        out.mismatches.extend(mismatch);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +270,22 @@ mod tests {
         assert!(
             out.mismatches.is_empty(),
             "fast-forward changed an observable: {}",
+            out.mismatches[0].detail
+        );
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn multicore_systems_are_ff_equivalent() {
+        let out = sys_ff_equivalence_campaign(12, 3, 4, |_, _| {});
+        // 12 generated programs + 4 kernels × {2, 4} cores.
+        assert_eq!(out.programs_run, 20);
+        assert!(out.total_commits > 0);
+        assert!(
+            out.mismatches.is_empty(),
+            "system fast-forward changed an observable ({} @ seed {:#x}): {}",
+            out.mismatches[0].config,
+            out.mismatches[0].program_seed,
             out.mismatches[0].detail
         );
         assert!(out.passed());

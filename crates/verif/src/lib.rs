@@ -26,11 +26,14 @@
 pub mod ffeq;
 pub mod gen;
 pub mod litmus;
+pub mod mcm;
 pub mod oracle;
+pub mod syslitmus;
 pub mod traceinv;
 
-pub use ffeq::{ff_equivalence_campaign, FfEqMismatch, FfEqOutcome};
+pub use ffeq::{ff_equivalence_campaign, sys_ff_equivalence_campaign, FfEqMismatch, FfEqOutcome};
 pub use gen::{generate, shrink, ProgSpec};
+pub use mcm::{check_tso, extract_trace, mcm_campaign, McmOutcome, McmTrace, McmViolation};
 pub use oracle::{run_cosim, CosimOptions, CosimReport, Divergence, LockstepChecker};
 pub use traceinv::{check_lifecycle, trace_invariant_campaign, TraceCheck, TraceInvOutcome};
 

@@ -27,7 +27,10 @@
 //! the SPEC-flip fault-injection pass is never caught by the oracle (the
 //! oracle must be proven load-bearing in the same run).
 
-use orinoco_verif::{ff_equivalence_campaign, fuzz_campaign_par, litmus, replay, trace_invariant_campaign};
+use orinoco_verif::{
+    ff_equivalence_campaign, fuzz_campaign_par, litmus, mcm_campaign, replay,
+    sys_ff_equivalence_campaign, syslitmus, trace_invariant_campaign,
+};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -36,7 +39,8 @@ fn usage() -> ExitCode {
         "usage:\n  verif fuzz --programs N --seed S [--max-seconds T] [--jobs J]\n  \
          verif replay <seed> [--inject N] [--trace N]\n  verif litmus\n  \
          verif traceinv [--programs N] [--seed S]\n  \
-         verif ffeq [--programs N] [--seed S] [--jobs J]"
+         verif ffeq [--programs N] [--seed S] [--jobs J]\n  \
+         verif mcm [--programs N] [--seed S] [--jobs J]"
     );
     ExitCode::from(2)
 }
@@ -202,6 +206,38 @@ fn cmd_litmus() -> ExitCode {
         demo.lockdown_stall_traced
     );
     ok &= demo.holds();
+    for v in syslitmus::run_battery(42) {
+        let outs =
+            v.outcomes.iter().map(|o| format!("{o:?}")).collect::<Vec<_>>().join(" ");
+        println!(
+            "system {}: {} sweeps | outcomes {} | invalidations {} | {}",
+            v.name,
+            v.runs,
+            outs,
+            v.invalidations,
+            if v.holds() {
+                "holds".to_owned()
+            } else {
+                format!(
+                    "FAIL (missing {:?}, violation {:?})",
+                    v.missing, v.violation
+                )
+            }
+        );
+        ok &= v.holds();
+    }
+    let xc = syslitmus::cross_core_lockdown_demo();
+    println!(
+        "system lockdown: acks withheld {} | invalidations sent {} | \
+         reader/writer lockdown-held stalls {}/{} | traced {} | tso clean {}",
+        xc.withheld,
+        xc.invalidations_sent,
+        xc.reader_lockdown_stalls,
+        xc.writer_lockdown_stalls,
+        xc.traced,
+        xc.tso_clean
+    );
+    ok &= xc.holds();
     if ok {
         println!("PASS: TSO litmus suite holds");
         ExitCode::SUCCESS
@@ -306,8 +342,85 @@ fn cmd_ffeq(args: &[String]) -> ExitCode {
             m.config, m.program_seed, m.detail, m.program_seed
         );
     }
-    if out.passed() {
+    if !out.passed() {
+        println!("FAIL");
+        return ExitCode::FAILURE;
+    }
+    // Multi-core pass: the system-level skip over the same observables
+    // (a quarter of the single-core program count — each unit runs a
+    // whole N-core system twice).
+    let sys_programs = (programs / 4).max(4);
+    println!("ffeq[system]: {sys_programs} generated programs + shared kernels");
+    let sys = sys_ff_equivalence_campaign(sys_programs, seed, jobs, |_, _| {});
+    println!(
+        "{} system pairs, {} cycles, {} commits cross-checked, {} mismatches",
+        sys.programs_run,
+        sys.total_cycles,
+        sys.total_commits,
+        sys.mismatches.len()
+    );
+    for m in &sys.mismatches {
+        println!("  MISMATCH [{}] seed {:#x}: {}", m.config, m.program_seed, m.detail);
+    }
+    if sys.passed() {
         println!("PASS: idle-cycle fast-forward is observationally invisible");
+        ExitCode::SUCCESS
+    } else {
+        println!("FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_mcm(args: &[String]) -> ExitCode {
+    let mut programs = 200u64;
+    let mut seed = 42u64;
+    let mut jobs = orinoco_util::pool::default_jobs();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let val = |it: &mut std::slice::Iter<String>| it.next().and_then(|v| parse_u64(v));
+        match a.as_str() {
+            "--programs" => match val(&mut it) {
+                Some(v) => programs = v,
+                None => return usage(),
+            },
+            "--seed" => match val(&mut it) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--jobs" => match val(&mut it) {
+                Some(v) => jobs = (v as usize).max(1),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    println!("mcm: {programs} multi-threaded programs, campaign seed {seed}, {jobs} jobs");
+    let last_decile = std::sync::atomic::AtomicU64::new(0);
+    let out = mcm_campaign(programs, seed, jobs, |done, total| {
+        let decile = done * 10 / total;
+        if last_decile.fetch_max(decile, std::sync::atomic::Ordering::Relaxed) < decile {
+            println!("  ... {done}/{total} system runs");
+        }
+    });
+    println!(
+        "clean pass: {} programs, {} shared events checked, {} installs, \
+         {} lockdown-withheld acks, {} violations",
+        out.programs_run,
+        out.total_events,
+        out.total_installs,
+        out.total_withheld,
+        out.violations.len()
+    );
+    for (pseed, v) in &out.violations {
+        println!("  VIOLATION seed {pseed:#x}: {v}");
+    }
+    println!(
+        "injection pass: {} invalidations dropped, control clean: {}, fault caught: {} ({})",
+        out.injection.dropped, out.injection.clean_ok, out.injection.fault_caught,
+        out.injection.detail
+    );
+    if out.passed() {
+        println!("PASS: multi-core TSO axioms hold; the MCM checker is load-bearing");
         ExitCode::SUCCESS
     } else {
         println!("FAIL");
@@ -323,6 +436,7 @@ fn main() -> ExitCode {
         Some("litmus") => cmd_litmus(),
         Some("traceinv") => cmd_traceinv(&args[1..]),
         Some("ffeq") => cmd_ffeq(&args[1..]),
+        Some("mcm") => cmd_mcm(&args[1..]),
         _ => usage(),
     }
 }

@@ -1,0 +1,504 @@
+//! System-level TSO litmus battery: the classic shapes (MP, SB, LB,
+//! SB+fences, CoRR, CoWW, CoRW1/CoRW2, IRIW+fences) run on *real*
+//! multi-core [`System`]s — cycle-level cores, MESI coherence, genuine
+//! cross-core invalidation traffic — under a seeded timing sweep.
+//!
+//! Two properties are asserted per litmus:
+//!
+//! * **forbidden outcomes never appear** — every sweep point's
+//!   observation-layer trace must satisfy [`check_tso`], so any
+//!   forbidden interleaving would surface as an axiom cycle;
+//! * **allowed outcomes do appear** — the sweep's delay randomisation
+//!   must reach every outcome in the litmus's `must_see` list, proving
+//!   the battery actually explores the interesting interleavings rather
+//!   than passing vacuously.
+//!
+//! IRIW note: TSO is multi-copy-atomic, so IRIW is forbidden even
+//! *without* fences (the hub's single per-word install order makes
+//! independent readers agree by construction). The battery runs the
+//! classic fenced variant on a 4-core System; the acyclicity check
+//! covers the unfenced reasoning too, since R→R is already in ppo.
+//!
+//! [`cross_core_lockdown_demo`] is the end-to-end Orinoco story: a load
+//! that committed out of order on one core holds its lockdown, a
+//! *genuine* invalidation from another core's store arrives (no
+//! injection API involved), the coherence ack is withheld until the
+//! older load performs, and the whole episode is visible in the
+//! lifecycle trace as `lockdown-held` stalls.
+
+use crate::mcm::{check_tso, extract_trace, McmOp, McmTrace};
+use orinoco_core::{
+    CommitKind, Core, CoreConfig, SchedulerKind, StallCause, System, SystemConfig,
+    TraceEventKind,
+};
+use orinoco_isa::{ArchReg, Emulator, ProgramBuilder};
+use orinoco_mem::coherence::WriteId;
+use orinoco_util::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One litmus thread operation. Addresses are byte offsets into the
+/// shared window (`x` = 0x00, `y` = 0x40 — distinct cache lines).
+#[derive(Clone, Copy, Debug)]
+pub enum LOp {
+    /// Load from the given window offset.
+    Ld(u64),
+    /// Store a fresh value to the given window offset.
+    St(u64),
+    /// Memory fence.
+    Fence,
+}
+
+/// Offset of variable `x` (line 0 of the shared window).
+pub const VX: u64 = 0x00;
+/// Offset of variable `y` (line 1 of the shared window).
+pub const VY: u64 = 0x40;
+
+/// A litmus shape to run on a real `System`.
+#[derive(Clone, Debug)]
+pub struct SysLitmus {
+    /// Litmus name (herding-cats convention).
+    pub name: &'static str,
+    /// Per-core operation sequences.
+    pub threads: Vec<Vec<LOp>>,
+    /// Outcome tuples the sweep must reach (see [`outcome_of`] for the
+    /// labeling: 0 = `Init`, `(core+1)*10 + n` = core's n-th store).
+    pub must_see: Vec<Vec<u64>>,
+}
+
+/// Verdict of one litmus sweep.
+#[derive(Clone, Debug)]
+pub struct SysLitmusVerdict {
+    /// Litmus name.
+    pub name: &'static str,
+    /// Sweep points run.
+    pub runs: u64,
+    /// Distinct outcome tuples observed.
+    pub outcomes: BTreeSet<Vec<u64>>,
+    /// First TSO violation, if any sweep point produced one (forbidden
+    /// outcome reached — must stay `None`).
+    pub violation: Option<String>,
+    /// `must_see` outcomes the sweep failed to reach.
+    pub missing: Vec<Vec<u64>>,
+    /// Invalidations the sweep sent — evidence the outcomes come from
+    /// genuine cross-core traffic.
+    pub invalidations: u64,
+}
+
+impl SysLitmusVerdict {
+    /// Forbidden outcomes never appeared and every required allowed
+    /// outcome did.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.violation.is_none() && self.missing.is_empty()
+    }
+}
+
+/// The battery.
+#[must_use]
+pub fn battery() -> Vec<SysLitmus> {
+    use LOp::{Fence, Ld, St};
+    vec![
+        SysLitmus {
+            name: "mp",
+            threads: vec![vec![St(VX), St(VY)], vec![Ld(VY), Ld(VX)]],
+            // Forbidden [12, 0] is blocked by the axioms; the sweep must
+            // reach both the early and the late reader.
+            must_see: vec![vec![0, 0], vec![12, 11]],
+        },
+        SysLitmus {
+            name: "sb",
+            threads: vec![vec![St(VX), Ld(VY)], vec![St(VY), Ld(VX)]],
+            // [0, 0] is the TSO-only outcome (store buffering).
+            must_see: vec![vec![0, 0], vec![21, 11]],
+        },
+        SysLitmus {
+            name: "lb",
+            threads: vec![vec![Ld(VX), St(VY)], vec![Ld(VY), St(VX)]],
+            // Forbidden [21, 11] (both loads see the other's later
+            // store) is blocked by the R→W drain gate.
+            must_see: vec![vec![0, 0]],
+        },
+        SysLitmus {
+            name: "sb+fences",
+            threads: vec![vec![St(VX), Fence, Ld(VY)], vec![St(VY), Fence, Ld(VX)]],
+            // Fences forbid [0, 0]; the fully-ordered outcome must show.
+            must_see: vec![vec![21, 11]],
+        },
+        SysLitmus {
+            name: "corr",
+            threads: vec![vec![St(VX)], vec![Ld(VX), Ld(VX)]],
+            // Forbidden [11, 0] (new then old) is the read-read
+            // coherence axiom.
+            must_see: vec![vec![0, 0], vec![11, 11]],
+        },
+        SysLitmus {
+            name: "coww",
+            threads: vec![vec![St(VX), St(VX)], vec![Ld(VX), Ld(VX)]],
+            // co must respect po: a reader can never see [12, 11].
+            must_see: vec![vec![0, 0], vec![12, 12]],
+        },
+        SysLitmus {
+            name: "corw1",
+            threads: vec![vec![St(VX)], vec![Ld(VX), St(VX)]],
+            // The load may never see its own core's po-later store (21).
+            must_see: vec![vec![0], vec![11]],
+        },
+        SysLitmus {
+            name: "corw2",
+            threads: vec![vec![St(VX)], vec![Ld(VX), Fence, St(VX)]],
+            // Reading 11 while co orders the reader's store first would
+            // cycle (rf ∪ co ∪ po-loc); the axioms block it.
+            must_see: vec![vec![0], vec![11]],
+        },
+        SysLitmus {
+            name: "iriw+fences",
+            threads: vec![
+                vec![St(VX)],
+                vec![St(VY)],
+                vec![Ld(VX), Fence, Ld(VY)],
+                vec![Ld(VY), Fence, Ld(VX)],
+            ],
+            // The forbidden split ([11,0] / [21,0]) would mean the two
+            // readers disagree on the store order — impossible with a
+            // single install order, and a ghb cycle if it ever leaked.
+            must_see: vec![vec![0, 0, 0, 0], vec![11, 21, 21, 11]],
+        },
+    ]
+}
+
+/// Warm loads per thread: every thread touches both litmus lines before
+/// the timed section, so the litmus accesses themselves hit (or get
+/// freshly invalidated) core-private cache levels instead of paying the
+/// ~200-cycle first-touch DRAM latency, which would otherwise serialise
+/// every interleaving into "reader after writer".
+const WARM_LOADS: usize = 2;
+
+/// Builds one litmus thread: warm both lines, then make the base
+/// register data-dependent on the warm loads (through `and`/`add` with
+/// zero), so the timed section starts only once the lines are resident
+/// and the sweep's small delay insertions genuinely reorder the
+/// accesses.
+fn build_litmus_thread(ops: &[LOp], prefix: u32, inter: &[u32], base: u64) -> Emulator {
+    let mut b = ProgramBuilder::new();
+    let x1 = ArchReg::int(1);
+    let x2 = ArchReg::int(2);
+    b.li(x1, 0);
+    for _ in 0..16 {
+        b.addi(x1, x1, (base / 16) as i64);
+    }
+    let (w0, w1, zero) = (ArchReg::int(12), ArchReg::int(13), ArchReg::ZERO);
+    b.ld(w0, x1, VX as i64);
+    b.ld(w1, x1, VY as i64);
+    b.xor(w0, w0, w1);
+    b.and(w0, w0, zero);
+    b.add(x1, x1, w0); // x1 still = base, now ready only after the warms
+    for _ in 0..prefix {
+        b.addi(x1, x1, 0);
+    }
+    let mut val = 1i64;
+    let mut dst = 4u8;
+    for (i, op) in ops.iter().enumerate() {
+        for _ in 0..inter.get(i).copied().unwrap_or(0) {
+            b.addi(x1, x1, 0);
+        }
+        match *op {
+            LOp::Ld(off) => {
+                b.ld(ArchReg::int(dst), x1, off as i64);
+                dst = 4 + (dst - 3) % 8;
+            }
+            LOp::St(off) => {
+                b.li(x2, val);
+                val += 1;
+                b.st(x2, x1, off as i64);
+            }
+            LOp::Fence => {
+                b.fence();
+            }
+        }
+    }
+    b.halt();
+    Emulator::new(b.build(), 1 << 16)
+}
+
+fn litmus_core_config() -> CoreConfig {
+    let mut cfg = CoreConfig::base()
+        .with_scheduler(SchedulerKind::Orinoco)
+        .with_commit(CommitKind::Orinoco);
+    cfg.mem.prefetch_streams = 0;
+    cfg.fast_forward = false;
+    cfg
+}
+
+/// Labels every shared load of the trace past each core's first `skip`
+/// (warm-up) loads: 0 for [`WriteId::Init`], `(core+1)*10 + n` for the
+/// writing core's `n`-th (1-based, program order) shared store. Loads
+/// are listed core 0 first, program order within a core.
+#[must_use]
+pub fn outcome_of(trace: &McmTrace, skip: usize) -> Vec<u64> {
+    let mut label: BTreeMap<(usize, u64), u64> = BTreeMap::new();
+    let mut nth: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut seen: BTreeMap<usize, usize> = BTreeMap::new();
+    for e in &trace.events {
+        if let McmOp::Write { .. } = e.op {
+            let n = nth.entry(e.core).or_insert(0);
+            *n += 1;
+            label.insert((e.core, e.seq), (e.core as u64 + 1) * 10 + *n);
+        }
+    }
+    trace
+        .events
+        .iter()
+        .filter_map(|e| match e.op {
+            McmOp::Read { rf, .. } => {
+                let seen = seen.entry(e.core).or_insert(0);
+                *seen += 1;
+                if *seen <= skip {
+                    return None;
+                }
+                Some(match rf {
+                    WriteId::Init => 0,
+                    WriteId::Store { core, seq } => label[&(core, seq)],
+                })
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Sweeps one litmus across `sweeps` seeded timing points: random
+/// per-thread prefix and inter-op delays, randomised coherence message
+/// latencies, system fast-forward alternating. Every point must satisfy
+/// the TSO axioms; the union of observed outcomes must cover `must_see`.
+#[must_use]
+pub fn run_sys_litmus(lit: &SysLitmus, sweeps: u64, campaign_seed: u64) -> SysLitmusVerdict {
+    let mut verdict = SysLitmusVerdict {
+        name: lit.name,
+        runs: 0,
+        outcomes: BTreeSet::new(),
+        violation: None,
+        missing: Vec::new(),
+        invalidations: 0,
+    };
+    let mut rng = Rng::seed_from_u64(campaign_seed ^ 0x11E5_715C);
+    for sweep in 0..sweeps {
+        let mut scfg = SystemConfig::new(lit.threads.len());
+        scfg.coh.inv_latency = 1 + rng.next_u64() % 4;
+        scfg.coh.ack_latency = 1 + rng.next_u64() % 3;
+        scfg.coh.grant_latency = 1 + rng.next_u64() % 2;
+        scfg.fast_forward = sweep & 1 == 1;
+        let base = scfg.coh.shared_base;
+        let cores: Vec<Core> = lit
+            .threads
+            .iter()
+            .map(|ops| {
+                // Every fourth sweep is a symmetric point: equal small
+                // prefixes, no inter-op delay. Outcomes like SB's
+                // [0, 0] need all threads racing neck-and-neck, which
+                // the independent random draws almost never produce.
+                let (prefix, inter) = if sweep % 4 == 0 {
+                    ((sweep / 4) as u32, vec![0u32; ops.len()])
+                } else {
+                    (
+                        (rng.next_u64() % 48) as u32,
+                        ops.iter().map(|_| (rng.next_u64() % 24) as u32).collect(),
+                    )
+                };
+                Core::new(build_litmus_thread(ops, prefix, &inter, base), litmus_core_config())
+            })
+            .collect();
+        let mut sys = System::new(cores, scfg);
+        for c in 0..sys.num_cores() {
+            sys.core_mut(c).enable_commit_trace();
+        }
+        sys.run(500_000);
+        let trace = extract_trace(&mut sys);
+        verdict.runs += 1;
+        verdict.invalidations += sys.stats().coh.invalidations_sent;
+        if let Err(v) = check_tso(&trace) {
+            verdict.violation.get_or_insert(format!("sweep {sweep}: {v}"));
+        }
+        verdict.outcomes.insert(outcome_of(&trace, WARM_LOADS));
+    }
+    verdict.missing = lit
+        .must_see
+        .iter()
+        .filter(|o| !verdict.outcomes.contains(*o))
+        .cloned()
+        .collect();
+    verdict
+}
+
+/// Runs the whole battery with the default sweep width.
+#[must_use]
+pub fn run_battery(campaign_seed: u64) -> Vec<SysLitmusVerdict> {
+    battery().iter().map(|l| run_sys_litmus(l, 48, campaign_seed)).collect()
+}
+
+/// Report of [`cross_core_lockdown_demo`].
+#[derive(Clone, Debug, Default)]
+pub struct CrossCoreLockdown {
+    /// Coherence acks withheld by the reader's lockdown (hub stats).
+    pub withheld: u64,
+    /// Invalidations genuinely sent by the hub (not injected).
+    pub invalidations_sent: u64,
+    /// Invalidations dropped — must be 0 (no fault in play).
+    pub invalidations_dropped: u64,
+    /// `lockdown-held` stall cycles in the reader's taxonomy.
+    pub reader_lockdown_stalls: u64,
+    /// `lockdown-held` stall cycles in the writer's taxonomy.
+    pub writer_lockdown_stalls: u64,
+    /// A `lockdown-held` stall record appears in the lifecycle trace.
+    pub traced: bool,
+    /// The writer's store did install in the global order.
+    pub store_installed: bool,
+    /// The run's trace satisfies the TSO axioms.
+    pub tso_clean: bool,
+}
+
+impl CrossCoreLockdown {
+    /// The lockdown held a genuine cross-core invalidation's ack and the
+    /// episode is fully observable.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.withheld > 0
+            && self.invalidations_sent > 0
+            && self.invalidations_dropped == 0
+            && self.reader_lockdown_stalls > 0
+            && self.writer_lockdown_stalls > 0
+            && self.traced
+            && self.store_installed
+            && self.tso_clean
+    }
+}
+
+/// Builds a thread that opens a lockdown window on `window_off` — a
+/// young load to it commits out of order while an older load to
+/// `slow_off` sits behind a `chain`-long dependency chain plus the
+/// DRAM fill — then stores to `store_off` (the *peer's* locked-down
+/// line). The store's address is data-dependent on the fast load, so it
+/// drains right as this core's window opens — which, with asymmetric
+/// chain lengths, is while the peer's window is still open too.
+fn lockdown_thread(base: u64, chain: u32, window_off: u64, slow_off: u64, store_off: u64) -> Emulator {
+    let mut b = ProgramBuilder::new();
+    let x1 = ArchReg::int(1);
+    let x6 = ArchReg::int(6);
+    let fast = ArchReg::int(5);
+    let x9 = ArchReg::int(9);
+    b.li(x6, base as i64);
+    b.li(x1, 0);
+    for _ in 0..chain {
+        b.addi(x1, x1, (base / u64::from(chain)) as i64);
+    }
+    // Older load: waits for the whole chain, then the DRAM fill.
+    b.ld(ArchReg::int(4), x1, slow_off as i64);
+    // Younger load: starts immediately, performs after one DRAM fill,
+    // and commits out of order under a lockdown on its line.
+    b.ld(fast, x6, window_off as i64);
+    // The store to the peer's locked-down line, address-dependent on the
+    // fast load (`and` with zero keeps the value, creates the edge).
+    b.and(x9, fast, ArchReg::ZERO);
+    b.add(x9, x9, x6);
+    b.li(ArchReg::int(2), 1);
+    b.st(ArchReg::int(2), x9, store_off as i64);
+    b.halt();
+    Emulator::new(b.build(), 1 << 16)
+}
+
+/// Builds (but does not run) the deterministic two-core lockdown
+/// scenario, with commit traces and lifecycle tracing already enabled on
+/// both cores — [`cross_core_lockdown_demo`] runs it and summarises; the
+/// golden-trace test runs it and byte-diffs `System::trace_jsonl`.
+///
+/// Core 0 locks down line 0 behind a 128-addi chain (window open
+/// roughly cycles 210..350) and stores to line 1; core 1 locks down
+/// line 1 behind a 32-addi chain (window ~210..250) and stores to
+/// line 0. Core 1's store drains at ~255 — inside core 0's window —
+/// so its invalidation's ack is withheld for ~100 cycles. Core 0's
+/// store drains after its own window closes, exercising the
+/// ack-immediately path on core 1. The slow loads read lines 2 and 3
+/// (uncontended) so neither window closes early.
+#[must_use]
+pub fn lockdown_demo_system() -> System {
+    let scfg = SystemConfig::new(2);
+    let base = scfg.coh.shared_base;
+    let cores = vec![
+        Core::new(lockdown_thread(base, 128, 0x00, 0x80, 0x40), litmus_core_config()),
+        Core::new(lockdown_thread(base, 32, 0x40, 0xC0, 0x00), litmus_core_config()),
+    ];
+    let mut sys = System::new(cores, scfg);
+    for c in 0..2 {
+        sys.core_mut(c).enable_commit_trace();
+        sys.core_mut(c).enable_tracing(8192);
+    }
+    sys
+}
+
+/// The acceptance scenario: two cores, each holding a lockdown on a line
+/// the other core stores to. Both invalidations are real hub traffic;
+/// core 1's store — released once its own slow load performs — lands in
+/// core 0's longer-lived window and its ack is withheld until core 0's
+/// older load performs; both cores' stall taxonomies attribute the wait
+/// to `lockdown-held`.
+#[must_use]
+pub fn cross_core_lockdown_demo() -> CrossCoreLockdown {
+    let mut sys = lockdown_demo_system();
+    sys.run(500_000);
+    let trace = extract_trace(&mut sys);
+    let tso_clean = check_tso(&trace).is_ok();
+    let coh = sys.stats().coh;
+    let lockdown_stalls = |core: &Core| core.stats().stall_taxonomy.count(StallCause::LockdownHeld);
+    let traced = (0..2).any(|c| {
+        sys.core(c).tracer().is_some_and(|t| {
+            t.records().any(|r| {
+                r.kind == TraceEventKind::Stall
+                    && r.arg == StallCause::LockdownHeld.idx() as u64
+            })
+        })
+    });
+    CrossCoreLockdown {
+        withheld: coh.acks_withheld,
+        invalidations_sent: coh.invalidations_sent,
+        invalidations_dropped: coh.invalidations_dropped,
+        reader_lockdown_stalls: lockdown_stalls(sys.core(1)),
+        writer_lockdown_stalls: lockdown_stalls(sys.core(0)),
+        traced,
+        store_installed: coh.installs >= 2,
+        tso_clean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_litmus_holds_on_the_real_system() {
+        for v in run_battery(42) {
+            assert!(
+                v.violation.is_none(),
+                "{}: forbidden outcome reached: {:?}",
+                v.name,
+                v.violation
+            );
+            assert!(
+                v.missing.is_empty(),
+                "{}: sweep never reached {:?} (saw {:?})",
+                v.name,
+                v.missing,
+                v.outcomes
+            );
+            assert!(v.invalidations > 0 || v.name == "lb", "{}: no coherence traffic", v.name);
+        }
+    }
+
+    #[test]
+    fn lockdown_holds_a_genuine_cross_core_invalidation() {
+        let d = cross_core_lockdown_demo();
+        assert!(d.withheld > 0, "no ack was withheld: {d:?}");
+        assert!(d.invalidations_sent > 0 && d.invalidations_dropped == 0, "{d:?}");
+        assert!(d.reader_lockdown_stalls > 0, "core 1 never stalled lockdown-held: {d:?}");
+        assert!(d.writer_lockdown_stalls > 0, "core 0 never stalled lockdown-held: {d:?}");
+        assert!(d.traced, "no lockdown-held stall in the lifecycle trace: {d:?}");
+        assert!(d.store_installed && d.tso_clean, "{d:?}");
+    }
+}

@@ -25,6 +25,7 @@ use orinoco_isa::{ArchReg, Emulator, InstClass, ProgramBuilder};
 use orinoco_util::Rng;
 
 mod kernels;
+pub mod multicore;
 
 /// The workload suite (one entry per synthetic SPEC-like kernel).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

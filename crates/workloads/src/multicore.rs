@@ -1,0 +1,282 @@
+//! Shared-memory multicore kernels for the coherence layer.
+//!
+//! Where the [`Workload`](crate::Workload) suite spans the single-core
+//! behaviour axes, these kernels span the *cross-core* ones that drive
+//! the MESI directory and the lockdown matrix: invalidation ping-pong
+//! (true sharing), line bouncing without data races (false sharing),
+//! one-way flag-and-payload handoff (producer/consumer) and hot-word
+//! pile-ups (lock contention). Each builds one program per core over one
+//! shared window; the caller wraps them in `Core`s and a `System`.
+//!
+//! Every program is a **bounded** loop nest: no spin ever waits on a
+//! value another core writes, so each core halts deterministically
+//! regardless of interleaving — a requirement for differential and
+//! fast-forward-equivalence testing over the same programs.
+
+use crate::x;
+use orinoco_isa::{ArchReg, Emulator, ProgramBuilder};
+use orinoco_util::Rng;
+
+/// The shared-memory kernel suite (one entry per cross-core traffic
+/// pattern).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SharedWorkload {
+    /// Every core read-modify-writes the same four words of one line:
+    /// maximal invalidation ping-pong, every store a remote-line upgrade.
+    TrueSharing,
+    /// Each core owns a distinct word of the *same* line: no data
+    /// dependence between cores, yet the line bounces on every store.
+    FalseSharing,
+    /// Core 0 writes payload words then bumps a flag in another line;
+    /// the other cores read flag then payload (bounded, no flag spin) —
+    /// the message-passing shape that exercises lockdown holds.
+    ProducerConsumer,
+    /// All cores hammer one lock word (load, claim-store, release-store)
+    /// around a short protected-line critical section.
+    LockContention,
+}
+
+impl SharedWorkload {
+    /// Every shared kernel, in reporting order.
+    pub const ALL: [SharedWorkload; 4] = [
+        SharedWorkload::TrueSharing,
+        SharedWorkload::FalseSharing,
+        SharedWorkload::ProducerConsumer,
+        SharedWorkload::LockContention,
+    ];
+
+    /// Short name used in figures and campaign output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SharedWorkload::TrueSharing => "true_sharing",
+            SharedWorkload::FalseSharing => "false_sharing",
+            SharedWorkload::ProducerConsumer => "producer_consumer",
+            SharedWorkload::LockContention => "lock_contention",
+        }
+    }
+
+    /// Builds one program per core against a shared window at
+    /// `shared_base` (64-byte lines; the kernels use the first three
+    /// lines). `seed` jitters per-core pacing so the cores do not run in
+    /// lockstep; `scale` multiplies the iteration counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is not in `2..=8` or `scale` is zero.
+    #[must_use]
+    pub fn build(self, cores: usize, shared_base: u64, seed: u64, scale: u32) -> Vec<Emulator> {
+        assert!((2..=8).contains(&cores), "shared kernels need 2–8 cores");
+        assert!(scale > 0, "scale must be positive");
+        let mut rng = Rng::seed_from_u64(seed ^ 0x5AAD_ED00_C0FF_EE00);
+        (0..cores)
+            .map(|c| match self {
+                SharedWorkload::TrueSharing => true_sharing(shared_base, scale, &mut rng),
+                SharedWorkload::FalseSharing => false_sharing(c, shared_base, scale, &mut rng),
+                SharedWorkload::ProducerConsumer => {
+                    producer_consumer(c, shared_base, scale, &mut rng)
+                }
+                SharedWorkload::LockContention => {
+                    lock_contention(c, shared_base, scale, &mut rng)
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for SharedWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Memory size covering both the private low window and the shared one.
+fn mem_bytes(shared_base: u64) -> usize {
+    usize::try_from(shared_base + 0x400)
+        .expect("shared window fits usize")
+        .max(1 << 16)
+        .next_power_of_two()
+}
+
+/// Emits `halt` and builds the emulator.
+fn seal(mut b: ProgramBuilder, shared_base: u64) -> Emulator {
+    b.halt();
+    Emulator::new(b.build(), mem_bytes(shared_base))
+}
+
+/// A short seed-jittered dependent `addi` run on a scratch register —
+/// desynchronises the cores without touching memory.
+fn jitter(b: &mut ProgramBuilder, rng: &mut Rng) {
+    let t = x(9);
+    for _ in 0..rng.next_u64() % 12 {
+        b.addi(t, t, 1);
+    }
+}
+
+fn true_sharing(shared_base: u64, scale: u32, rng: &mut Rng) -> Emulator {
+    let mut b = ProgramBuilder::new();
+    let (base, ctr, v) = (x(1), x(2), x(4));
+    b.li(base, shared_base as i64);
+    b.li(ctr, 12 * i64::from(scale));
+    let top = b.label();
+    b.bind(top);
+    // Four read-modify-writes over the words of line 0; each store's value
+    // depends on the loaded one, so rf feeds straight into co.
+    for w in 0..4i64 {
+        b.ld(v, base, w * 8);
+        b.addi(v, v, 1);
+        b.st(v, base, w * 8);
+    }
+    jitter(&mut b, rng);
+    b.addi(ctr, ctr, -1);
+    b.bne(ctr, ArchReg::ZERO, top);
+    seal(b, shared_base)
+}
+
+fn false_sharing(core: usize, shared_base: u64, scale: u32, rng: &mut Rng) -> Emulator {
+    let mut b = ProgramBuilder::new();
+    let (base, ctr, v) = (x(1), x(2), x(4));
+    let off = (core as i64) * 8; // this core's word of the contended line
+    b.li(base, shared_base as i64);
+    b.li(v, (core as i64 + 1) * 1000);
+    b.li(ctr, 40 * i64::from(scale));
+    let top = b.label();
+    b.bind(top);
+    b.st(v, base, off);
+    b.ld(v, base, off);
+    b.addi(v, v, 1);
+    jitter(&mut b, rng);
+    b.addi(ctr, ctr, -1);
+    b.bne(ctr, ArchReg::ZERO, top);
+    seal(b, shared_base)
+}
+
+fn producer_consumer(core: usize, shared_base: u64, scale: u32, rng: &mut Rng) -> Emulator {
+    // Payload: the four words of line 1; flag: word 0 of line 2. Rounds
+    // are bounded on both sides — the consumers read whatever generation
+    // is visible rather than spinning, which keeps halting deterministic
+    // while still producing the flag-then-payload access pattern the
+    // lockdown matrix exists for.
+    let (payload, flag) = (64i64, 128i64);
+    let rounds = 10 * i64::from(scale);
+    let mut b = ProgramBuilder::new();
+    let (base, ctr, v, d) = (x(1), x(2), x(4), x(5));
+    b.li(base, shared_base as i64);
+    b.li(ctr, rounds);
+    let top = b.label();
+    b.bind(top);
+    if core == 0 {
+        // Producer: write the payload words, then publish by bumping the
+        // flag (program order gives the TSO W→W guarantee consumers rely
+        // on).
+        for w in 0..4i64 {
+            b.add(v, ctr, ArchReg::ZERO);
+            b.st(v, base, payload + w * 8);
+        }
+        b.st(ctr, base, flag);
+    } else {
+        // Consumer: read the flag, then the payload — the load→load pair
+        // whose ordering unordered commit must not leak.
+        b.ld(d, base, flag);
+        for w in 0..4i64 {
+            b.ld(v, base, payload + w * 8);
+        }
+    }
+    jitter(&mut b, rng);
+    b.addi(ctr, ctr, -1);
+    b.bne(ctr, ArchReg::ZERO, top);
+    seal(b, shared_base)
+}
+
+fn lock_contention(core: usize, shared_base: u64, scale: u32, rng: &mut Rng) -> Emulator {
+    // Lock word: line 0; protected counter: line 1. The "acquire" is a
+    // bounded observe-then-claim (no value-dependent spin — the kernels
+    // model the coherence traffic of contention, not mutual exclusion).
+    let (lock, data) = (0i64, 64i64);
+    let mut b = ProgramBuilder::new();
+    let (base, ctr, v, claim) = (x(1), x(2), x(4), x(5));
+    b.li(base, shared_base as i64);
+    b.li(claim, core as i64 + 1);
+    b.li(ctr, 14 * i64::from(scale));
+    let top = b.label();
+    b.bind(top);
+    b.ld(v, base, lock); // observe the holder (upgrade → S)
+    b.st(claim, base, lock); // claim (S → M, invalidates everyone)
+    b.ld(v, base, data); // critical section: bump the counter
+    b.addi(v, v, 1);
+    b.st(v, base, data);
+    b.st(ArchReg::ZERO, base, lock); // release
+    jitter(&mut b, rng);
+    b.addi(ctr, ctr, -1);
+    b.bne(ctr, ArchReg::ZERO, top);
+    seal(b, shared_base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orinoco_isa::HaltReason;
+
+    const BASE: u64 = 0x8000;
+
+    #[test]
+    fn every_kernel_builds_and_halts_on_every_core() {
+        for w in SharedWorkload::ALL {
+            for cores in [2, 4] {
+                for (c, mut emu) in w.build(cores, BASE, 11, 1).into_iter().enumerate() {
+                    emu.set_step_limit(1_000_000);
+                    let n = emu.by_ref().count();
+                    assert_eq!(
+                        emu.halt_reason(),
+                        Some(HaltReason::Halted),
+                        "{w} core {c}/{cores} did not halt after {n}"
+                    );
+                    assert!((30..=20_000).contains(&n), "{w} core {c} length {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_core_touches_the_shared_window() {
+        for w in SharedWorkload::ALL {
+            for (c, mut emu) in w.build(2, BASE, 3, 1).into_iter().enumerate() {
+                let mut shared = 0u64;
+                while let Some(d) = emu.step() {
+                    if d.mem_addr.is_some_and(|a| (BASE..BASE + 0x400).contains(&a)) {
+                        shared += 1;
+                    }
+                }
+                assert!(shared >= 10, "{w} core {c}: only {shared} shared accesses");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_jittered_across_seeds() {
+        let len = |seed: u64| -> Vec<usize> {
+            SharedWorkload::ProducerConsumer
+                .build(2, BASE, seed, 1)
+                .into_iter()
+                .map(|mut e| e.by_ref().count())
+                .collect()
+        };
+        assert_eq!(len(5), len(5), "same seed must rebuild identically");
+        assert_ne!(len(5), len(6), "different seeds should jitter the pacing");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for w in SharedWorkload::ALL {
+            assert!(seen.insert(w.name()));
+            assert_eq!(w.to_string(), w.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2–8 cores")]
+    fn single_core_is_rejected() {
+        let _ = SharedWorkload::TrueSharing.build(1, BASE, 0, 1);
+    }
+}

@@ -125,12 +125,50 @@ fn exception_storm_window_matches_golden() {
     assert_golden("exception_storm.jsonl", &window);
 }
 
+/// The two-core lockdown scenario (DESIGN.md §11): each core holds a
+/// lockdown on a line the other stores to, so the hub's invalidations —
+/// genuine cross-core traffic — land inside open windows and their acks
+/// are withheld. The concatenated per-core lifecycle trace is blessed.
+fn lockdown_2core_trace() -> String {
+    let mut sys = orinoco_verif::syslitmus::lockdown_demo_system();
+    sys.run(500_000);
+    for c in 0..2 {
+        let t = sys.core(c).tracer().expect("tracing enabled");
+        assert_eq!(t.dropped(), 0, "core {c} ring sized to hold the whole run");
+    }
+    sys.trace_jsonl()
+}
+
+#[test]
+fn two_core_lockdown_trace_matches_golden() {
+    let trace = lockdown_2core_trace();
+    // Both cores contribute tagged lines, and both attribute stall cycles
+    // to a lockdown holding a remote invalidation's ack — the satellite
+    // acceptance: a real cross-core hold, visible in the lifecycle trace
+    // of *both* the reader (withheld ack) and the writer (stalled drain).
+    for c in 0..2 {
+        assert!(
+            trace.contains(&format!(r#"{{"core":{c},"#)),
+            "no trace lines from core {c}"
+        );
+        assert!(
+            trace
+                .lines()
+                .any(|l| l.starts_with(&format!(r#"{{"core":{c},"#))
+                    && l.ends_with(r#""event":"stall","cause":"lockdown-held"}"#)),
+            "core {c} taxonomy never shows a lockdown-held stall"
+        );
+    }
+    assert_golden("lockdown_2core.jsonl", &trace);
+}
+
 /// The traces themselves are deterministic — two identical runs produce
 /// byte-identical JSONL, which is what makes the golden diff meaningful.
 #[test]
 fn traces_are_byte_deterministic() {
     assert_eq!(quickstart_trace(), quickstart_trace());
     assert_eq!(exception_storm_window(), exception_storm_window());
+    assert_eq!(lockdown_2core_trace(), lockdown_2core_trace());
 }
 
 /// The blessed quickstart trace passes the lifecycle-invariant checker

@@ -1,0 +1,65 @@
+//! Multi-core TSO acceptance: the axiomatic MCM checker over a seeded
+//! 1000-program campaign of 2–4-core generated programs, the
+//! dropped-invalidation fault that proves the checker is load-bearing,
+//! and the end-to-end cross-core lockdown story (a committed load's
+//! lockdown withholding a *genuine* remote invalidation's ack, visible
+//! in the lifecycle trace).
+
+use orinoco_util::pool::default_jobs;
+use orinoco_verif::mcm::mcm_campaign;
+use orinoco_verif::syslitmus::{cross_core_lockdown_demo, run_battery};
+
+#[test]
+fn thousand_program_campaign_is_clean_and_the_checker_is_load_bearing() {
+    let outcome = mcm_campaign(1000, 42, default_jobs(), |_, _| {});
+    assert_eq!(outcome.programs_run, 1000);
+    assert!(
+        outcome.violations.is_empty(),
+        "TSO violations on a clean system: {:?}",
+        outcome.violations
+    );
+    // The sweep must actually exercise the multicore machinery, not pass
+    // vacuously: cross-core installs and lockdown-withheld acks both
+    // appear.
+    assert!(outcome.total_events > 1000, "too few shared events: {}", outcome.total_events);
+    assert!(outcome.total_installs > 100, "too few installs: {}", outcome.total_installs);
+    assert!(outcome.total_withheld > 0, "no lockdown ever withheld an ack");
+    // The same checker must *fail* when one invalidation is dropped on
+    // the floor — otherwise a silent-pass bug could hide anything.
+    assert!(outcome.injection.dropped > 0, "fault never armed");
+    assert!(outcome.injection.clean_ok, "control run not clean: {}", outcome.injection.detail);
+    assert!(
+        outcome.injection.fault_caught,
+        "dropped invalidation went unnoticed: {}",
+        outcome.injection.detail
+    );
+    assert!(outcome.passed());
+}
+
+#[test]
+fn genuine_cross_core_invalidation_is_held_by_lockdown() {
+    let d = cross_core_lockdown_demo();
+    assert!(d.invalidations_sent > 0, "no real invalidation traffic: {d:?}");
+    assert_eq!(d.invalidations_dropped, 0, "no fault is armed here: {d:?}");
+    assert!(d.withheld > 0, "the lockdown never withheld an ack: {d:?}");
+    assert!(d.reader_lockdown_stalls > 0, "reader taxonomy missing lockdown-held: {d:?}");
+    assert!(d.writer_lockdown_stalls > 0, "writer taxonomy missing lockdown-held: {d:?}");
+    assert!(d.traced, "no lockdown-held stall record in the lifecycle trace: {d:?}");
+    assert!(d.store_installed, "the held store never became visible: {d:?}");
+    assert!(d.tso_clean, "the episode violated the TSO axioms: {d:?}");
+    assert!(d.holds());
+}
+
+#[test]
+fn litmus_battery_holds_on_real_systems() {
+    for v in run_battery(7) {
+        assert!(
+            v.holds(),
+            "{}: violation {:?}, missing outcomes {:?} (saw {:?})",
+            v.name,
+            v.violation,
+            v.missing,
+            v.outcomes
+        );
+    }
+}
