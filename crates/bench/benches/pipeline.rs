@@ -14,7 +14,7 @@
 //! Writes the machine-readable `BENCH_pipeline.json` to the workspace root
 //! (override the directory with `ORINOCO_BENCH_OUT`).
 
-use orinoco_core::{CommitKind, Core, CoreConfig, SchedulerKind};
+use orinoco_core::{CommitKind, Core, CoreConfig, Fleet, SchedulerKind};
 use orinoco_util::alloc_counter::CountingAlloc;
 use orinoco_util::bench::{out_path, Bench, Report};
 use orinoco_workloads::Workload;
@@ -34,6 +34,53 @@ fn fresh_emu(workload: Workload) -> orinoco_isa::Emulator {
 fn sim(core: &mut Core, workload: Workload) -> u64 {
     core.reset(fresh_emu(workload));
     core.run(1_000_000_000).cycles
+}
+
+/// The campaign-style batch the `fleet/` family runs: four workloads, two
+/// seeds each, mirroring how the verif campaigns cycle many short programs
+/// through per-thread pools.
+const FLEET_BATCH: [(Workload, u64); 8] = [
+    (Workload::GemmLike, 13),
+    (Workload::HashjoinLike, 13),
+    (Workload::ExchangeLike, 13),
+    (Workload::MemlatLike, 13),
+    (Workload::GemmLike, 29),
+    (Workload::HashjoinLike, 29),
+    (Workload::ExchangeLike, 29),
+    (Workload::MemlatLike, 29),
+];
+
+fn batch_emu(workload: Workload, seed: u64) -> orinoco_isa::Emulator {
+    let mut emu = workload.build(seed, 1);
+    emu.set_step_limit(INSTRS);
+    emu
+}
+
+/// One pooled-campaign iteration: each program is loaded into the
+/// (persistent) fleet, batch-run, and its lane parked again — the shape
+/// the verif campaign units use. After the first iteration every load
+/// revives a parked core through `Core::reset_with` instead of paying
+/// construction, and the touched working set stays one core wide.
+fn fleet_sim(fleet: &mut Fleet, cfg: &CoreConfig) -> u64 {
+    FLEET_BATCH
+        .iter()
+        .map(|&(w, seed)| {
+            let lane = fleet.load(cfg.clone(), batch_emu(w, seed));
+            let cycles = fleet.run_batch(1_000_000_000)[lane];
+            fleet.clear();
+            cycles
+        })
+        .sum()
+}
+
+/// The pre-fleet baseline: the same batch with a freshly constructed core
+/// per program, run serially to completion — what a campaign worker did
+/// before pooling.
+fn serial_sim(cfg: &CoreConfig) -> u64 {
+    FLEET_BATCH
+        .iter()
+        .map(|&(w, seed)| Core::new(batch_emu(w, seed), cfg.clone()).run(1_000_000_000).cycles)
+        .sum()
 }
 
 fn main() {
@@ -76,6 +123,24 @@ fn main() {
         let entry = b
             .run_entry(&name, || black_box(sim(&mut core, w)))
             .with_throughput(cycles, INSTRS);
+        report.push(entry);
+    }
+    // The fleet family: a campaign-style stream of short programs, pooled
+    // lanes vs the old fresh-core-per-program loop. An untimed first pass
+    // learns the deterministic total cycle count (identical across the
+    // pair — lane recycling is observationally invisible).
+    {
+        let cfg = orinoco();
+        let mut fleet = Fleet::new();
+        let cycles = fleet_sim(&mut fleet, &cfg);
+        assert_eq!(cycles, serial_sim(&cfg), "fleet batch diverges from serial runs");
+        let entry = b
+            .run_entry("fleet/orinoco_pooled8/mixed", || black_box(fleet_sim(&mut fleet, &cfg)))
+            .with_throughput(cycles, INSTRS * FLEET_BATCH.len() as u64);
+        report.push(entry);
+        let entry = b
+            .run_entry("fleet/fresh_serial8/mixed", || black_box(serial_sim(&cfg)))
+            .with_throughput(cycles, INSTRS * FLEET_BATCH.len() as u64);
         report.push(entry);
     }
     let path = out_path("BENCH_pipeline.json");

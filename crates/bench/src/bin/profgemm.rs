@@ -1,0 +1,32 @@
+//! Profiling harness: runs the orinoco_full/gemm_like case in a tight
+//! loop so a sampling profiler can attribute where simulator cycles go
+//! (e.g. `gprofng collect app ./target/release/profgemm 2000`). The
+//! printed total-cycle count doubles as a quick behavioural checksum
+//! while optimising: it must not change unless simulated behaviour does.
+
+use orinoco_core::{CommitKind, Core, CoreConfig, SchedulerKind};
+use orinoco_workloads::Workload;
+use std::hint::black_box;
+
+const INSTRS: u64 = 10_000;
+
+fn fresh_emu(workload: Workload) -> orinoco_isa::Emulator {
+    let mut emu = workload.build(13, 1);
+    emu.set_step_limit(INSTRS);
+    emu
+}
+
+fn main() {
+    let iters: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let cfg = CoreConfig::base()
+        .with_scheduler(SchedulerKind::Orinoco)
+        .with_commit(CommitKind::Orinoco);
+    let w = Workload::GemmLike;
+    let mut core = Core::new(fresh_emu(w), cfg);
+    let mut total = 0u64;
+    for _ in 0..iters {
+        core.reset(fresh_emu(w));
+        total += black_box(core.run(1_000_000_000).cycles);
+    }
+    println!("total cycles {total}");
+}

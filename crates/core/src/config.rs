@@ -207,7 +207,7 @@ pub fn is_unpipelined(class: InstClass) -> bool {
 }
 
 /// Full core configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Human-readable name ("Base", "Pro", "Ultra", ...).
     pub name: &'static str,
@@ -416,6 +416,17 @@ impl CoreConfig {
     pub fn with_split_iq(mut self) -> Self {
         self.split_iq = true;
         self
+    }
+
+    /// `true` when `other` differs from `self` at most in its RNG `seed`
+    /// — the reuse predicate of [`crate::Fleet`]: a parked core built
+    /// under a same-shape configuration can be re-seeded and reset for a
+    /// new program instead of reallocating every structure.
+    #[must_use]
+    pub fn same_shape(&self, other: &Self) -> bool {
+        let mut probe = self.clone();
+        probe.seed = other.seed;
+        probe == *other
     }
 
     /// Per-pool IQ capacities when `split_iq` is set: 40/10/20/30 percent

@@ -105,6 +105,7 @@ pub struct IssueQueue {
     scratch_order: Vec<usize>,
     scratch_part: Vec<usize>,
     scratch_req: BitVec64,
+    scratch_cands: Vec<(u64, usize)>,
 }
 
 impl IssueQueue {
@@ -133,6 +134,7 @@ impl IssueQueue {
             scratch_order: Vec::with_capacity(cap),
             scratch_part: Vec::with_capacity(cap),
             scratch_req: BitVec64::new(cap),
+            scratch_cands: Vec::with_capacity(cap),
         }
     }
 
@@ -218,6 +220,12 @@ impl IssueQueue {
             if entry.critical && self.kind.uses_criticality() {
                 self.age.dispatch_critical(slot, &self.cri);
                 self.cri.set(slot);
+            } else if self.kind == SchedulerKind::Orinoco {
+                // Plain Orinoco never reads the matrix in release — both
+                // the ranking and the fused select walk the dispatch
+                // deque — so the row/column writes are debug-only oracle
+                // maintenance (see `AgeMatrix::dispatch_lazy`).
+                self.age.dispatch_lazy(slot);
             } else {
                 self.age.dispatch(slot);
             }
@@ -535,6 +543,10 @@ impl IssueQueue {
         grants: &mut Vec<(usize, IqEntry)>,
     ) {
         grants.clear();
+        if self.kind == SchedulerKind::Orinoco {
+            self.select_orinoco_into(pool_budget, width, grants);
+            return;
+        }
         let mut ready = std::mem::take(&mut self.scratch_ready);
         let mut order = std::mem::take(&mut self.scratch_order);
         let mut part = std::mem::take(&mut self.scratch_part);
@@ -558,6 +570,71 @@ impl IssueQueue {
         self.scratch_ready = ready;
         self.scratch_order = order;
         self.scratch_part = part;
+    }
+
+    /// The fused Orinoco select: without criticality adjustment the
+    /// matrix age order *is* the dispatch order, and live dispatch order
+    /// is strictly seq-ascending (fetch numbers in order, wrong-path
+    /// synthetics start above `1 << 62` and only grow, squashes remove
+    /// suffixes and re-inject in seq order). So the age ranking of the
+    /// ready set is just its seq sort: collect the ready slots from the
+    /// bit vector (`nready` of them, typically a handful) and
+    /// `sort_unstable` — no deque walk over the whole resident
+    /// population, no matrix rank scan. The dispatch deque stays as the
+    /// debug oracle below and for the ranking used by tests.
+    fn select_orinoco_into(
+        &mut self,
+        pool_budget: &mut [usize; 4],
+        width: usize,
+        grants: &mut Vec<(usize, IqEntry)>,
+    ) {
+        if self.nready == 0 {
+            return;
+        }
+        let mut cands = std::mem::take(&mut self.scratch_cands);
+        cands.clear();
+        cands.extend(self.ready_bits.iter_ones().map(|s| (self.seq_of[s], s)));
+        debug_assert_eq!(cands.len(), self.nready, "ready count out of sync");
+        cands.sort_unstable();
+        #[cfg(debug_assertions)]
+        {
+            // The seq sort must reproduce the dispatch-deque order — the
+            // ascending-seq invariant, checked allocation-free on every
+            // select (the alloc_free test runs this path).
+            let mut deque = self
+                .order
+                .iter()
+                .filter(|&&(s, g)| self.gen_of[s] == g && self.ready_bits.get(s))
+                .map(|&(s, _)| s);
+            for &(_, s) in &cands {
+                debug_assert_eq!(deque.next(), Some(s), "seq sort diverged from dispatch order");
+            }
+            debug_assert_eq!(deque.next(), None, "walk missed a ready entry");
+        }
+        for &(_, slot) in &cands {
+            if grants.len() == width {
+                break;
+            }
+            let pool = self.slots[slot].as_ref().expect("ready slot live").pool;
+            if pool_budget[pool.idx()] == 0 {
+                continue;
+            }
+            pool_budget[pool.idx()] -= 1;
+            let entry = self.remove(slot);
+            grants.push((slot, entry));
+        }
+        self.scratch_cands = cands;
+    }
+
+    /// The full priority ranking of the currently-ready slots, without
+    /// removing anything (test oracle for the fused select path).
+    #[cfg(test)]
+    fn priority_ranking(&mut self) -> Vec<usize> {
+        let ready: Vec<usize> = self.ready_bits.iter_ones().collect();
+        let mut out = Vec::new();
+        let mut part = Vec::new();
+        self.priority_order_into(&ready, &mut out, &mut part);
+        out
     }
 }
 
@@ -897,9 +974,51 @@ mod tests {
             let gm: Vec<u64> =
                 matrix.select(&mut budgets(0), usize::MAX).iter().map(|(_, e)| e.seq).collect();
             assert!(gw.is_empty() && gm.is_empty(), "zero budget still granted");
-            let ow = walk.scratch_order.clone();
-            let om = matrix.scratch_order.clone();
+            let ow = walk.priority_ranking();
+            let om = matrix.priority_ranking();
             assert_eq!(ow, om, "walk order diverged from matrix age ranking");
+        }
+    }
+
+    /// The fused Orinoco select (deque walk, no ranking pass) grants the
+    /// same slots in the same order as the generic select driven by the
+    /// matrix ranking (CriOrinoco with no critical entries), including
+    /// under pool-budget skips and partial widths.
+    #[test]
+    fn fused_orinoco_select_matches_generic_path() {
+        let mut rng = 0xFACE_FEED_0BAD_F00Du64;
+        let mut next = move || {
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut fused = IssueQueue::new(SchedulerKind::Orinoco, 16);
+        let mut generic = IssueQueue::new(SchedulerKind::CriOrinoco, 16);
+        let mut seq = 0u64;
+        for round in 0..500 {
+            while fused.has_space() && next() % 4 != 0 {
+                let pool = if next() % 2 == 0 { Pool::Int } else { Pool::Mem };
+                let e = entry(seq as usize, seq, pool);
+                assert_eq!(
+                    fused.allocate(e.clone()),
+                    generic.allocate(e),
+                    "free lists diverged"
+                );
+                seq += 1;
+            }
+            let width = (next() % 5) as usize;
+            let mut bf = budgets(2);
+            if round % 3 == 0 {
+                bf[Pool::Mem.idx()] = 0; // starve a pool: budget-skip path
+            }
+            let mut bg = bf;
+            let gf: Vec<u64> =
+                fused.select(&mut bf, width).iter().map(|(_, e)| e.seq).collect();
+            let gg: Vec<u64> =
+                generic.select(&mut bg, width).iter().map(|(_, e)| e.seq).collect();
+            assert_eq!(gf, gg, "fused grants diverged from generic path");
+            assert_eq!(bf, bg, "budget consumption diverged");
         }
     }
 }

@@ -44,6 +44,7 @@ pub mod config;
 pub mod crit;
 pub mod exec;
 pub mod fetch;
+pub mod fleet;
 pub mod iq;
 pub mod lsq;
 pub mod pipeline;
@@ -57,6 +58,7 @@ pub use config::{
 };
 pub use crit::CriticalityEngine;
 pub use fetch::{FetchStats, FetchUnit, Fetched};
+pub use fleet::Fleet;
 pub use iq::{IqEntry, IssueQueue};
 pub use lsq::{LoadSearch, Lsq};
 pub use pipeline::{CohEvent, CommitEvent, Core};

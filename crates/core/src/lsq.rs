@@ -70,6 +70,14 @@ pub struct Lsq {
     scratch_sq: BitVec64,
     /// Scratch for the per-AGU no-conflict load vector.
     scratch_lq: BitVec64,
+    /// One bit per LQ slot holding a live, not-yet-performed load — the
+    /// word-parallel source of the lockdown-row scans (a load never
+    /// un-performs; the bit clears at perform or free).
+    nonperformed: BitVec64,
+    /// Compact per-slot copy of the resident load's sequence number
+    /// (`u64::MAX` when empty), so the per-commit older-load scan never
+    /// dereferences the wide `LqEntry` slots.
+    lq_seq: Vec<u64>,
 }
 
 impl Lsq {
@@ -86,6 +94,8 @@ impl Lsq {
             mdm: MemDisambigMatrix::new(lq_entries, sq_entries),
             scratch_sq: BitVec64::new(sq_entries),
             scratch_lq: BitVec64::new(lq_entries),
+            nonperformed: BitVec64::new(lq_entries),
+            lq_seq: vec![u64::MAX; lq_entries],
         }
     }
 
@@ -127,6 +137,8 @@ impl Lsq {
             private_hit: false,
         });
         self.mdm.load_cleared(slot);
+        self.nonperformed.set(slot);
+        self.lq_seq[slot] = seq;
         Some(slot)
     }
 
@@ -276,6 +288,7 @@ impl Lsq {
     /// Panics if the slot is empty.
     pub fn load_performed(&mut self, lq_slot: usize) {
         self.lq[lq_slot].as_mut().expect("empty LQ slot").performed = true;
+        self.nonperformed.clear(lq_slot);
     }
 
     /// Records whether the cache access serving this load hit a
@@ -319,12 +332,15 @@ impl Lsq {
     pub fn older_nonperformed_loads_into(&self, seq: u64, out: &mut BitVec64) {
         assert_eq!(out.len(), self.lq.len(), "LQ buffer length mismatch");
         out.clear_all();
-        for (l, entry) in self.lq.iter().enumerate() {
-            if let Some(ld) = entry {
-                if ld.seq < seq && !ld.performed {
-                    out.set(l);
-                }
+        for l in self.nonperformed.iter_ones() {
+            if self.lq_seq[l] < seq {
+                out.set(l);
             }
+        }
+        #[cfg(debug_assertions)]
+        for (l, entry) in self.lq.iter().enumerate() {
+            let expect = entry.as_ref().is_some_and(|ld| ld.seq < seq && !ld.performed);
+            debug_assert_eq!(out.get(l), expect, "nonperformed mask out of sync at slot {l}");
         }
     }
 
@@ -338,6 +354,8 @@ impl Lsq {
         self.lq[lq_slot] = None;
         self.lq_free.push(lq_slot);
         self.mdm.load_cleared(lq_slot);
+        self.nonperformed.clear(lq_slot);
+        self.lq_seq[lq_slot] = u64::MAX;
     }
 
     /// Commits the store at the FIFO head (stores commit in order);
@@ -402,6 +420,8 @@ impl Lsq {
         }
         self.scratch_sq.clear_all();
         self.scratch_lq.clear_all();
+        self.nonperformed.clear_all();
+        self.lq_seq.fill(u64::MAX);
     }
 
     /// Oldest non-performed load sequence number, if any (barrier/fence

@@ -125,6 +125,17 @@ pub struct Core {
     ldt: LockdownTable,
     ldt_free: Vec<usize>,
     ldt_line: Vec<Option<u64>>,
+    /// One bit per lockdown-table row, set exactly when `ldt_line[row]`
+    /// is `Some` — the per-perform row scan and the squash-time pin scan
+    /// walk this mask instead of all `LDT_ROWS` rows. Rows outside the
+    /// mask may hold stale matrix bits; `LockdownMatrix::commit_load`
+    /// overwrites the whole row at acquisition, so they are never read.
+    ldt_live: u64,
+    /// One bit per LQ slot holding a load whose `SPEC` bit may still be
+    /// set — the candidate set of [`Core::scan_load_safety`]. Safety is
+    /// monotone (nothing re-sets a resolved load's `SPEC` bit), so bits
+    /// are set at LQ allocation and cleared lazily by the scan itself.
+    spec_loads: BitVec64,
     /// Lockdown rows pinned on a *replayed* blocking load: the squash
     /// freed its LQ slot but the load re-executes under the same seq, so
     /// the row must stay held until the re-dispatched instance re-enters
@@ -170,6 +181,9 @@ pub struct Core {
     scratch_used_banks: Vec<bool>,
     scratch_replays: Vec<usize>,
     scratch_older_np: BitVec64,
+    /// Candidate LQ slots snapshotted by [`Core::scan_load_safety`] so
+    /// the scan can clear `spec_loads` bits while walking them.
+    scratch_spec_slots: Vec<usize>,
     /// Wakeup seqs collected from the IQs during a writeback (tracing
     /// only; reused so the traced path stays allocation-free too).
     scratch_woken: Vec<u64>,
@@ -205,11 +219,15 @@ impl Core {
             .scheduler
             .uses_criticality()
             .then(CriticalityEngine::new);
+        let mut rob = Rob::new(cfg.rob_entries);
+        // Only the Orinoco grant scan pops the completion heap; leave the
+        // feed off under policies that would let it grow without bound.
+        rob.set_completion_heap_tracking(cfg.commit == CommitKind::Orinoco);
         Self {
             fetch: FetchUnit::new(emu, &cfg),
             fq: VecDeque::new(),
             rename: RenameUnit::new(cfg.phys_regs),
-            rob: Rob::new(cfg.rob_entries),
+            rob,
             iqs: if cfg.split_iq {
                 cfg.split_iq_capacities()
                     .into_iter()
@@ -233,6 +251,8 @@ impl Core {
             ldt: LockdownTable::new(),
             ldt_free: (0..LDT_ROWS).rev().collect(),
             ldt_line: vec![None; LDT_ROWS],
+            ldt_live: 0,
+            spec_loads: BitVec64::new(cfg.lq_entries),
             pending_reblock: Vec::new(),
             limbo_load_seqs: Vec::new(),
             handled_faults: HashSet::new(),
@@ -252,6 +272,7 @@ impl Core {
             scratch_used_banks: Vec::new(),
             scratch_replays: Vec::new(),
             scratch_older_np: BitVec64::new(cfg.lq_entries),
+            scratch_spec_slots: Vec::with_capacity(cfg.lq_entries),
             scratch_woken: Vec::new(),
             cyc_committed: 0,
             cyc_dispatch_block: None,
@@ -275,6 +296,31 @@ impl Core {
     /// and lifecycle tracing stay enabled (their buffers are cleared);
     /// an armed fault injector is disarmed.
     pub fn reset(&mut self, emu: Emulator) {
+        self.reset_inner(emu);
+    }
+
+    /// Like [`Core::reset`], but under a new configuration that may carry
+    /// a different RNG `seed`. Everything else must match
+    /// ([`CoreConfig::same_shape`]): the sized structures are reused as
+    /// they are, and `reset` re-derives every seeded state (wrong-path
+    /// RNG, predictors) from the new configuration. Behaviourally
+    /// equivalent to `Core::new(emu, cfg)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is not same-shape with the core's configuration.
+    pub fn reset_with(&mut self, emu: Emulator, cfg: CoreConfig) {
+        assert!(
+            self.cfg.same_shape(&cfg),
+            "reset_with requires a same-shape configuration (have {}, got {})",
+            self.cfg.name,
+            cfg.name,
+        );
+        self.cfg = cfg;
+        self.reset_inner(emu);
+    }
+
+    fn reset_inner(&mut self, emu: Emulator) {
         self.now = 0;
         self.fetch.reset(emu, &self.cfg);
         self.fq.clear();
@@ -304,6 +350,8 @@ impl Core {
         self.ldt_free.clear();
         self.ldt_free.extend((0..LDT_ROWS).rev());
         self.ldt_line.fill(None);
+        self.ldt_live = 0;
+        self.spec_loads.clear_all();
         self.pending_reblock.clear();
         self.limbo_load_seqs.clear();
         self.handled_faults.clear();
@@ -365,23 +413,47 @@ impl Core {
     /// `max_cycles`) or on architectural bookkeeping divergence — every
     /// correct-path instruction must commit exactly once.
     pub fn run(&mut self, max_cycles: u64) -> &SimStats {
+        let finished = self.run_until(max_cycles);
+        assert!(
+            finished,
+            "deadlock or overrun at cycle {} (committed {}, ROB {}, IQ {}, fq {})",
+            self.now,
+            self.stats.committed,
+            self.rob.len(),
+            self.iq_len_total(),
+            self.fq.len(),
+        );
+        &self.stats
+    }
+
+    /// Runs until the program drains or the clock reaches the **absolute**
+    /// cycle count `limit`, whichever comes first, and returns whether the
+    /// program finished. Statistics are finalised exactly once, when the
+    /// run completes.
+    ///
+    /// Resumable: a sequence of `run_until` calls with increasing limits
+    /// is observationally identical to one [`Core::run`] — the idle-cycle
+    /// fast-forward clamps its skip at `limit` and simply continues on the
+    /// next call (skipped and stepped frozen cycles are accounted
+    /// identically; the `verif ffeq` campaign is the proof). This is the
+    /// slice primitive [`crate::Fleet`] interleaves many cores with.
+    ///
+    /// # Panics
+    ///
+    /// Panics on architectural bookkeeping divergence when the program
+    /// finishes within `limit`.
+    pub fn run_until(&mut self, limit: u64) -> bool {
         while !self.finished() {
-            assert!(
-                self.now < max_cycles,
-                "deadlock or overrun at cycle {} (committed {}, ROB {}, IQ {}, fq {})",
-                self.now,
-                self.stats.committed,
-                self.rob.len(),
-                self.iq_len_total(),
-                self.fq.len(),
-            );
+            if self.now >= limit {
+                return false;
+            }
             self.step();
             if self.cfg.fast_forward {
-                self.fast_forward_skip(max_cycles);
+                self.fast_forward_skip(limit);
             }
         }
         self.finalize_run_stats();
-        &self.stats
+        true
     }
 
     /// Checks the end-of-run architectural invariants and finalises the
@@ -507,12 +579,18 @@ impl Core {
     /// possibly-excepting/misspeculating, or the order state is corrupt.
     #[doc(hidden)]
     pub fn debug_verify_commit_invariants(&self) {
-        self.rob.assert_order_consistent();
-        assert_eq!(
-            self.rob.grants_orinoco_depth(self.cfg.commit_width, self.cfg.commit_depth),
-            self.rob.grants_orinoco_matrix(self.cfg.commit_width, self.cfg.commit_depth),
-            "walk-based commit grants diverged from the matrix scan",
-        );
+        // The matrix-backed cross-checks need the lazily-dispatched age
+        // matrix, which only debug builds maintain; the seq/SPEC-based
+        // O(n²) invariant below stays live in release oracle runs.
+        #[cfg(debug_assertions)]
+        {
+            self.rob.assert_order_consistent();
+            assert_eq!(
+                self.rob.grants_orinoco_depth(self.cfg.commit_width, self.cfg.commit_depth),
+                self.rob.grants_orinoco_matrix(self.cfg.commit_width, self.cfg.commit_depth),
+                "walk-based commit grants diverged from the matrix scan",
+            );
+        }
         let live = self.rob.in_order(self.rob.capacity());
         for idx in self.rob.grants_orinoco(usize::MAX) {
             let g = self.rob.entry(idx);
@@ -1040,22 +1118,35 @@ impl Core {
     /// A load performed or vanished: clear its lockdown column and release
     /// lockdowns that became ordered.
     fn on_load_no_longer_blocking(&mut self, lq_slot: usize) {
-        self.ldm.load_performed(lq_slot);
-        for row in 0..LDT_ROWS {
-            if let Some(line) = self.ldt_line[row] {
-                if self.pending_reblock.iter().any(|&(r, _)| r == row) {
-                    continue; // pinned on a replayed load not yet back in the LQ
+        debug_assert!(
+            (0..LDT_ROWS).all(|r| self.ldt_line[r].is_some() == (self.ldt_live >> r & 1 == 1)),
+            "ldt_live mask out of sync with ldt_line",
+        );
+        if self.ldt_live == 0 {
+            // No active lockdowns: any bits left in this load's column
+            // belong to dead rows, which `commit_load` fully overwrites
+            // before the row is ever read again.
+            return;
+        }
+        self.ldm.load_performed_masked(lq_slot, self.ldt_live);
+        let mut live = self.ldt_live;
+        while live != 0 {
+            let row = live.trailing_zeros() as usize;
+            live &= live - 1;
+            let line = self.ldt_line[row].expect("live mask names an unused row");
+            if self.pending_reblock.iter().any(|&(r, _)| r == row) {
+                continue; // pinned on a replayed load not yet back in the LQ
+            }
+            if self.ldm.ordered(row) {
+                let withheld = self.ldt.release(line);
+                if withheld > 0 && self.external_drain {
+                    // The lockdown was holding invalidation acks
+                    // hostage; hand them to the `System` to forward.
+                    self.released_acks.push((line * 64, withheld));
                 }
-                if self.ldm.ordered(row) {
-                    let withheld = self.ldt.release(line);
-                    if withheld > 0 && self.external_drain {
-                        // The lockdown was holding invalidation acks
-                        // hostage; hand them to the `System` to forward.
-                        self.released_acks.push((line * 64, withheld));
-                    }
-                    self.ldt_line[row] = None;
-                    self.ldt_free.push(row);
-                }
+                self.ldt_line[row] = None;
+                self.ldt_live &= !(1 << row);
+                self.ldt_free.push(row);
             }
         }
     }
@@ -1064,15 +1155,49 @@ impl Core {
     /// resolves (or a load translates): loads whose disambiguation row
     /// cleared turn non-speculative and drop their `SPEC` bit.
     fn scan_load_safety(&mut self) {
+        let mut slots = std::mem::take(&mut self.scratch_spec_slots);
+        slots.clear();
+        slots.extend(self.spec_loads.iter_ones());
+        for &slot in &slots {
+            // A candidate leaves the set once nothing can ever mark it
+            // safe again: the slot emptied or changed hands, the entry
+            // faulted, or the `SPEC` bit already dropped (safety is
+            // monotone — no release path re-sets it).
+            let keep = 'candidate: {
+                let Some(l) = self.lsq.load(slot) else { break 'candidate false };
+                let idx = l.rob_idx;
+                let Some(e) = self.rob.get(idx) else { break 'candidate false };
+                if e.fault || e.lq_slot != Some(slot) {
+                    break 'candidate false;
+                }
+                if self.rob.is_safe_self(idx) {
+                    break 'candidate false;
+                }
+                if self.lsq.load_nonspeculative(slot) {
+                    self.mark_safe_traced(idx);
+                    break 'candidate false;
+                }
+                true
+            };
+            if !keep {
+                self.spec_loads.clear(slot);
+            }
+        }
+        self.scratch_spec_slots = slots;
+        #[cfg(debug_assertions)]
         for slot in 0..self.cfg.lq_entries {
-            let Some(l) = self.lsq.load(slot) else { continue };
-            let idx = l.rob_idx;
-            let Some(e) = self.rob.get(idx) else { continue };
-            if e.fault || e.lq_slot != Some(slot) {
+            if self.spec_loads.get(slot) {
                 continue;
             }
-            if !self.rob.is_safe_self(idx) && self.lsq.load_nonspeculative(slot) {
-                self.mark_safe_traced(idx);
+            if let Some(l) = self.lsq.load(slot) {
+                if let Some(e) = self.rob.get(l.rob_idx) {
+                    debug_assert!(
+                        e.fault
+                            || e.lq_slot != Some(slot)
+                            || self.rob.is_safe_self(l.rob_idx),
+                        "speculative load missing from the candidate set",
+                    );
+                }
             }
         }
     }
@@ -1282,8 +1407,15 @@ impl Core {
                 self.mark_safe_traced(h);
             }
         }
+        // Orinoco commit already computed the (depth-unlimited) grant set
+        // this cycle; a zero-commit cycle leaves the ROB untouched, so
+        // the stall statistic below can reuse its emptiness instead of
+        // re-scanning. `None` = not known (other policies, or the
+        // depth-limited ablation whose grant set is narrower than the
+        // statistic's unlimited scan).
+        let mut ooo_ready_known: Option<bool> = None;
         let committed = match self.cfg.commit {
-            CommitKind::Orinoco => self.commit_orinoco(),
+            CommitKind::Orinoco => self.commit_orinoco(&mut ooo_ready_known),
             CommitKind::Spec => self.commit_spec_oracle(),
             _ => self.commit_in_order(),
         };
@@ -1294,7 +1426,9 @@ impl Core {
         let logical_occupancy = self.rob.len();
         if committed == 0 && logical_occupancy > 0 {
             self.stats.commit_stall_cycles += 1;
-            if self.rob.any_grant_orinoco() {
+            let ooo_ready = ooo_ready_known.unwrap_or_else(|| self.rob.any_grant_orinoco());
+            debug_assert_eq!(ooo_ready, self.rob.any_grant_orinoco(), "stale grant cache");
+            if ooo_ready {
                 self.stats.commit_stall_ooo_ready += 1;
             }
             // Precise exception: the oldest instruction holds a fault and
@@ -1307,10 +1441,15 @@ impl Core {
         }
     }
 
-    fn commit_orinoco(&mut self) -> usize {
+    fn commit_orinoco(&mut self, ooo_ready_known: &mut Option<bool>) -> usize {
         let mut grants = std::mem::take(&mut self.scratch_commit);
         self.rob
             .grants_orinoco_depth_hot(self.cfg.commit_width, self.cfg.commit_depth, &mut grants);
+        if self.cfg.commit_depth.is_none() {
+            // Valid on zero-commit cycles only, which is the only time the
+            // caller consults it (commits mutate the ROB underneath).
+            *ooo_ready_known = Some(!grants.is_empty());
+        }
         let head = self.rob.head();
         let mut committed = 0;
         let mut head_committed = false;
@@ -1323,6 +1462,7 @@ impl Core {
                 // Stores leave the SQ in FIFO order and need SB space.
                 let head_ok = self.lsq.sq_head_rob_idx() == Some(idx);
                 if !head_ok || self.sb.len() >= self.cfg.sq_entries {
+                    self.rob.regrant(idx);
                     continue;
                 }
             }
@@ -1334,12 +1474,14 @@ impl Core {
                 if !self.scratch_older_np.is_zero() {
                     let Some(row) = self.ldt_free.pop() else {
                         self.cyc_ldt_full = true;
+                        self.rob.regrant(idx);
                         continue; // LDT full: retry next cycle
                     };
                     let line = mem_addr.expect("load without address") / 64;
                     self.ldm.commit_load(row, &self.scratch_older_np);
                     self.ldt.acquire(line);
                     self.ldt_line[row] = Some(line);
+                    self.ldt_live |= 1 << row;
                 }
             }
             if Some(idx) != head && !head_committed {
@@ -1612,10 +1754,11 @@ impl Core {
                 // load still owes a perform (and a remote store would
                 // install before it reads, breaking TSO).
                 if !e.wrong_path {
-                    for row in 0..LDT_ROWS {
-                        if self.ldt_line[row].is_some() && self.ldm.blocks(row, slot) {
-                            self.pending_reblock.push((row, e.seq));
-                        }
+                    let mut rows = self.ldm.blocking_rows(slot, self.ldt_live);
+                    while rows != 0 {
+                        let row = rows.trailing_zeros() as usize;
+                        rows &= rows - 1;
+                        self.pending_reblock.push((row, e.seq));
                     }
                     self.limbo_load_seqs.push(e.seq);
                 }
@@ -1874,6 +2017,12 @@ impl Core {
             // LSQ.
             let lq_slot = (class == InstClass::Load)
                 .then(|| self.lsq.alloc_load(rob_idx, seq).expect("checked LQ space"));
+            if let Some(slot) = lq_slot {
+                // Every fresh load starts as a safety-scan candidate
+                // (wrong-path loads included: the scan marks them safe
+                // exactly as the full-queue walk did).
+                self.spec_loads.set(slot);
+            }
             let sq_slot = (class == InstClass::Store)
                 .then(|| self.lsq.alloc_store(rob_idx, seq).expect("checked SQ space"));
             // IQ.

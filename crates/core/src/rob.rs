@@ -96,6 +96,20 @@ pub struct Rob {
     seq_of: Vec<u64>,
     /// Compact retired-zombie bits, mirroring `RobEntry::retired`.
     retired_bits: BitVec64,
+    /// Completed entries as a min-heap of `(seq, slot, generation)`, fed
+    /// by [`Rob::mark_completed`]: the per-cycle grant scan pops the
+    /// `width` oldest instead of re-scanning the whole completed backlog.
+    /// Entries go stale in place when their slot is freed or squashed;
+    /// the generation compare filters them as they surface at the min.
+    commit_heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize, u64)>>,
+    /// Whether the last grant batch popped its heap keys (heap fast
+    /// path) — gates [`Rob::regrant`] so walk-path grants, whose keys
+    /// never left the heap, are not duplicated.
+    grants_consume_keys: bool,
+    /// Whether [`Rob::mark_completed`] feeds the heap (off under commit
+    /// policies that never pop it — see
+    /// [`Rob::set_completion_heap_tracking`]).
+    track_completion_heap: bool,
     logical_cap: usize,
     logical_used: usize,
 }
@@ -117,6 +131,9 @@ impl Rob {
             gens: vec![0; physical],
             seq_of: vec![u64::MAX; physical],
             retired_bits: BitVec64::new(physical),
+            commit_heap: std::collections::BinaryHeap::with_capacity(physical),
+            grants_consume_keys: false,
+            track_completion_heap: true,
             logical_cap: cap,
             logical_used: 0,
         }
@@ -224,7 +241,11 @@ impl Rob {
 
     fn install(&mut self, idx: usize, entry: RobEntry, speculative: bool) {
         self.logical_used += 1;
-        self.sched.dispatch(idx, speculative);
+        // Lazy dispatch: every release-mode commit decision reads the
+        // `order` deque walk (or the SPEC vector), never the age matrix,
+        // so the per-dispatch row/column writes are debug-only oracle
+        // maintenance (see `AgeMatrix::dispatch_lazy`).
+        self.sched.dispatch_lazy(idx, speculative);
         self.completed.clear(idx);
         // Lazily compact stale pairs once they dominate the deque; live
         // pairs never exceed the physical slot count, so after compaction
@@ -267,7 +288,28 @@ impl Rob {
     /// Marks execution complete.
     pub fn mark_completed(&mut self, idx: usize) {
         self.entry_mut(idx).completed = true;
-        self.completed.set(idx);
+        // The not-already-set guard keeps heap keys unique: a duplicate
+        // live key would double-grant in one batch.
+        if !self.completed.get(idx) {
+            self.completed.set(idx);
+            if self.track_completion_heap {
+                self.commit_heap.push(std::cmp::Reverse((self.seq_of[idx], idx, self.gens[idx])));
+            }
+        }
+    }
+
+    /// Enables or disables the completion min-heap feed (on by default).
+    ///
+    /// Only the Orinoco unordered-commit grant scan pops the heap; under
+    /// the in-order and oracle commit policies nothing ever would, and
+    /// the keys pushed per completion would accumulate without bound.
+    /// [`crate::Core`] switches the feed off for those policies.
+    pub fn set_completion_heap_tracking(&mut self, on: bool) {
+        assert!(
+            self.commit_heap.is_empty() || on,
+            "cannot disable completion-heap tracking with keys outstanding",
+        );
+        self.track_completion_heap = on;
     }
 
     /// Clears the `SPEC` bit (the instruction can no longer misspeculate
@@ -287,11 +329,41 @@ impl Rob {
         !self.sched.is_speculative(idx)
     }
 
+    /// The sequence number of the oldest live speculative entry, or
+    /// `u64::MAX` when nothing is speculative. Live dispatch order is
+    /// strictly seq-ascending (fetch numbers in order, wrong-path
+    /// synthetics start above `1 << 62` and only grow, squashes remove
+    /// suffixes and re-inject in seq order), so this single value is the
+    /// whole commit frontier: an entry has no older speculation exactly
+    /// when its seq is below it.
+    fn oldest_live_spec_seq(&self) -> u64 {
+        let mut min = u64::MAX;
+        for i in self.sched.spec().iter_ones_and(self.sched.age().valid()) {
+            min = min.min(self.seq_of[i]);
+        }
+        min
+    }
+
     /// `true` if no *older* in-flight instruction may misspeculate or
-    /// fault (the row ∧ SPEC reduction-NOR of the merged scheduler).
+    /// fault (the row ∧ SPEC reduction-NOR of the merged scheduler),
+    /// answered by a seq compare against the oldest live speculative
+    /// entry (the matrix row is debug-only under lazy dispatch).
     #[must_use]
     pub fn is_safe_globally(&self, idx: usize) -> bool {
-        self.sched.globally_safe(idx)
+        let seq = self.seq_of[idx];
+        let mut safe = true;
+        for i in self.sched.spec().iter_ones_and(self.sched.age().valid()) {
+            if self.seq_of[i] < seq {
+                safe = false;
+                break;
+            }
+        }
+        debug_assert_eq!(
+            safe,
+            self.sched.globally_safe(idx),
+            "seq global-safety diverged from the matrix reduction",
+        );
+        safe
     }
 
     /// The out-of-order commit grants of the Orinoco policy: up to `width`
@@ -299,15 +371,30 @@ impl Rob {
     /// and whose own `SPEC` bit is clear.
     #[must_use]
     pub fn grants_orinoco(&self, width: usize) -> Vec<usize> {
-        self.sched.commit_grants(&self.completed, width)
+        self.grants_orinoco_depth(width, None)
     }
 
     /// `true` if at least one instruction would be granted commit this
     /// cycle — the allocation-free stall test (equivalent to
-    /// `!grants_orinoco(1).is_empty()`).
+    /// `!grants_orinoco(1).is_empty()`). Like the grant scan, this walks
+    /// the order deque: a grant exists exactly when some live completed
+    /// entry precedes the oldest live speculative entry.
     #[must_use]
     pub fn any_grant_orinoco(&self) -> bool {
-        self.sched.any_commit_grant(&self.completed)
+        let frontier = self.oldest_live_spec_seq();
+        let mut any = false;
+        for i in self.completed.iter_ones() {
+            if self.seq_of[i] < frontier {
+                any = true;
+                break;
+            }
+        }
+        debug_assert_eq!(
+            any,
+            self.sched.any_commit_grant(&self.completed),
+            "seq any-grant diverged from the matrix scan",
+        );
+        any
     }
 
     /// Like [`Rob::grants_orinoco`] but restricted to the `depth` oldest
@@ -321,30 +408,183 @@ impl Rob {
     }
 
     /// Allocation-free commit-grant scan: grants land in the caller-owned
-    /// `out`. This is the per-cycle hot path of [`crate::Core`].
+    /// `out`. This is the per-cycle hot path of [`crate::Core`]: the
+    /// `width` oldest grantable entries are popped off the completion
+    /// heap — O(width · log backlog) — instead of re-scanning the whole
+    /// completed backlog every cycle.
+    ///
+    /// The pop **consumes** each grant's heap key. The common case frees
+    /// the grant at commit this cycle, so a blind re-push would only
+    /// produce a stale key to be popped and discarded next cycle —
+    /// doubling heap traffic per instruction. A grant the caller *cannot*
+    /// consume (store-buffer backpressure, full lockdown table) must be
+    /// handed back via [`Rob::regrant`] before the next cycle, or it
+    /// silently stops being commit-eligible. (The depth-limited walk does
+    /// not touch heap keys; `regrant` is a no-op for its grants — see the
+    /// guard in `regrant`.)
     pub fn grants_orinoco_depth_hot(
         &mut self,
         width: usize,
         depth: Option<usize>,
         out: &mut Vec<usize>,
     ) {
-        self.grants_orinoco_depth_into(width, depth, out);
+        // Commit drains the front of the program order, so stale pairs
+        // concentrate there: popping them now shortens the head probe and
+        // every other order walk this cycle.
+        while let Some(&(i, g)) = self.order.front() {
+            if self.gens[i] == g {
+                break;
+            }
+            self.order.pop_front();
+        }
+        if depth.is_some() {
+            // The walk leaves heap keys in place: `regrant` must not
+            // duplicate them.
+            self.grants_consume_keys = false;
+            self.grants_orinoco_walk_into(width, depth, out);
+            return;
+        }
+        self.grants_consume_keys = true;
+        debug_assert!(
+            self.track_completion_heap,
+            "heap grant scan with the completion-heap feed disabled",
+        );
+        out.clear();
+        if width == 0 {
+            return;
+        }
+        let frontier = self.oldest_live_spec_seq();
+        while out.len() < width {
+            let Some(&std::cmp::Reverse((seq, slot, gen))) = self.commit_heap.peek() else {
+                break;
+            };
+            if self.gens[slot] != gen {
+                // Freed or squashed since completion: discard for good.
+                self.commit_heap.pop();
+                continue;
+            }
+            debug_assert!(self.completed.get(slot), "live heap key for incomplete entry");
+            if seq >= frontier {
+                break; // everything left is blocked by older speculation
+            }
+            self.commit_heap.pop();
+            out.push(slot);
+        }
+        #[cfg(debug_assertions)]
+        {
+            // Allocation-free replay of the order-deque walk (the
+            // alloc_free test runs this every cycle).
+            let mut k = 0;
+            for &(i, g) in &self.order {
+                if self.gens[i] != g {
+                    continue;
+                }
+                if self.sched.is_speculative(i) {
+                    break;
+                }
+                if self.completed.get(i) {
+                    debug_assert!(
+                        k < out.len() && out[k] == i,
+                        "heap grants diverged from the order walk",
+                    );
+                    k += 1;
+                    if k == width {
+                        break;
+                    }
+                }
+            }
+            debug_assert_eq!(k, out.len(), "heap grants over-granted");
+        }
     }
 
-    /// The Orinoco grant set via an age-order walk instead of the matrix
-    /// rank scan.
+    /// Hands an unconsumed grant back to the completion heap.
+    ///
+    /// [`Rob::grants_orinoco_depth_hot`]'s heap path consumes each
+    /// grant's key on pop; a grant the commit stage could not retire this
+    /// cycle (store-buffer backpressure, lockdown-table exhaustion) must
+    /// be returned here or it would never be offered again. No-op after a
+    /// depth-limited walk, whose grants never left the heap.
+    pub fn regrant(&mut self, slot: usize) {
+        if !self.grants_consume_keys {
+            return;
+        }
+        debug_assert!(self.completed.get(slot), "regrant of an incomplete entry");
+        self.commit_heap.push(std::cmp::Reverse((self.seq_of[slot], slot, self.gens[slot])));
+    }
+
+    /// The Orinoco grant set without the matrix rank scan.
     ///
     /// The grant condition of [`CommitScheduler::commit_grants_into`] —
     /// completed ∧ valid ∧ ¬SPEC ∧ "no older live SPEC entry" — is
     /// *monotone in age*: the oldest live speculative entry blocks every
-    /// younger entry, and nothing older than it is blocked. The `order`
-    /// deque filtered to live pairs is exactly the matrix age order
-    /// (cross-checked by [`Rob::assert_order_consistent`]), so walking it
-    /// oldest→youngest and stopping at the first live speculative entry
-    /// yields the same grants in the same order at O(prefix) cost instead
-    /// of O(candidates × words) rank-and-sort per cycle.
-    /// [`Rob::grants_orinoco_matrix`] keeps the matrix path as the oracle.
+    /// younger entry, and nothing older than it is blocked. Because live
+    /// dispatch order is strictly seq-ascending (see
+    /// [`Rob::oldest_live_spec_seq`]), the grants are exactly the `width`
+    /// smallest-seq completed entries below that frontier, found by one
+    /// scan of the completed bit vector — O(completed backlog) instead of
+    /// O(order-deque length) per cycle, and immune to the interior stale
+    /// pairs unordered commit leaves behind. The depth-limited ablation
+    /// keeps the deque walk ([`Rob::grants_orinoco_walk_into`], also the
+    /// debug oracle here); [`Rob::grants_orinoco_matrix`] pins both
+    /// against the hardware-faithful matrix path.
     fn grants_orinoco_depth_into(&self, width: usize, depth: Option<usize>, out: &mut Vec<usize>) {
+        if depth.is_some() {
+            self.grants_orinoco_walk_into(width, depth, out);
+            return;
+        }
+        out.clear();
+        if width == 0 {
+            return;
+        }
+        let frontier = self.oldest_live_spec_seq();
+        for i in self.completed.iter_ones() {
+            let s = self.seq_of[i];
+            if s >= frontier {
+                continue; // blocked by (or is) older live speculation
+            }
+            // Keep `out` sorted by seq ascending, capped at `width`:
+            // insertion over ≤ commit-width elements.
+            if out.len() == width {
+                let last = *out.last().expect("width > 0");
+                if s >= self.seq_of[last] {
+                    continue;
+                }
+                out.pop();
+            }
+            let pos = out.iter().position(|&j| self.seq_of[j] > s).unwrap_or(out.len());
+            out.insert(pos, i);
+        }
+        #[cfg(debug_assertions)]
+        {
+            // Allocation-free replay of the order-deque walk against the
+            // seq scan (the alloc_free test runs this path every cycle).
+            let mut k = 0;
+            for &(i, g) in &self.order {
+                if self.gens[i] != g {
+                    continue;
+                }
+                if self.sched.is_speculative(i) {
+                    break;
+                }
+                if self.completed.get(i) {
+                    debug_assert!(
+                        k < out.len() && out[k] == i,
+                        "seq grant scan diverged from the order walk",
+                    );
+                    k += 1;
+                    if k == width {
+                        break;
+                    }
+                }
+            }
+            debug_assert_eq!(k, out.len(), "seq grant scan over-granted");
+        }
+    }
+
+    /// The order-deque walk form of the grant scan: oldest→youngest,
+    /// stopping at the first live speculative entry. Hot path for the
+    /// depth-limited ablation only; debug oracle for the seq scan above.
+    fn grants_orinoco_walk_into(&self, width: usize, depth: Option<usize>, out: &mut Vec<usize>) {
         out.clear();
         if width == 0 {
             return;
@@ -385,7 +625,9 @@ impl Rob {
     /// The matrix-scan reference implementation of
     /// [`Rob::grants_orinoco_depth`] — the hardware-faithful path the walk
     /// is cross-checked against (see
-    /// `Pipeline::debug_verify_commit_invariants`).
+    /// `Pipeline::debug_verify_commit_invariants`). Only meaningful in
+    /// builds with debug assertions, where the lazy dispatch keeps the age
+    /// matrix maintained.
     #[doc(hidden)]
     #[must_use]
     pub fn grants_orinoco_matrix(&self, width: usize, depth: Option<usize>) -> Vec<usize> {
@@ -543,13 +785,15 @@ impl Rob {
         self.completed.clear_all();
         self.retired_bits.clear_all();
         self.order.clear();
+        self.commit_heap.clear();
         self.free.clear();
         self.free.extend((0..self.slots.len()).rev());
         self.logical_used = 0;
     }
 
     /// Cross-checks the deque-based program order against the age matrix
-    /// (tests only; O(n²)).
+    /// (tests only; O(n²); requires debug assertions so the lazy dispatch
+    /// maintained the matrix).
     pub fn assert_order_consistent(&self) {
         let live: Vec<usize> = self
             .order

@@ -1,0 +1,159 @@
+//! `Fleet` batch-stepping tests.
+//!
+//! The verification campaigns and the `fleet/` bench family run programs
+//! through a shared [`Fleet`] instead of one fresh [`Core`] each, so the
+//! pooled results are only trustworthy if slice-interleaved, lane-reused
+//! runs are byte-identical to serial fresh-core runs: same `SimStats`
+//! Debug rendering, same final architectural state, batch after batch.
+
+use orinoco_core::{CommitKind, Core, CoreConfig, Fleet, SchedulerKind};
+use orinoco_isa::Emulator;
+use orinoco_workloads::Workload;
+
+fn orinoco_cfg() -> CoreConfig {
+    CoreConfig::base()
+        .with_scheduler(SchedulerKind::Orinoco)
+        .with_commit(CommitKind::Orinoco)
+}
+
+fn emu_for(w: Workload, seed: u64) -> Emulator {
+    let mut emu = w.build(seed, 1);
+    emu.set_step_limit(5_000);
+    emu
+}
+
+fn fresh_stats(w: Workload, seed: u64, cfg: CoreConfig) -> String {
+    let mut core = Core::new(emu_for(w, seed), cfg);
+    format!("{:?}", core.run(100_000_000))
+}
+
+const BATCH: [(Workload, u64); 5] = [
+    (Workload::GemmLike, 13),
+    (Workload::HashjoinLike, 7),
+    (Workload::MemlatLike, 3),
+    (Workload::ExchangeLike, 11),
+    (Workload::GemmLike, 29),
+];
+
+#[test]
+fn batched_run_matches_serial_fresh_runs() {
+    // Tight stride forces many interleaved slices per lane.
+    let mut fleet = Fleet::with_stride(256);
+    for (w, seed) in BATCH {
+        fleet.load(orinoco_cfg(), emu_for(w, seed));
+    }
+    fleet.run_batch(100_000_000);
+    for (lane, (w, seed)) in BATCH.into_iter().enumerate() {
+        assert!(fleet.lane_finished(lane));
+        let batched = format!("{:?}", fleet.core(lane).stats());
+        assert_eq!(
+            batched,
+            fresh_stats(w, seed, orinoco_cfg()),
+            "{w} seed {seed}: batched run diverges from a fresh core"
+        );
+        assert_eq!(fleet.cycles()[lane], fleet.core(lane).stats().cycles);
+    }
+}
+
+#[test]
+fn lane_reuse_across_batches_matches_fresh_runs() {
+    let mut fleet = Fleet::new();
+    // Warm-up batch dirties the lanes with different programs/seeds.
+    for (w, seed) in BATCH {
+        fleet.load(orinoco_cfg(), emu_for(w, seed + 100));
+    }
+    fleet.run_batch(100_000_000);
+    let warm = fleet.capacity();
+    fleet.clear();
+    assert!(fleet.is_empty());
+
+    // Second batch must revive parked lanes (no growth) and still match.
+    for (w, seed) in BATCH {
+        fleet.load(orinoco_cfg(), emu_for(w, seed));
+    }
+    assert_eq!(fleet.capacity(), warm, "same-shape reload grew the pool");
+    fleet.run_batch(100_000_000);
+    for (lane, (w, seed)) in BATCH.into_iter().enumerate() {
+        let batched = format!("{:?}", fleet.core(lane).stats());
+        assert_eq!(
+            batched,
+            fresh_stats(w, seed, orinoco_cfg()),
+            "{w} seed {seed}: reused lane diverges from a fresh core"
+        );
+    }
+}
+
+#[test]
+fn mixed_shapes_get_separate_lanes() {
+    let tiny = {
+        let mut cfg = orinoco_cfg();
+        cfg.rob_entries = 24;
+        cfg.iq_entries = 12;
+        cfg.lq_entries = 6;
+        cfg.sq_entries = 5;
+        cfg.phys_regs = 40;
+        cfg.vb_entries = 4;
+        cfg
+    };
+    let mut fleet = Fleet::new();
+    fleet.load(orinoco_cfg(), emu_for(Workload::GemmLike, 13));
+    fleet.load(tiny.clone(), emu_for(Workload::GemmLike, 13));
+    fleet.run_batch(100_000_000);
+    assert_eq!(fleet.capacity(), 2);
+
+    // Reload in the opposite order: each request must find its shape.
+    fleet.clear();
+    fleet.load(tiny.clone(), emu_for(Workload::MixLike, 5));
+    fleet.load(orinoco_cfg(), emu_for(Workload::MixLike, 5));
+    assert_eq!(fleet.capacity(), 2, "shape-matched reload grew the pool");
+    fleet.run_batch(100_000_000);
+    assert_eq!(
+        format!("{:?}", fleet.core(0).stats()),
+        fresh_stats(Workload::MixLike, 5, tiny),
+        "tiny-shape lane diverges from a fresh core"
+    );
+    assert_eq!(
+        format!("{:?}", fleet.core(1).stats()),
+        fresh_stats(Workload::MixLike, 5, orinoco_cfg()),
+        "base-shape lane diverges from a fresh core"
+    );
+}
+
+#[test]
+fn same_shape_different_seed_is_reused() {
+    // config_for_seed in the verif campaigns varies only cfg.seed within
+    // a shape; reuse must still rebuild all seeded state.
+    let mut fleet = Fleet::new();
+    let mut cfg = orinoco_cfg();
+    cfg.seed = 1;
+    fleet.load(cfg, emu_for(Workload::McfLike, 3));
+    fleet.run_batch(100_000_000);
+    fleet.clear();
+
+    let mut cfg2 = orinoco_cfg();
+    cfg2.seed = 99;
+    fleet.load(cfg2.clone(), emu_for(Workload::McfLike, 3));
+    assert_eq!(fleet.capacity(), 1, "seed-only change must not grow the pool");
+    fleet.run_batch(100_000_000);
+    assert_eq!(
+        format!("{:?}", fleet.core(0).stats()),
+        fresh_stats(Workload::McfLike, 3, cfg2),
+        "reseeded lane diverges from a fresh core"
+    );
+}
+
+#[test]
+fn discard_drops_the_lane_and_shifts_the_rest() {
+    let mut fleet = Fleet::new();
+    for (w, seed) in BATCH {
+        fleet.load(orinoco_cfg(), emu_for(w, seed));
+    }
+    fleet.run_batch(100_000_000);
+    let keep: Vec<String> =
+        (0..BATCH.len()).map(|l| format!("{:?}", fleet.core(l).stats())).collect();
+    fleet.discard(1);
+    assert_eq!(fleet.lanes(), BATCH.len() - 1);
+    assert_eq!(format!("{:?}", fleet.core(0).stats()), keep[0]);
+    assert_eq!(format!("{:?}", fleet.core(1).stats()), keep[2]);
+    assert_eq!(format!("{:?}", fleet.core(3).stats()), keep[4]);
+}

@@ -99,6 +99,32 @@ impl AgeMatrix {
         self.valid.set(slot);
     }
 
+    /// [`AgeMatrix::dispatch`] for callers that keep an **external**
+    /// authoritative age order (the pipeline's order deques) and never read
+    /// the matrix on their hot path: in release builds only the `VLD`
+    /// vector is maintained and the row/column writes — the dominant cost
+    /// of dispatch — are skipped, leaving the matrix contents stale. Debug
+    /// builds maintain the matrix in full so the walk-vs-matrix oracle
+    /// cross-checks stay live.
+    ///
+    /// After a lazy dispatch every matrix-reading query (`select_*`,
+    /// `is_older`, `rank`, `younger_than`, …) is meaningless in release
+    /// builds; only `valid()`-derived state may be read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of bounds or already valid.
+    pub fn dispatch_lazy(&mut self, slot: usize) {
+        assert!(!self.valid.get(slot), "dispatch into live slot {slot}");
+        #[cfg(debug_assertions)]
+        {
+            self.m.set_row_all(slot);
+            self.m.clear(slot, slot);
+            self.m.clear_col_masked(slot, &self.valid);
+        }
+        self.valid.set(slot);
+    }
+
     /// Dispatches an instruction whose set of *older* entries is exactly
     /// `older` (used for per-type partial ordering, §5 Figure 13, and as the
     /// building block for criticality dispatch).
@@ -199,6 +225,62 @@ impl AgeMatrix {
         width: usize,
         out: &mut Vec<usize>,
     ) {
+        assert_eq!(request.len(), self.capacity(), "request length mismatch");
+        out.clear();
+        if width == 0 {
+            return;
+        }
+        // Rank-bucketing, no sort: a granted entry's rank (its count of
+        // older requesting entries) indexes its position in the output
+        // directly, because granted ranks always form the dense prefix
+        // 0..k-1 — if rank r is granted, its r older candidates have ranks
+        // below r and are granted too. Ranks never reach the capacity, so
+        // `rank < width` can be tested against the clamped `limit`.
+        let limit = width.min(self.capacity());
+        out.resize(limit, usize::MAX);
+        let mut found = 0usize;
+        for (wi, (&rw, &vw)) in request.words().iter().zip(self.valid.words()).enumerate() {
+            let mut m = rw & vw;
+            while m != 0 {
+                let slot = wi * 64 + m.trailing_zeros() as usize;
+                m &= m - 1;
+                if let Some(rank) =
+                    self.m.row_and2_rank_below(slot, request, &self.valid, limit as u32)
+                {
+                    let rank = rank as usize;
+                    if out[rank] != usize::MAX {
+                        // A rank tie is only possible under a partial order
+                        // (`dispatch_masked`); resolve it exactly as the
+                        // scalar path always has.
+                        self.select_oldest_into_ref(request, width, out);
+                        return;
+                    }
+                    out[rank] = slot;
+                    found += 1;
+                }
+            }
+        }
+        out.truncate(found);
+        #[cfg(debug_assertions)]
+        {
+            let mut reference = Vec::new();
+            self.select_oldest_into_ref(request, width, &mut reference);
+            assert_eq!(*out, reference, "word-parallel select diverged from scalar oracle");
+        }
+    }
+
+    /// The scalar reference implementation of
+    /// [`AgeMatrix::select_oldest_into`] (per-candidate full-row popcount +
+    /// sort by rank), retained as the oracle the word-parallel path is
+    /// cross-checked against in debug builds and property tests, and as the
+    /// tie-breaking fallback for partial orders.
+    #[doc(hidden)]
+    pub fn select_oldest_into_ref(
+        &self,
+        request: &BitVec64,
+        width: usize,
+        out: &mut Vec<usize>,
+    ) {
         out.clear();
         for slot in request.iter_ones_and(&self.valid) {
             let count = self.m.row_and2_count(slot, request, &self.valid);
@@ -206,8 +288,9 @@ impl AgeMatrix {
                 out.push(slot);
             }
         }
-        // Ranks within the requesting set are distinct, so this sort is a
-        // permutation into age order; grant counts are tiny (≤ width).
+        // Ranks within the requesting set are distinct (up to partial-order
+        // ties), so this sort is a permutation into age order; grant counts
+        // are tiny (≤ width).
         out.sort_unstable_by_key(|&slot| {
             self.m.row_and2_count(slot, request, &self.valid)
         });
@@ -221,20 +304,93 @@ impl AgeMatrix {
     /// Panics if `request.len()` differs from the capacity.
     #[must_use]
     pub fn grant_mask(&self, request: &BitVec64, width: usize) -> BitVec64 {
-        BitVec64::from_indices(
-            self.capacity(),
-            self.select_oldest(request, width),
-        )
+        let mut out = BitVec64::new(self.capacity());
+        self.grant_mask_into(request, width, &mut out);
+        out
+    }
+
+    /// Allocation-free counterpart of [`AgeMatrix::grant_mask`]: the grant
+    /// bits are written into the caller-owned `out` (cleared first). Each
+    /// candidate costs one early-exiting rank read; no grant list is ever
+    /// materialised or sorted (the mask is insensitive to grant order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request.len()` or `out.len()` differs from the capacity.
+    pub fn grant_mask_into(&self, request: &BitVec64, width: usize, out: &mut BitVec64) {
+        assert_eq!(request.len(), self.capacity(), "request length mismatch");
+        assert_eq!(out.len(), self.capacity(), "grant buffer length mismatch");
+        out.clear_all();
+        if width == 0 {
+            return;
+        }
+        let limit = width.min(self.capacity()) as u32;
+        for (wi, (&rw, &vw)) in request.words().iter().zip(self.valid.words()).enumerate() {
+            let mut m = rw & vw;
+            while m != 0 {
+                let slot = wi * 64 + m.trailing_zeros() as usize;
+                m &= m - 1;
+                if self.m.row_and2_rank_below(slot, request, &self.valid, limit).is_some() {
+                    out.set(slot);
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut reference = Vec::new();
+            self.select_oldest_into_ref(request, width, &mut reference);
+            assert_eq!(
+                out.iter_ones().collect::<Vec<_>>(),
+                {
+                    reference.sort_unstable();
+                    reference
+                },
+                "word-parallel grant mask diverged from scalar oracle"
+            );
+        }
     }
 
     /// Classic AGE behaviour: grants only the single oldest requesting
     /// entry (`row & request` reduction-NORs to zero).
+    ///
+    /// Implemented by chain-following: start at any requesting valid entry
+    /// and repeatedly hop to the first older requesting entry found in the
+    /// current row; each hop strictly descends the age order, so the walk
+    /// lands on an entry with no older requester in O(chain × words)
+    /// instead of scanning every candidate's full row. Under a total age
+    /// order this is *the* oldest requester; under a partial order
+    /// ([`AgeMatrix::dispatch_masked`]) it is one of the minimal
+    /// requesters.
     ///
     /// # Panics
     ///
     /// Panics if `request.len()` differs from the capacity.
     #[must_use]
     pub fn select_single_oldest(&self, request: &BitVec64) -> Option<usize> {
+        assert_eq!(request.len(), self.capacity(), "request length mismatch");
+        let mut cur = request.first_one_and(&self.valid)?;
+        for _ in 0..=self.capacity() {
+            match self.m.row_first_one_and2(cur, request, &self.valid) {
+                None => {
+                    debug_assert!(
+                        self.m.row_and2_is_zero(cur, request, &self.valid),
+                        "chain landed on a non-minimal entry"
+                    );
+                    return Some(cur);
+                }
+                Some(older) => cur = older,
+            }
+        }
+        panic!("age matrix order contains a cycle");
+    }
+
+    /// The scalar reference implementation of
+    /// [`AgeMatrix::select_single_oldest`] (linear candidate scan with a
+    /// full-row NOR per candidate; returns the lowest-indexed minimal
+    /// requester), retained as the property-test oracle.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn select_single_oldest_ref(&self, request: &BitVec64) -> Option<usize> {
         request
             .iter_ones_and(&self.valid)
             .find(|&slot| self.m.row_and2_is_zero(slot, request, &self.valid))

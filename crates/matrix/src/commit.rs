@@ -182,6 +182,20 @@ impl CommitScheduler {
         self.spec.assign(slot, speculative);
     }
 
+    /// [`CommitScheduler::dispatch`] via [`AgeMatrix::dispatch_lazy`]: for
+    /// callers whose hot path derives commit grants from an external age
+    /// order (the ROB's order deque) and reads only the `VLD`/`SPEC`
+    /// vectors. Release builds skip the age-matrix row/column maintenance;
+    /// debug builds keep the matrix exact for the oracle cross-checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is live or out of bounds.
+    pub fn dispatch_lazy(&mut self, slot: usize, speculative: bool) {
+        self.age.dispatch_lazy(slot);
+        self.spec.assign(slot, speculative);
+    }
+
     /// The instruction in `slot` can no longer raise misspeculation or an
     /// exception: clear its `SPEC` bit (the column clear of the standalone
     /// matrix).
@@ -258,12 +272,23 @@ impl CommitScheduler {
         out: &mut Vec<usize>,
     ) {
         assert_eq!(candidates.len(), self.capacity(), "candidate buffer length mismatch");
+        assert_eq!(completed.len(), self.capacity(), "completed length mismatch");
         candidates.clear_all();
-        for slot in completed.iter_ones_and(self.age.valid()) {
-            if !self.spec.get(slot)
-                && self.age.matrix().row_and_is_zero(slot, &self.spec)
-            {
-                candidates.set(slot);
+        // Word-parallel candidate scan: completed & VLD & !SPEC filters
+        // 64 entries per AND; only survivors pay the row reduction-NOR.
+        for (wi, (&cw, (&vw, &sw))) in completed
+            .words()
+            .iter()
+            .zip(self.age.valid().words().iter().zip(self.spec.words()))
+            .enumerate()
+        {
+            let mut m = cw & vw & !sw;
+            while m != 0 {
+                let slot = wi * 64 + m.trailing_zeros() as usize;
+                m &= m - 1;
+                if self.age.matrix().row_and_is_zero(slot, &self.spec) {
+                    candidates.set(slot);
+                }
             }
         }
         self.age.select_oldest_into(candidates, width, out);
@@ -279,10 +304,23 @@ impl CommitScheduler {
     /// Panics if `completed.len()` differs from the capacity.
     #[must_use]
     pub fn any_commit_grant(&self, completed: &BitVec64) -> bool {
-        completed.iter_ones_and(self.age.valid()).any(|slot| {
-            !self.spec.get(slot)
-                && self.age.matrix().row_and_is_zero(slot, &self.spec)
-        })
+        assert_eq!(completed.len(), self.capacity(), "completed length mismatch");
+        for (wi, (&cw, (&vw, &sw))) in completed
+            .words()
+            .iter()
+            .zip(self.age.valid().words().iter().zip(self.spec.words()))
+            .enumerate()
+        {
+            let mut m = cw & vw & !sw;
+            while m != 0 {
+                let slot = wi * 64 + m.trailing_zeros() as usize;
+                m &= m - 1;
+                if self.age.matrix().row_and_is_zero(slot, &self.spec) {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// In-order commit grants for the IOC baseline: the `width` oldest
@@ -295,15 +333,79 @@ impl CommitScheduler {
     #[must_use]
     pub fn commit_grants_in_order(&self, completed: &BitVec64, width: usize) -> Vec<usize> {
         let mut grants = Vec::new();
-        let order = self.age.valid_in_age_order();
-        for slot in order.into_iter().take(width.min(self.capacity())) {
-            if completed.get(slot) && !self.spec.get(slot) {
-                grants.push(slot);
-            } else {
-                break;
+        self.commit_grants_in_order_into(completed, width, &mut grants);
+        grants
+    }
+
+    /// Allocation-free counterpart of
+    /// [`CommitScheduler::commit_grants_in_order`]: the `width` oldest
+    /// valid entries are rank-bucketed straight into the caller-owned `out`
+    /// (no materialised age order, no sort), then truncated at the first
+    /// entry that is not completed-and-safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `completed.len()` differs from the capacity.
+    pub fn commit_grants_in_order_into(
+        &self,
+        completed: &BitVec64,
+        width: usize,
+        out: &mut Vec<usize>,
+    ) {
+        assert_eq!(completed.len(), self.capacity(), "completed length mismatch");
+        out.clear();
+        if width == 0 {
+            return;
+        }
+        let limit = width.min(self.capacity());
+        out.resize(limit, usize::MAX);
+        let mut found = 0usize;
+        let valid = self.age.valid();
+        for (wi, &vw) in valid.words().iter().enumerate() {
+            let mut m = vw;
+            while m != 0 {
+                let slot = wi * 64 + m.trailing_zeros() as usize;
+                m &= m - 1;
+                if let Some(rank) =
+                    self.age.matrix().row_and_rank_below(slot, valid, limit as u32)
+                {
+                    let rank = rank as usize;
+                    if out[rank] != usize::MAX {
+                        // Partial-order rank tie: fall back to the ordered
+                        // walk with its historical slot-index tie-break.
+                        out.clear();
+                        for s in self.age.valid_in_age_order().into_iter().take(limit) {
+                            if completed.get(s) && !self.spec.get(s) {
+                                out.push(s);
+                            } else {
+                                break;
+                            }
+                        }
+                        return;
+                    }
+                    out[rank] = slot;
+                    found += 1;
+                }
             }
         }
-        grants
+        out.truncate(found);
+        let stop = out
+            .iter()
+            .position(|&s| !completed.get(s) || self.spec.get(s))
+            .unwrap_or(out.len());
+        out.truncate(stop);
+        #[cfg(debug_assertions)]
+        {
+            let mut reference = Vec::new();
+            for s in self.age.valid_in_age_order().into_iter().take(limit) {
+                if completed.get(s) && !self.spec.get(s) {
+                    reference.push(s);
+                } else {
+                    break;
+                }
+            }
+            assert_eq!(*out, reference, "in-order grant bucketing diverged from age order");
+        }
     }
 
     /// When nothing can commit, the head of the machine is the oldest

@@ -63,7 +63,7 @@ mod wakeup;
 
 pub use age::AgeMatrix;
 pub use bank::BankAllocator;
-pub use bitvec::{BitVec64, IterOnes, IterOnesAnd};
+pub use bitvec::{BitVec64, IterOnes, IterOnesAnd, IterOnesRev};
 pub use commit::{CommitDepMatrix, CommitScheduler};
 pub use lockdown::{LockdownMatrix, LockdownTable};
 pub use matrix::BitMatrix;

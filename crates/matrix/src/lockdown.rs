@@ -79,6 +79,48 @@ impl LockdownMatrix {
         self.m.clear_col(lq_slot);
     }
 
+    /// [`LockdownMatrix::load_performed`] restricted to the LDT rows set in
+    /// `row_mask` (bit `r` = row `r` holds a live lockdown). Rows outside
+    /// the mask may keep stale bits: a dead row is unobservable until its
+    /// next [`LockdownMatrix::commit_load`], whose row write overwrites it
+    /// in full. With the mask usually empty or near-empty this replaces the
+    /// all-rows column clear by a couple of bit clears.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lq_slot` is out of bounds or the matrix has more than 64
+    /// LDT rows.
+    pub fn load_performed_masked(&mut self, lq_slot: usize, row_mask: u64) {
+        let mut m = row_mask & self.row_mask_all();
+        while m != 0 {
+            let row = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.m.clear(row, lq_slot);
+        }
+    }
+
+    /// The subset of `row_mask` rows still pinned by the load in LQ entry
+    /// `lq_slot` — the word-level form of probing
+    /// [`LockdownMatrix::blocks`] row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lq_slot` is out of bounds or the matrix has more than 64
+    /// LDT rows.
+    #[must_use]
+    pub fn blocking_rows(&self, lq_slot: usize, row_mask: u64) -> u64 {
+        let mut out = 0u64;
+        let mut m = row_mask & self.row_mask_all();
+        while m != 0 {
+            let row = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if self.m.get(row, lq_slot) {
+                out |= 1u64 << row;
+            }
+        }
+        out
+    }
+
     /// `true` if the lockdown in `ldt_slot` is still pinned by the load
     /// in LQ entry `lq_slot`.
     ///
@@ -148,6 +190,18 @@ impl LockdownMatrix {
     /// Clears every row in place (core reset path; keeps the allocation).
     pub fn clear(&mut self) {
         self.m.clear_all();
+    }
+
+    /// Mask of all existing LDT rows; mask bits past the capacity are
+    /// ignored by the masked scans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix has more than 64 LDT rows.
+    fn row_mask_all(&self) -> u64 {
+        let rows = self.m.rows();
+        assert!(rows <= 64, "masked scan requires at most 64 LDT rows");
+        if rows == 64 { u64::MAX } else { (1u64 << rows) - 1 }
     }
 }
 
@@ -271,6 +325,33 @@ mod tests {
         ldm.load_performed(1);
         assert!(ldm.ordered(0));
         assert!(ldm.ordered(3));
+    }
+
+    #[test]
+    fn masked_perform_clears_only_live_rows() {
+        let mut ldm = LockdownMatrix::new(4, 8);
+        ldm.commit_load(0, &BitVec64::from_indices(8, [2]));
+        ldm.commit_load(2, &BitVec64::from_indices(8, [2, 5]));
+        // Row 0 is "dead" (outside the mask): its stale bit survives.
+        ldm.load_performed_masked(2, 0b100);
+        assert!(ldm.blocks(0, 2));
+        assert!(!ldm.blocks(2, 2));
+        assert!(ldm.blocks(2, 5));
+        // The next commit_load into the dead row scrubs the stale bit.
+        ldm.commit_load(0, &BitVec64::new(8));
+        assert!(ldm.ordered(0));
+    }
+
+    #[test]
+    fn blocking_rows_reports_masked_pinners() {
+        let mut ldm = LockdownMatrix::new(8, 8);
+        ldm.commit_load(1, &BitVec64::from_indices(8, [3]));
+        ldm.commit_load(4, &BitVec64::from_indices(8, [3, 6]));
+        ldm.commit_load(6, &BitVec64::from_indices(8, [6]));
+        assert_eq!(ldm.blocking_rows(3, u64::MAX), 0b1_0010);
+        assert_eq!(ldm.blocking_rows(3, 0b1_0000), 0b1_0000);
+        assert_eq!(ldm.blocking_rows(6, u64::MAX), 0b101_0000);
+        assert_eq!(ldm.blocking_rows(0, u64::MAX), 0);
     }
 
     #[test]

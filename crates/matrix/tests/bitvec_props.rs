@@ -88,3 +88,35 @@ fn tail_bits_never_leak() {
         assert_eq!(acc.iter_ones().count(), n, "n={n}");
     }
 }
+
+/// The fused-AND helpers (`count_ones_and`, `first_one_and`,
+/// `iter_ones_and`) equal per-bit naive loops at every boundary size.
+#[test]
+fn fused_and_helpers_match_naive_loops() {
+    prop::check("fused_and_helpers", 0xB17C2, |rng| {
+        for n in SIZES {
+            let (a, ab) = random_vec(rng, n);
+            let (b, bb) = random_vec(rng, n);
+            let both: Vec<usize> = (0..n).filter(|&i| ab[i] && bb[i]).collect();
+            assert_eq!(a.count_ones_and(&b) as usize, both.len(), "n={n}");
+            assert_eq!(a.first_one_and(&b), both.first().copied(), "n={n}");
+            assert_eq!(a.iter_ones_and(&b).collect::<Vec<_>>(), both, "n={n}");
+        }
+    });
+}
+
+/// `iter_ones_rev` yields exactly the set bits of `iter_ones`, in
+/// strictly reversed order, at every boundary size.
+#[test]
+fn reverse_iteration_mirrors_forward() {
+    prop::check("iter_ones_rev", 0xB17C3, |rng| {
+        for n in SIZES {
+            let (v, bits) = random_vec(rng, n);
+            let fwd: Vec<usize> = (0..n).filter(|&i| bits[i]).collect();
+            let mut rev: Vec<usize> = v.iter_ones_rev().collect();
+            rev.reverse();
+            assert_eq!(rev, fwd, "n={n}");
+            assert_eq!(v.iter_ones().collect::<Vec<_>>(), fwd, "n={n}");
+        }
+    });
+}

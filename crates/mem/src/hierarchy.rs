@@ -38,7 +38,7 @@ pub struct AccessOutcome {
 }
 
 /// Configuration of the full memory system.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MemConfig {
     /// L1 data cache.
     pub l1: CacheConfig,

@@ -19,9 +19,8 @@
 //! Units are pure functions of the program seed, so the parallel campaign
 //! merges results in seed order and is byte-identical to a serial run.
 
-use crate::{config_for_seed, gen, mcm, program_seeds};
-use orinoco_core::{Core, CoreConfig, System};
-use orinoco_isa::Emulator;
+use crate::{config_for_seed, gen, mcm, program_seeds, with_unit_fleet};
+use orinoco_core::{Core, System};
 use orinoco_workloads::multicore::SharedWorkload;
 
 /// Cycle budget per run; matches the co-simulation default.
@@ -62,15 +61,11 @@ impl FfEqOutcome {
     }
 }
 
-/// Runs `emu`'s program to completion under `cfg` with fast-forward
-/// forced to `ff`, returning the commit-event stream rendered to strings,
-/// the `SimStats` `Debug` form, the stall-taxonomy `Debug` form, and the
-/// cycle count.
-fn run_once(emu: &Emulator, mut cfg: CoreConfig, ff: bool) -> (Vec<String>, String, String, u64) {
-    cfg.fast_forward = ff;
-    let mut core = Core::new(emu.clone(), cfg);
-    core.enable_commit_trace();
-    let stats = core.run(MAX_CYCLES);
+/// Renders a finished lane's observables: the commit-event stream as
+/// strings, the `SimStats` `Debug` form, the stall-taxonomy `Debug` form,
+/// and the cycle count.
+fn harvest(core: &mut Core) -> (Vec<String>, String, String, u64) {
+    let stats = core.stats();
     let cycles = stats.cycles;
     let stats_dbg = format!("{stats:?}");
     let tax_dbg = format!("{:?}", stats.stall_taxonomy);
@@ -79,12 +74,28 @@ fn run_once(emu: &Emulator, mut cfg: CoreConfig, ff: bool) -> (Vec<String>, Stri
 }
 
 /// Per-seed unit: run the program with fast-forward on and off and diff
-/// every observable. Pure function of `pseed`.
+/// every observable. Both runs are lanes of this thread's campaign
+/// [`orinoco_core::Fleet`], stepped as one interleaved batch with parked
+/// cores revived across units. Pure function of `pseed` — lane recycling
+/// is behaviourally invisible (pinned by the `fleet` tests).
 fn ffeq_unit(pseed: u64) -> (u64, u64, Option<FfEqMismatch>) {
     let (cfg, label) = config_for_seed(pseed);
     let emu = gen::generate(pseed).build();
-    let (commits_on, stats_on, tax_on, cycles) = run_once(&emu, cfg.clone(), true);
-    let (commits_off, stats_off, tax_off, _) = run_once(&emu, cfg, false);
+    let mut cfg_on = cfg.clone();
+    cfg_on.fast_forward = true;
+    let mut cfg_off = cfg;
+    cfg_off.fast_forward = false;
+    let [(commits_on, stats_on, tax_on, cycles), (commits_off, stats_off, tax_off, _)] =
+        with_unit_fleet(|fleet| {
+            let on = fleet.load(cfg_on, emu.clone());
+            let off = fleet.load(cfg_off, emu);
+            fleet.core_mut(on).enable_commit_trace();
+            fleet.core_mut(off).enable_commit_trace();
+            fleet.run_batch(MAX_CYCLES);
+            let pair = [harvest(fleet.core_mut(on)), harvest(fleet.core_mut(off))];
+            fleet.clear();
+            pair
+        });
     let mismatch = |detail: String| FfEqMismatch { program_seed: pseed, config: label, detail };
     let diff = if tax_on != tax_off {
         Some(mismatch(format!("stall taxonomy differs:\n  ff  {tax_on}\n  off {tax_off}")))

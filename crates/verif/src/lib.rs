@@ -34,12 +34,31 @@ pub mod traceinv;
 pub use ffeq::{ff_equivalence_campaign, sys_ff_equivalence_campaign, FfEqMismatch, FfEqOutcome};
 pub use gen::{generate, shrink, ProgSpec};
 pub use mcm::{check_tso, extract_trace, mcm_campaign, McmOutcome, McmTrace, McmViolation};
-pub use oracle::{run_cosim, CosimOptions, CosimReport, Divergence, LockstepChecker};
+pub use oracle::{
+    run_cosim, run_cosim_pooled, CosimOptions, CosimReport, Divergence, LockstepChecker,
+};
 pub use traceinv::{check_lifecycle, trace_invariant_campaign, TraceCheck, TraceInvOutcome};
 
-use orinoco_core::{CommitKind, CoreConfig, SchedulerKind};
+use orinoco_core::{CommitKind, CoreConfig, Fleet, SchedulerKind};
 use orinoco_util::Rng;
 use std::time::{Duration, Instant};
+
+std::thread_local! {
+    /// Per-thread core pool shared by every campaign unit that runs on
+    /// this thread. Campaign workers burn most of their short-program
+    /// time constructing cores; routing units through a [`Fleet`] revives
+    /// a parked same-shape core via `Core::reset_with` instead
+    /// (behavioural equivalence to fresh cores is pinned by the
+    /// `reset`/`fleet` test suites in `orinoco-core`). Thread-local so
+    /// `parallel_map` workers never contend; the pool stays small — one
+    /// core per distinct configuration shape the campaigns rotate.
+    static UNIT_FLEET: std::cell::RefCell<Fleet> = std::cell::RefCell::new(Fleet::new());
+}
+
+/// Runs `f` with this thread's campaign [`Fleet`]. Not reentrant.
+pub(crate) fn with_unit_fleet<R>(f: impl FnOnce(&mut Fleet) -> R) -> R {
+    UNIT_FLEET.with(|fleet| f(&mut fleet.borrow_mut()))
+}
 
 /// Salt mixed into the campaign seed stream.
 const CAMPAIGN_SALT: u64 = 0x0421_F0CC;
@@ -171,12 +190,18 @@ struct CleanUnit {
 }
 
 /// One clean-pass co-simulation: run the seeded program, and shrink any
-/// divergence to a minimal reproducer. Pure function of `pseed`, so the
-/// parallel and serial campaigns produce identical units.
+/// divergence to a minimal reproducer. Pure function of `pseed` (the
+/// thread-local fleet only recycles cores, which is behaviourally
+/// invisible), so the parallel and serial campaigns produce identical
+/// units. The shrink loop on the rare divergence path keeps plain
+/// [`run_cosim`] — a diverged core may be mid-panic-prone state, and
+/// shrinking is not throughput-critical.
 fn clean_unit(pseed: u64) -> CleanUnit {
     let (cfg, label) = config_for_seed(pseed);
     let spec = gen::generate(pseed);
-    let report = run_cosim(&spec.build(), cfg.clone(), &CosimOptions::default());
+    let report = with_unit_fleet(|fleet| {
+        run_cosim_pooled(fleet, &spec.build(), cfg.clone(), &CosimOptions::default())
+    });
     let failure = if let Some(div) = report.divergence {
         let size_before = spec.size();
         let still_fails = |s: &ProgSpec| {
@@ -236,7 +261,7 @@ fn inject_unit(pseed: u64, out_of_time: &impl Fn() -> bool) -> InjectUnit {
             .with_commit(CommitKind::Orinoco);
         cfg.seed = pseed;
         let opts = CosimOptions { inject_spec_flip: Some(nth), ..CosimOptions::default() };
-        let report = run_cosim(&emu, cfg, &opts);
+        let report = with_unit_fleet(|fleet| run_cosim_pooled(fleet, &emu, cfg, &opts));
         unit.runs += 1;
         if report.injection_fired {
             unit.fired += 1;

@@ -17,7 +17,7 @@
 //! assertions (wrong-path retirement, queue hygiene) are part of the
 //! oracle, so an injected fault that trips one is a successful catch.
 
-use orinoco_core::{CommitEvent, Core, CoreConfig, Tracer};
+use orinoco_core::{CommitEvent, Core, CoreConfig, Fleet, Tracer};
 use orinoco_isa::{DynInst, Emulator};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -265,6 +265,65 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// The cosim step-and-check loop on an already-prepared DUT core. Panics
+/// out of the pipeline unwind through this function — callers wrap it in
+/// `catch_unwind` and translate the payload to [`Divergence::DutPanic`].
+fn cosim_loop(core: &mut Core, golden: Emulator, opts: &CosimOptions) -> CosimReport {
+    core.enable_commit_trace();
+    if opts.trace_capacity > 0 {
+        core.enable_tracing(opts.trace_capacity);
+    }
+    if let Some(nth) = opts.inject_spec_flip {
+        core.inject_spec_flip(nth);
+    }
+    let mut checker = LockstepChecker::new(golden);
+    let mut cycles = 0u64;
+    let mut divergence = None;
+    'sim: while !core.finished() {
+        if cycles >= opts.max_cycles {
+            divergence = Some(Divergence::Deadlock { cycles, committed: checker.committed });
+            break;
+        }
+        core.step();
+        cycles += 1;
+        for ev in core.drain_commit_trace() {
+            if let Err(d) = checker.observe(&ev) {
+                divergence = Some(d);
+                break 'sim;
+            }
+        }
+        if opts.invariant_check_period != 0 && cycles.is_multiple_of(opts.invariant_check_period) {
+            core.debug_verify_commit_invariants();
+        }
+    }
+    if divergence.is_none() {
+        divergence = checker.finalize(core.emulator()).err();
+    }
+    let trace_tail = if divergence.is_some() { core.tracer().map(Tracer::to_jsonl) } else { None };
+    CosimReport {
+        divergence,
+        cycles,
+        committed: checker.committed,
+        ooo_commits: checker.ooo_commits,
+        injection_fired: core.spec_flip_fired(),
+        trace_tail,
+    }
+}
+
+/// The report for a DUT that panicked before producing one.
+fn panic_report(payload: Box<dyn std::any::Any + Send>, opts: &CosimOptions) -> CosimReport {
+    CosimReport {
+        divergence: Some(Divergence::DutPanic { message: panic_message(payload) }),
+        cycles: 0,
+        committed: 0,
+        ooo_commits: 0,
+        // A panic implies pipeline-internal assertions fired; with an
+        // armed injector that is only reachable after the flip.
+        injection_fired: opts.inject_spec_flip.is_some(),
+        trace_tail: None,
+    }
+}
+
 /// Runs `emu`'s program through the pipeline under `cfg` in lockstep with
 /// an independent golden emulation, checking every commit and the final
 /// architectural state. Pipeline panics are caught and reported as
@@ -275,61 +334,37 @@ pub fn run_cosim(emu: &Emulator, cfg: CoreConfig, opts: &CosimOptions) -> CosimR
     let dut_emu = emu.clone();
     let result = catch_unwind(AssertUnwindSafe(move || {
         let mut core = Core::new(dut_emu, cfg);
-        core.enable_commit_trace();
-        if opts.trace_capacity > 0 {
-            core.enable_tracing(opts.trace_capacity);
-        }
-        if let Some(nth) = opts.inject_spec_flip {
-            core.inject_spec_flip(nth);
-        }
-        let mut checker = LockstepChecker::new(golden);
-        let mut cycles = 0u64;
-        let mut divergence = None;
-        'sim: while !core.finished() {
-            if cycles >= opts.max_cycles {
-                divergence =
-                    Some(Divergence::Deadlock { cycles, committed: checker.committed });
-                break;
-            }
-            core.step();
-            cycles += 1;
-            for ev in core.drain_commit_trace() {
-                if let Err(d) = checker.observe(&ev) {
-                    divergence = Some(d);
-                    break 'sim;
-                }
-            }
-            if opts.invariant_check_period != 0 && cycles.is_multiple_of(opts.invariant_check_period)
-            {
-                core.debug_verify_commit_invariants();
-            }
-        }
-        if divergence.is_none() {
-            divergence = checker.finalize(core.emulator()).err();
-        }
-        let trace_tail =
-            if divergence.is_some() { core.tracer().map(Tracer::to_jsonl) } else { None };
-        CosimReport {
-            divergence,
-            cycles,
-            committed: checker.committed,
-            ooo_commits: checker.ooo_commits,
-            injection_fired: core.spec_flip_fired(),
-            trace_tail,
-        }
+        cosim_loop(&mut core, golden, opts)
     }));
+    result.unwrap_or_else(|payload| panic_report(payload, opts))
+}
+
+/// Pooled variant of [`run_cosim`]: the DUT core comes out of `fleet`,
+/// revived through `Core::reset_with` whenever a parked lane matches the
+/// requested configuration shape, so campaign workers skip per-unit core
+/// construction. On a clean return the lane is parked back for reuse; a
+/// panicking lane is discarded — a core that unwound mid-cycle holds
+/// broken invariants and must not be revived.
+#[must_use]
+pub fn run_cosim_pooled(
+    fleet: &mut Fleet,
+    emu: &Emulator,
+    cfg: CoreConfig,
+    opts: &CosimOptions,
+) -> CosimReport {
+    assert!(fleet.is_empty(), "cosim fleet must start each unit with no loaded lanes");
+    let golden = emu.clone();
+    let lane = fleet.load(cfg, emu.clone());
+    let result = catch_unwind(AssertUnwindSafe(|| cosim_loop(fleet.core_mut(lane), golden, opts)));
     match result {
-        Ok(report) => report,
-        Err(payload) => CosimReport {
-            divergence: Some(Divergence::DutPanic { message: panic_message(payload) }),
-            cycles: 0,
-            committed: 0,
-            ooo_commits: 0,
-            // A panic implies pipeline-internal assertions fired; with an
-            // armed injector that is only reachable after the flip.
-            injection_fired: opts.inject_spec_flip.is_some(),
-            trace_tail: None,
-        },
+        Ok(report) => {
+            fleet.clear();
+            report
+        }
+        Err(payload) => {
+            fleet.discard(lane);
+            panic_report(payload, opts)
+        }
     }
 }
 
