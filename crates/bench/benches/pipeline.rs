@@ -14,10 +14,11 @@
 //! Writes the machine-readable `BENCH_pipeline.json` to the workspace root
 //! (override the directory with `ORINOCO_BENCH_OUT`).
 
+use orinoco_core::sample::{run_sampled, SampleConfig};
 use orinoco_core::{CommitKind, Core, CoreConfig, Fleet, SchedulerKind};
 use orinoco_util::alloc_counter::CountingAlloc;
 use orinoco_util::bench::{out_path, Bench, Report};
-use orinoco_workloads::Workload;
+use orinoco_workloads::{long_program, Workload};
 use std::hint::black_box;
 
 #[global_allocator]
@@ -142,6 +143,31 @@ fn main() {
             .run_entry("fleet/fresh_serial8/mixed", || black_box(serial_sim(&cfg)))
             .with_throughput(cycles, INSTRS * FLEET_BATCH.len() as u64);
         report.push(entry);
+    }
+    // The sampled family: one whole sampled-simulation run per iteration
+    // (fast-forward + functional warming + detailed intervals) over a
+    // 150k-instruction phased program, full-stream warming vs the
+    // warm-horizon fast path. `instrs_per_sec` here is *effective*
+    // throughput — program instructions covered per wall-clock second —
+    // the headline number that makes 100M-instruction runs tractable
+    // (see `sampled_check` for the accuracy/speedup gate at scale).
+    {
+        let sb = Bench::new().samples(3);
+        let emu = long_program(13, 150_000);
+        let scfg = SampleConfig::new(1_000, 5_000, 30_000);
+        for (name, scfg) in [
+            ("sampled/warmed_full/long13", scfg),
+            ("sampled/warm_horizon/long13", scfg.with_warm_horizon(15_000)),
+        ] {
+            let cfg = orinoco();
+            let est = run_sampled(emu.fork_rebased(), cfg.clone(), &scfg);
+            let entry = sb
+                .run_entry(name, || {
+                    black_box(run_sampled(emu.fork_rebased(), cfg.clone(), &scfg).est_cycles())
+                })
+                .with_throughput(est.est_cycles() as u64, est.total_insts);
+            report.push(entry);
+        }
     }
     let path = out_path("BENCH_pipeline.json");
     report.write_json(&path).expect("write BENCH_pipeline.json");

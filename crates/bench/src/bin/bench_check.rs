@@ -1,7 +1,7 @@
 //! `bench_check`: regression gate over `BENCH_*.json` artefacts.
 //!
 //! ```text
-//! bench_check <baseline.json> <current.json> [--tolerance PCT]
+//! bench_check <baseline.json> <current.json> [--tolerance PCT] [--require PREFIX]...
 //! ```
 //!
 //! Compares the `ns_per_iter` of every benchmark present in **both**
@@ -10,6 +10,12 @@
 //! enough to absorb shared-runner noise while catching real regressions).
 //! Benchmarks that exist on only one side are reported but never fail
 //! the gate, so adding or retiring benches doesn't break CI.
+//!
+//! `--require PREFIX` (repeatable) closes the loophole that leniency
+//! opens for whole families: the gate fails unless the *current* file
+//! contains at least one entry whose name starts with `PREFIX`, so a
+//! family silently dropping out of a bench binary (e.g. `sampled/` or
+//! `fleet/`) cannot slip past as "retired".
 //!
 //! The parser is line-based over the `orinoco-bench-v1` schema (one
 //! entry object per line) — no JSON dependency, matching the hand-rolled
@@ -46,7 +52,9 @@ fn field_num(line: &str, key: &str) -> Option<f64> {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_check <baseline.json> <current.json> [--tolerance PCT]");
+    eprintln!(
+        "usage: bench_check <baseline.json> <current.json> [--tolerance PCT] [--require PREFIX]..."
+    );
     ExitCode::from(2)
 }
 
@@ -54,11 +62,16 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut tolerance = 30.0f64;
+    let mut required: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(v) if v >= 0.0 => tolerance = v,
+                _ => return usage(),
+            },
+            "--require" => match it.next() {
+                Some(p) if !p.is_empty() => required.push(p.clone()),
                 _ => return usage(),
             },
             _ => files.push(a.clone()),
@@ -104,14 +117,27 @@ fn main() -> ExitCode {
             println!("RETIRED   {name}: present only in baseline");
         }
     }
+    let missing = missing_families(&current, &required);
+    for prefix in &missing {
+        println!("MISSING   required family `{prefix}`: no current entry matches");
+    }
     println!(
         "bench_check: {compared} compared, {regressions} regressed (tolerance {tolerance}%)"
     );
-    if regressions > 0 {
+    if regressions > 0 || !missing.is_empty() {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Required family prefixes with no matching entry in `current`.
+fn missing_families(current: &[(String, f64)], required: &[String]) -> Vec<String> {
+    required
+        .iter()
+        .filter(|p| !current.iter().any(|(n, _)| n.starts_with(p.as_str())))
+        .cloned()
+        .collect()
 }
 
 #[cfg(test)]
@@ -134,6 +160,15 @@ mod tests {
         assert!((rows[0].1 - 100.0).abs() < 1e-9);
         assert_eq!(rows[1].0, "c/d");
         assert!((rows[1].1 - 5000.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn required_families_match_by_prefix() {
+        let rows = parse_entries(SAMPLE);
+        let req = |ps: &[&str]| ps.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        assert!(missing_families(&rows, &req(&["a/"])).is_empty());
+        assert_eq!(missing_families(&rows, &req(&["sampled/"])), req(&["sampled/"]));
+        assert_eq!(missing_families(&rows, &req(&["a/", "x/"])), req(&["x/"]));
     }
 
     #[test]

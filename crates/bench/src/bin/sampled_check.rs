@@ -1,0 +1,84 @@
+//! `sampled_check`: accuracy + speedup gate for checkpointed interval
+//! sampling against a full detailed run of the same program.
+//!
+//! ```text
+//! sampled_check            # smoke: 20M-instruction program  (~20 s)
+//! ORINOCO_SAMPLED_FULL=1 sampled_check   # 100M instructions (~2 min)
+//! ```
+//!
+//! Both modes run the phased `long_program` end to end in full detail,
+//! then sample it (W=2k warmup, D=10k detail, P=1M period, 100k warm
+//! horizon) and assert the two contracts the sampling frontend promises:
+//!
+//! * **Accuracy** — sampled IPC within 3% of the full-run IPC;
+//! * **Speedup** — sampled wall clock at least 20× (full mode) / 12×
+//!   (smoke mode, headroom for noisy shared runners) faster than the
+//!   full detailed run.
+//!
+//! The smoke threshold is lower only because the fixed per-run costs
+//! (program build, first-interval warmup) weigh more at 20M; the per-
+//! instruction economics are identical.
+
+use orinoco_core::sample::{run_sampled, SampleConfig};
+use orinoco_core::{CommitKind, Core, CoreConfig, SchedulerKind};
+use orinoco_workloads::long_program;
+use std::time::Instant;
+
+fn full_mode() -> bool {
+    std::env::var_os("ORINOCO_SAMPLED_FULL").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn main() {
+    let (target_insts, min_speedup) = if full_mode() {
+        (100_000_000u64, 20.0)
+    } else {
+        (20_000_000u64, 12.0)
+    };
+    let cfg = CoreConfig::base()
+        .with_scheduler(SchedulerKind::Orinoco)
+        .with_commit(CommitKind::Orinoco);
+    let scfg = SampleConfig::new(2_000, 10_000, 1_000_000).with_warm_horizon(100_000);
+
+    println!("sampled_check: building ~{}M-instruction program", target_insts / 1_000_000);
+    let emu = long_program(13, target_insts);
+
+    let t = Instant::now();
+    let full = Core::new(emu.fork_rebased(), cfg.clone()).run(u64::MAX).clone();
+    let full_secs = t.elapsed().as_secs_f64();
+    println!(
+        "full detail: {} insts, {} cycles, IPC {:.4} in {:.1}s ({:.2}M insts/s)",
+        full.committed,
+        full.cycles,
+        full.ipc(),
+        full_secs,
+        full.committed as f64 / full_secs / 1e6
+    );
+
+    let t = Instant::now();
+    let est = run_sampled(emu, cfg, &scfg);
+    let sampled_secs = t.elapsed().as_secs_f64();
+    let speedup = full_secs / sampled_secs;
+    let err = (est.est_ipc() - full.ipc()) / full.ipc();
+    println!(
+        "sampled: {} in {:.1}s ({:.2}M insts/s), speedup {:.1}x, IPC error {:+.2}%",
+        est.summary(),
+        sampled_secs,
+        est.total_insts as f64 / sampled_secs / 1e6,
+        speedup,
+        err * 100.0
+    );
+
+    assert_eq!(est.total_insts, full.committed, "sampler lost instructions");
+    assert!(
+        err.abs() < 0.03,
+        "sampled IPC {:.4} deviates {:.2}% from full-run IPC {:.4} (limit 3%)",
+        est.est_ipc(),
+        err.abs() * 100.0,
+        full.ipc()
+    );
+    assert!(
+        speedup >= min_speedup,
+        "sampling speedup {speedup:.1}x below the {min_speedup:.0}x floor"
+    );
+    println!("sampled_check: OK (error {:.2}% < 3%, speedup {speedup:.1}x)", err.abs() * 100.0);
+}

@@ -12,11 +12,162 @@
 
 use crate::config::CoreConfig;
 use orinoco_frontend::{Btb, DirectionPredictor, ReturnAddressStack};
-use orinoco_isa::{ArchReg, DynInst, Emulator, InstClass, Opcode};
+use orinoco_isa::{ArchReg, DynInst, Emulator, HaltReason, InstClass, Opcode};
+use orinoco_trace::ReplayStream;
 
 /// Sequence-number base for wrong-path instructions: larger than any
 /// correct-path sequence, so age comparisons remain sound.
 pub const WRONG_PATH_SEQ_BASE: u64 = 1 << 62;
+
+/// Where the correct-path instruction stream comes from: the live
+/// functional emulator (fetch+emulate as the oracle) or a replayed
+/// `ORTRACE1` capture (trace-driven frontend). Both expose the same
+/// stepping surface, so the pipeline behaves identically — a replayed run
+/// is cycle-for-cycle equal to the live run it was captured from.
+// One FetchSource lives per core (never in bulk collections), so the
+// Live/Replay size gap costs nothing; boxing would tax every live step.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum FetchSource {
+    /// Live fetch: the emulator executes the program as fetch consumes it.
+    Live(Emulator),
+    /// Trace replay: the recorded stream of a previous (or offline)
+    /// execution.
+    Replay(ReplayStream),
+}
+
+impl FetchSource {
+    fn step(&mut self) -> Option<DynInst> {
+        match self {
+            FetchSource::Live(emu) => emu.step(),
+            FetchSource::Replay(rs) => rs.step(),
+        }
+    }
+
+    /// Why the stream ended, once it has.
+    #[must_use]
+    pub fn halt_reason(&self) -> Option<HaltReason> {
+        match self {
+            FetchSource::Live(emu) => emu.halt_reason(),
+            FetchSource::Replay(rs) => rs.halt_reason(),
+        }
+    }
+
+    /// Correct-path instructions produced so far.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        match self {
+            FetchSource::Live(emu) => emu.executed(),
+            FetchSource::Replay(rs) => rs.executed(),
+        }
+    }
+
+    /// The canonical (masked, aligned) form of `addr` for the program's
+    /// memory size.
+    #[must_use]
+    pub fn canonical_addr(&self, addr: u64) -> u64 {
+        match self {
+            FetchSource::Live(emu) => emu.canonical_addr(addr),
+            FetchSource::Replay(rs) => rs.canonical_addr(addr),
+        }
+    }
+
+    /// The live emulator, if this source is one.
+    #[must_use]
+    pub fn emulator(&self) -> Option<&Emulator> {
+        match self {
+            FetchSource::Live(emu) => Some(emu),
+            FetchSource::Replay(_) => None,
+        }
+    }
+}
+
+impl From<Emulator> for FetchSource {
+    fn from(emu: Emulator) -> Self {
+        FetchSource::Live(emu)
+    }
+}
+
+impl From<ReplayStream> for FetchSource {
+    fn from(rs: ReplayStream) -> Self {
+        FetchSource::Replay(rs)
+    }
+}
+
+/// Warmed frontend predictor state — direction predictor, BTB and return
+/// address stack — captured by [`FetchUnit::warm_snapshot`] and reapplied
+/// after a reset by [`FetchUnit::restore_warm`], so a sampled-simulation
+/// interval can start with trained predictors instead of cold ones.
+pub struct FrontendWarm {
+    predictor: Box<dyn DirectionPredictor + Send>,
+    btb: Btb,
+    ras: ReturnAddressStack,
+}
+
+impl Clone for FrontendWarm {
+    fn clone(&self) -> Self {
+        Self {
+            predictor: self.predictor.boxed_clone(),
+            btb: self.btb.clone(),
+            ras: self.ras.clone(),
+        }
+    }
+}
+
+impl FrontendWarm {
+    /// Functionally trains the predictor structures on one executed
+    /// control-flow instruction, mirroring [`FetchUnit::predict`] on the
+    /// correct path (SMARTS-style functional warming during
+    /// sampled-simulation fast-forward). Non-control-flow instructions
+    /// are ignored, so callers may feed the whole stream.
+    ///
+    /// Returns `true` when the (warm) predictor state would have
+    /// mispredicted this instruction — the exact direction/target test
+    /// `FetchUnit::predict` applies. Because wrong-path instructions are
+    /// synthetic and never branches, predictor state evolves only on the
+    /// committed stream, so the functional mispredict sequence matches
+    /// the detailed core's exactly. Callers use this to emulate
+    /// wrong-path cache pollution (see [`super::pipeline::WarmState`]).
+    pub fn warm_update(&mut self, d: &DynInst) -> bool {
+        match d.op {
+            Opcode::Jal => {
+                if d.dst.is_some() {
+                    self.ras.push(d.pc + 4);
+                }
+                false
+            }
+            Opcode::Jalr => {
+                let predicted = self.ras.pop().or_else(|| self.btb.lookup(d.pc));
+                self.btb.insert(d.pc, d.next_pc);
+                predicted != Some(d.next_pc)
+            }
+            _ if d.class == InstClass::Branch => {
+                let dir = self.predictor.predict(d.pc);
+                self.predictor.update(d.pc, d.taken);
+                let target = self.btb.lookup(d.pc);
+                if d.taken {
+                    self.btb.insert(d.pc, d.next_pc);
+                }
+                if dir != d.taken {
+                    true
+                } else if d.taken {
+                    target != Some(d.next_pc)
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for FrontendWarm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrontendWarm")
+            .field("predictor", &self.predictor.name())
+            .finish_non_exhaustive()
+    }
+}
 
 /// A fetched instruction heading to dispatch.
 #[derive(Clone, Debug)]
@@ -44,7 +195,7 @@ pub struct FetchStats {
 
 /// The fetch unit.
 pub struct FetchUnit {
-    emu: Emulator,
+    src: FetchSource,
     pushback: Vec<DynInst>,
     predictor: Box<dyn DirectionPredictor + Send>,
     btb: Btb,
@@ -59,11 +210,12 @@ pub struct FetchUnit {
 }
 
 impl FetchUnit {
-    /// Creates a fetch unit over `emu` using the configured predictor.
+    /// Creates a fetch unit over `src` — a live emulator or a replayed
+    /// capture — using the configured predictor.
     #[must_use]
-    pub fn new(emu: Emulator, cfg: &CoreConfig) -> Self {
+    pub fn new(src: impl Into<FetchSource>, cfg: &CoreConfig) -> Self {
         Self {
-            emu,
+            src: src.into(),
             pushback: Vec::new(),
             predictor: cfg.predictor.build(),
             btb: Btb::new(512, 4),
@@ -87,14 +239,28 @@ impl FetchUnit {
     #[must_use]
     pub fn drained(&self) -> bool {
         self.pushback.is_empty()
-            && self.emu.halt_reason().is_some()
+            && self.src.halt_reason().is_some()
             && self.wrong_path_owner.is_none()
     }
 
     /// Read access to the underlying emulator (architectural oracle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit is fed by a trace replay — a capture carries no
+    /// architectural state. Use [`FetchUnit::source`] when the frontend
+    /// kind is not statically known.
     #[must_use]
     pub fn emulator(&self) -> &Emulator {
-        &self.emu
+        self.src
+            .emulator()
+            .expect("trace-replay fetch has no emulator (see FetchUnit::source)")
+    }
+
+    /// Read access to the instruction source driving fetch.
+    #[must_use]
+    pub fn source(&self) -> &FetchSource {
+        &self.src
     }
 
     /// `true` while fetching down a mispredicted path.
@@ -111,12 +277,12 @@ impl FetchUnit {
         self.stall_until
     }
 
-    /// Rebinds the unit to a fresh emulator and returns every predictor
-    /// structure to its post-construction state, keeping all allocations
-    /// (core reset path). `cfg` must be the configuration the unit was
-    /// built with.
-    pub fn reset(&mut self, emu: Emulator, cfg: &CoreConfig) {
-        self.emu = emu;
+    /// Rebinds the unit to a fresh instruction source (emulator or replay)
+    /// and returns every predictor structure to its post-construction
+    /// state, keeping all allocations (core reset path). `cfg` must be the
+    /// configuration the unit was built with.
+    pub fn reset(&mut self, src: impl Into<FetchSource>, cfg: &CoreConfig) {
+        self.src = src.into();
         self.pushback.clear();
         self.predictor.reset();
         self.btb.reset();
@@ -126,6 +292,27 @@ impl FetchUnit {
         self.wp_seq = WRONG_PATH_SEQ_BASE;
         self.rng = cfg.seed | 1;
         self.stats = FetchStats::default();
+    }
+
+    /// Snapshots the trained predictor structures (direction predictor,
+    /// BTB, RAS) for later [`FetchUnit::restore_warm`].
+    #[must_use]
+    pub fn warm_snapshot(&self) -> FrontendWarm {
+        FrontendWarm {
+            predictor: self.predictor.boxed_clone(),
+            btb: self.btb.clone(),
+            ras: self.ras.clone(),
+        }
+    }
+
+    /// Reinstates predictor training captured by
+    /// [`FetchUnit::warm_snapshot`]. Call after [`FetchUnit::reset`]; all
+    /// other fetch state (pushback, wrong-path mode, stats) is left as the
+    /// reset put it.
+    pub fn restore_warm(&mut self, warm: &FrontendWarm) {
+        self.predictor = warm.predictor.boxed_clone();
+        self.btb = warm.btb.clone();
+        self.ras = warm.ras.clone();
     }
 
     fn next_rand(&mut self) -> u64 {
@@ -147,10 +334,10 @@ impl FetchUnit {
         let src2 = Some(ArchReg::int(1 + (r >> 24) as u8 % 30));
         let (op, class, mem_addr, dst, src2) = if pick < 25 {
             // wrong-path load: pollutes caches and MSHRs realistically
-            let addr = self.emu.canonical_addr(r >> 13);
+            let addr = self.src.canonical_addr(r >> 13);
             (Opcode::Ld, InstClass::Load, Some(addr), dst, None)
         } else if pick < 32 {
-            let addr = self.emu.canonical_addr(r >> 17);
+            let addr = self.src.canonical_addr(r >> 17);
             (Opcode::St, InstClass::Store, Some(addr), None, src2)
         } else if pick < 40 {
             (Opcode::Mul, InstClass::IntMul, None, dst, src2)
@@ -176,7 +363,7 @@ impl FetchUnit {
     fn next_correct_path(&mut self) -> Option<DynInst> {
         match self.pushback.pop() {
             Some(d) => Some(d),
-            None => self.emu.step(),
+            None => self.src.step(),
         }
     }
 

@@ -50,6 +50,7 @@ pub mod lsq;
 pub mod pipeline;
 pub mod rename;
 pub mod rob;
+pub mod sample;
 pub mod stats;
 pub mod system;
 
@@ -57,14 +58,18 @@ pub use config::{
     exec_latency, is_unpipelined, CommitKind, CoreConfig, FuPools, Pool, SchedulerKind,
 };
 pub use crit::CriticalityEngine;
-pub use fetch::{FetchStats, FetchUnit, Fetched};
+pub use fetch::{FetchSource, FetchStats, FetchUnit, Fetched, FrontendWarm};
 pub use fleet::Fleet;
 pub use iq::{IqEntry, IssueQueue};
 pub use lsq::{LoadSearch, Lsq};
-pub use pipeline::{CohEvent, CommitEvent, Core};
+pub use pipeline::{CohEvent, CommitEvent, Core, WarmState};
+pub use sample::{run_sampled, IntervalSample, SampleConfig, SampledStats};
 pub use system::{System, SystemConfig, SystemStats};
 pub use orinoco_stats::{StallCause, StallTaxonomy};
-pub use orinoco_trace::{TraceEventKind, TraceRecord, Tracer, STALL_SEQ};
+pub use orinoco_trace::{
+    capture_program, CaptureWriter, ReplayStream, TraceEventKind, TraceRecord, Tracer,
+    CAPTURE_SECTION, STALL_SEQ,
+};
 pub use rename::{PhysReg, RenameUnit};
 pub use rob::{Rob, RobEntry};
 pub use stats::SimStats;

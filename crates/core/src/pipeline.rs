@@ -205,15 +205,150 @@ pub struct Core {
     cyc_stall_cause: Option<StallCause>,
 }
 
+/// Warmed microarchitectural state carried across [`Core::reset_warm`]:
+/// the memory hierarchy's cache/prefetcher contents and the frontend's
+/// trained predictors. Captured by [`Core::save_warm_state`]; used by the
+/// interval sampler to keep long-lived training alive between detailed
+/// samples.
+#[derive(Clone, Debug)]
+pub struct WarmState {
+    mem: MemorySystem,
+    frontend: crate::fetch::FrontendWarm,
+    /// `Emulator::addr_mask` of the source program — lets the pollution
+    /// model below draw canonical data addresses without a fetch source.
+    addr_mask: u64,
+    /// xorshift state for the wrong-path pollution model (same generator
+    /// family as `FetchUnit::synth_wrong_path`).
+    rng: u64,
+    /// Fixed wrong-path episode length override; `None` (the default)
+    /// scales the episode with the mispredicted branch's resolution
+    /// slack. See [`WarmState::set_wrong_path_depth`].
+    wp_depth: Option<u32>,
+    /// Instructions fed through [`WarmState::warm_step`] so far — the
+    /// pseudo-clock the dependence-readiness model below counts in.
+    inst_count: u64,
+    /// Approximate pseudo-cycle at which each architectural register's
+    /// value becomes available: loads set their destination by serving
+    /// cache level, other producers propagate the max of their sources.
+    /// Serially dependent chains (pointer chasing) accumulate naturally.
+    reg_ready: [u64; orinoco_isa::NUM_ARCH_REGS],
+}
+
+/// Value-readiness latencies (in pseudo-cycles) assumed for a load
+/// served by L1/L2/LLC/DRAM respectively — roughly the detailed
+/// hierarchy's latencies.
+const WARM_LOAD_LAT: [u64; 4] = [1, 20, 40, 100];
+
+/// Wrong-path episode model: a mispredicted branch keeps wrong-path
+/// fetch alive until it resolves, and the frontend fetches
+/// [`WARM_WP_FETCH_PER_CYCLE`] instructions per cycle of resolution
+/// slack, so the synthetic episode is `BASE + slack` instructions
+/// (capped at the level the detailed core's own ROB/IQ backpressure
+/// enforces). `slack` is near zero for a branch fed from registers or an
+/// L1 hit and ~[`WARM_LOAD_LAT`] for one fed by an in-flight miss;
+/// chained misses (pointer chasing) accumulate.
+const WARM_WP_BASE: u64 = 12;
+const WARM_WP_FETCH_PER_CYCLE: u64 = 1;
+const WARM_WP_CAP: u64 = 200;
+
+impl WarmState {
+    /// Functionally warms the snapshot with one executed instruction:
+    /// memory accesses walk and fill the cache tag arrays (and train the
+    /// prefetcher), control flow trains the direction predictor, BTB and
+    /// RAS. Sampled simulation feeds every fast-forwarded instruction
+    /// through this so warm state tracks the full-run trajectory instead
+    /// of going stale across the gap (SMARTS-style functional warming).
+    ///
+    /// When the warm predictor state mispredicts a branch — the detailed
+    /// core would have entered wrong-path fetch here — the synthetic
+    /// wrong-path load pollution `FetchUnit::synth_wrong_path` injects is
+    /// emulated too: an episode of synthetic instructions, 25% of them
+    /// loads at uniformly random canonical addresses, walks the warm
+    /// cache hierarchy. The episode length scales with the mispredicted
+    /// branch's resolution slack (a branch fed by an in-flight miss keeps
+    /// wrong-path fetch alive for its whole latency). Without this the
+    /// warm image is systematically colder than a detailed run's — on
+    /// branchy workloads the scatter from wrong-path loads keeps most of
+    /// the data footprint LLC-resident, and losing it reads 15–20% slow.
+    pub fn warm_step(&mut self, d: &orinoco_isa::DynInst) {
+        self.inst_count += 1;
+        let now = self.inst_count;
+        let ready = |r: Option<orinoco_isa::ArchReg>, regs: &[u64]| {
+            r.map_or(0, |r| regs[r.index()])
+        };
+        let dep = ready(d.src1, &self.reg_ready)
+            .max(ready(d.src2, &self.reg_ready))
+            .max(now);
+        let level = d.mem_addr.map(|addr| self.mem.warm_access(addr));
+        if let Some(dst) = d.dst {
+            if dst.index() != 0 {
+                let lat = match level {
+                    Some(l) if d.class == orinoco_isa::InstClass::Load => {
+                        WARM_LOAD_LAT[l as usize]
+                    }
+                    _ => 1,
+                };
+                self.reg_ready[dst.index()] = dep + lat;
+            }
+        }
+        if self.frontend.warm_update(d) {
+            let slack = dep - now;
+            let depth = self.wp_depth.map_or_else(
+                || (WARM_WP_BASE + WARM_WP_FETCH_PER_CYCLE * slack).min(WARM_WP_CAP),
+                u64::from,
+            );
+            for _ in 0..depth {
+                let mut x = self.rng;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.rng = x;
+                let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                if r % 100 < 25 {
+                    self.mem.warm_access((r >> 13) & self.addr_mask);
+                }
+            }
+        }
+    }
+
+    /// Replaces the adaptive wrong-path episode model with a fixed
+    /// episode length (synthetic instructions per misprediction); `0`
+    /// disables pollution emulation entirely.
+    pub fn set_wrong_path_depth(&mut self, depth: u32) {
+        self.wp_depth = Some(depth);
+    }
+
+    /// The warm memory image — for residency inspection via
+    /// [`MemorySystem::probe`] (verification and diagnostics).
+    #[must_use]
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Replaces this image's memory half with `other`'s (ablation tool:
+    /// isolate whether an accuracy gap comes from the cache image or the
+    /// predictor image).
+    pub fn adopt_mem(&mut self, other: &WarmState) {
+        self.mem = other.mem.clone();
+    }
+
+    /// Replaces this image's frontend half with `other`'s (see
+    /// [`WarmState::adopt_mem`]).
+    pub fn adopt_frontend(&mut self, other: &WarmState) {
+        self.frontend = other.frontend.clone();
+    }
+}
+
 impl Core {
-    /// Builds a core over the given emulator (program + data already
-    /// initialised).
+    /// Builds a core over the given instruction source: an emulator
+    /// (program + data already initialised) or a [`ReplayStream`] of a
+    /// captured run (trace-driven frontend).
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
     #[must_use]
-    pub fn new(emu: Emulator, cfg: CoreConfig) -> Self {
+    pub fn new(src: impl Into<crate::fetch::FetchSource>, cfg: CoreConfig) -> Self {
         cfg.validate();
         let crit = cfg
             .scheduler
@@ -224,7 +359,7 @@ impl Core {
         // feed off under policies that would let it grow without bound.
         rob.set_completion_heap_tracking(cfg.commit == CommitKind::Orinoco);
         Self {
-            fetch: FetchUnit::new(emu, &cfg),
+            fetch: FetchUnit::new(src, &cfg),
             fq: VecDeque::new(),
             rename: RenameUnit::new(cfg.phys_regs),
             rob,
@@ -294,9 +429,10 @@ impl Core {
     /// state — is restored to pristine, so a run after `reset` is
     /// byte-identical to a run on a freshly built core. Commit tracing
     /// and lifecycle tracing stay enabled (their buffers are cleared);
-    /// an armed fault injector is disarmed.
-    pub fn reset(&mut self, emu: Emulator) {
-        self.reset_inner(emu);
+    /// an armed fault injector is disarmed. Accepts any instruction source
+    /// ([`Core::new`]): an emulator or a captured-trace replay.
+    pub fn reset(&mut self, src: impl Into<crate::fetch::FetchSource>) {
+        self.reset_inner(src.into());
     }
 
     /// Like [`Core::reset`], but under a new configuration that may carry
@@ -317,12 +453,47 @@ impl Core {
             cfg.name,
         );
         self.cfg = cfg;
-        self.reset_inner(emu);
+        self.reset_inner(emu.into());
     }
 
-    fn reset_inner(&mut self, emu: Emulator) {
+    /// Snapshots the *warm* microarchitectural state — cache contents,
+    /// prefetcher training, direction predictor, BTB and RAS — for reuse
+    /// across a [`Core::reset_warm`]. Pipeline-transient structures (ROB,
+    /// IQs, LSQ, matrices, rename tables) are deliberately excluded: they
+    /// are empty at any interval boundary and refill within a few hundred
+    /// instructions of detailed warmup, whereas caches and predictors take
+    /// millions — exactly the long-lived state interval sampling must not
+    /// lose between samples.
+    #[must_use]
+    pub fn save_warm_state(&self) -> WarmState {
+        WarmState {
+            mem: self.mem.warm_snapshot(),
+            frontend: self.fetch.warm_snapshot(),
+            addr_mask: self.fetch.source().canonical_addr(u64::MAX),
+            rng: 0x005E_ED0F_0913_C0DE | 1,
+            wp_depth: None,
+            inst_count: 0,
+            reg_ready: [0; orinoco_isa::NUM_ARCH_REGS],
+        }
+    }
+
+    /// [`Core::reset`] followed by reinstating a warm-state snapshot:
+    /// the run starts architecturally fresh (empty pipeline, zeroed
+    /// statistics, cycle 0) but with warmed caches and predictors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken under a different memory
+    /// configuration.
+    pub fn reset_warm(&mut self, src: impl Into<crate::fetch::FetchSource>, warm: &WarmState) {
+        self.reset_inner(src.into());
+        self.mem.restore_warm(&warm.mem);
+        self.fetch.restore_warm(&warm.frontend);
+    }
+
+    fn reset_inner(&mut self, src: crate::fetch::FetchSource) {
         self.now = 0;
-        self.fetch.reset(emu, &self.cfg);
+        self.fetch.reset(src, &self.cfg);
         self.fq.clear();
         self.rename.reset();
         self.rob.reset();
@@ -393,6 +564,19 @@ impl Core {
         &self.stats
     }
 
+    /// Live memory-hierarchy counters (valid mid-run, unlike
+    /// [`SimStats::mem`] which is snapshotted by [`Core::finalize_run_stats`]).
+    #[must_use]
+    pub fn mem_stats(&self) -> &orinoco_mem::MemStats {
+        self.mem.stats()
+    }
+
+    /// Live front-end counters (valid mid-run, unlike [`SimStats::fetch`]).
+    #[must_use]
+    pub fn fetch_stats(&self) -> &crate::fetch::FetchStats {
+        self.fetch.stats()
+    }
+
     /// `true` when the program has fully drained through the pipeline.
     #[must_use]
     pub fn finished(&self) -> bool {
@@ -456,6 +640,36 @@ impl Core {
         true
     }
 
+    /// Runs until at least `target` instructions have committed, the
+    /// program drains, or the clock reaches the absolute cycle `limit` —
+    /// whichever comes first — and returns whether the commit target was
+    /// reached. The pipeline is left mid-flight when the target cuts the
+    /// run short (fetch ahead of commit, instructions in the ROB): that is
+    /// the measurement-window primitive of SMARTS-style interval sampling,
+    /// where a window ends while the machine keeps running and the core is
+    /// subsequently reset rather than drained.
+    ///
+    /// Live counters ([`Core::cycle`], `stats().committed`,
+    /// `stats().stall_taxonomy`) are valid at return; the end-of-run
+    /// snapshot fields of [`SimStats`] are only finalised if the program
+    /// actually finished.
+    pub fn run_to_commit(&mut self, target: u64, limit: u64) -> bool {
+        while !self.finished() {
+            if self.stats.committed >= target {
+                return true;
+            }
+            if self.now >= limit {
+                return false;
+            }
+            self.step();
+            if self.cfg.fast_forward {
+                self.fast_forward_skip(limit);
+            }
+        }
+        self.finalize_run_stats();
+        self.stats.committed >= target
+    }
+
     /// Checks the end-of-run architectural invariants and finalises the
     /// statistics snapshot. [`Core::run`] calls this itself; the multicore
     /// `System`, which steps cores directly, calls it once per core when
@@ -467,7 +681,7 @@ impl Core {
     /// instruction must commit exactly once.
     pub fn finalize_run_stats(&mut self) {
         // Every correct-path instruction committed exactly once.
-        let n = self.fetch.emulator().executed();
+        let n = self.fetch.source().executed();
         assert_eq!(self.committed_count, n, "commit count diverged");
         let want: u128 = (n as u128) * (n as u128 - 1) / 2;
         assert_eq!(self.committed_seq_sum, want, "commit sequence checksum diverged");
@@ -500,9 +714,21 @@ impl Core {
     /// pipeline drains, this holds the final architectural state the
     /// pipeline committed — the object a differential checker compares
     /// against an independently-run golden model.
+    ///
+    /// # Panics
+    ///
+    /// Panics under a trace-replay frontend (a capture carries no
+    /// architectural state); use [`Core::source`] there.
     #[must_use]
     pub fn emulator(&self) -> &Emulator {
         self.fetch.emulator()
+    }
+
+    /// Read access to the instruction source driving fetch (live emulator
+    /// or captured-trace replay).
+    #[must_use]
+    pub fn source(&self) -> &crate::fetch::FetchSource {
+        self.fetch.source()
     }
 
     /// Turns on the commit-event trace: every subsequent architectural

@@ -1,0 +1,63 @@
+//! Trace replay as a pipeline frontend: driving the detailed core from a
+//! `CAP1` capture must be cycle-for-cycle identical to live fetch, across
+//! scheduler/commit configurations, including the synthetic wrong-path
+//! activity after mispredicts.
+
+use orinoco_core::{
+    capture_program, CommitKind, Core, CoreConfig, FetchSource, ReplayStream, SchedulerKind,
+};
+use orinoco_workloads::Workload;
+
+fn orinoco() -> CoreConfig {
+    CoreConfig::base()
+        .with_scheduler(SchedulerKind::Orinoco)
+        .with_commit(CommitKind::Orinoco)
+}
+
+fn baseline() -> CoreConfig {
+    CoreConfig::base()
+        .with_scheduler(SchedulerKind::Age)
+        .with_commit(CommitKind::InOrder)
+}
+
+#[test]
+fn replay_timing_is_identical_to_live_fetch() {
+    for wl in [Workload::HashjoinLike, Workload::PerlLike] {
+        let bytes = capture_program(&mut wl.build(21, 1));
+        for cfg in [orinoco(), baseline()] {
+            let live = Core::new(wl.build(21, 1), cfg.clone()).run(200_000_000).clone();
+            let stream = ReplayStream::from_bytes(bytes.clone()).unwrap();
+            let mut core = Core::new(stream, cfg);
+            let replay = core.run(200_000_000).clone();
+            assert_eq!(live.cycles, replay.cycles, "{wl:?}");
+            assert_eq!(live.committed, replay.committed, "{wl:?}");
+            assert!(core.finished(), "{wl:?}");
+            assert!(matches!(core.source(), FetchSource::Replay(_)));
+        }
+    }
+}
+
+#[test]
+fn replay_reproduces_wrong_path_activity() {
+    // The capture stores resolved branch outcomes, not predictions; the
+    // replay core must still mispredict and fetch synthetic wrong-path
+    // instructions exactly as the live core did.
+    let bytes = capture_program(&mut Workload::PerlLike.build(5, 1));
+    let live = Core::new(Workload::PerlLike.build(5, 1), orinoco()).run(200_000_000).clone();
+    let stream = ReplayStream::from_bytes(bytes).unwrap();
+    let replay = Core::new(stream, orinoco()).run(200_000_000).clone();
+    assert!(live.fetch.mispredicts > 0, "workload is supposed to mispredict");
+    assert!(live.fetch.wrong_path_insts > 0);
+    assert_eq!(live.fetch.branches, replay.fetch.branches);
+    assert_eq!(live.fetch.mispredicts, replay.fetch.mispredicts);
+    assert_eq!(live.fetch.wrong_path_insts, replay.fetch.wrong_path_insts);
+}
+
+#[test]
+fn step_limited_replay_runs_a_prefix() {
+    let bytes = capture_program(&mut Workload::ExchangeLike.build(3, 1));
+    let mut stream = ReplayStream::from_bytes(bytes).unwrap();
+    stream.set_step_limit(20_000);
+    let stats = Core::new(stream, orinoco()).run(200_000_000).clone();
+    assert_eq!(stats.committed, 20_000);
+}

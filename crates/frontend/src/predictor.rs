@@ -22,6 +22,10 @@ pub trait DirectionPredictor {
     /// Returns the predictor to its freshly-constructed state in place,
     /// keeping all allocations (core reset path).
     fn reset(&mut self);
+
+    /// Clones the predictor behind its trait object, trained state
+    /// included (warm-state checkpointing for sampled simulation).
+    fn boxed_clone(&self) -> Box<dyn DirectionPredictor + Send>;
 }
 
 /// A saturating 2-bit counter.
@@ -104,6 +108,10 @@ impl DirectionPredictor for Bimodal {
     fn reset(&mut self) {
         self.table.fill(Counter2::new(1));
     }
+
+    fn boxed_clone(&self) -> Box<dyn DirectionPredictor + Send> {
+        Box::new(self.clone())
+    }
 }
 
 /// Gshare: 2-bit counters indexed by `PC ⊕ global history`.
@@ -159,6 +167,10 @@ impl DirectionPredictor for Gshare {
         self.table.fill(Counter2::new(1));
         self.history = 0;
     }
+
+    fn boxed_clone(&self) -> Box<dyn DirectionPredictor + Send> {
+        Box::new(self.clone())
+    }
 }
 
 /// Static always-taken predictor (the weakest baseline).
@@ -174,6 +186,9 @@ impl DirectionPredictor for AlwaysTaken {
         "always-taken"
     }
     fn reset(&mut self) {}
+    fn boxed_clone(&self) -> Box<dyn DirectionPredictor + Send> {
+        Box::new(*self)
+    }
 }
 
 #[cfg(test)]

@@ -363,6 +363,10 @@ impl DirectionPredictor for Tage {
         self.rng = 0x9E37_79B9_7F4A_7C15;
         self.ctx = PredictCtx::default();
     }
+
+    fn boxed_clone(&self) -> Box<dyn DirectionPredictor + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

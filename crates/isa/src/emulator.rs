@@ -78,6 +78,110 @@ pub struct ArchSnapshot {
     pub executed: u64,
 }
 
+/// Magic prefix of the serialized [`EmuCheckpoint`] format.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"ORCKPT01";
+
+/// A restorable architectural checkpoint: everything the emulator needs to
+/// resume mid-program except the (static, regenerable) [`Program`] itself.
+///
+/// Captured by [`Emulator::checkpoint`] and reattached to a program by
+/// [`Emulator::restore`]. The restored emulator **rebases its dynamic
+/// sequence numbers to zero**: the timing model requires a dense 0-based
+/// seq stream for its commit checksums, so a simulation started from a
+/// checkpoint looks exactly like a fresh program whose initial state
+/// happens to be the checkpointed one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EmuCheckpoint {
+    /// Architectural register file at the checkpoint.
+    pub regs: [u64; NUM_ARCH_REGS],
+    /// Full memory image at the checkpoint.
+    pub memory: Vec<u8>,
+    /// Static index of the next instruction to execute.
+    pub pc_index: usize,
+    /// Dynamic instructions executed before the checkpoint (bookkeeping
+    /// only — the restored emulator starts counting from zero).
+    pub executed: u64,
+    /// Halt state at capture. A `StepLimit` halt is *not* preserved on
+    /// restore (the limit was a capture artefact, not program state);
+    /// `Halted`/`RanOff` are.
+    pub halted: Option<HaltReason>,
+}
+
+fn halt_to_byte(h: Option<HaltReason>) -> u8 {
+    match h {
+        None => 0,
+        Some(HaltReason::Halted) => 1,
+        Some(HaltReason::RanOff) => 2,
+        Some(HaltReason::StepLimit) => 3,
+    }
+}
+
+fn halt_from_byte(b: u8) -> Result<Option<HaltReason>, String> {
+    Ok(match b {
+        0 => None,
+        1 => Some(HaltReason::Halted),
+        2 => Some(HaltReason::RanOff),
+        3 => Some(HaltReason::StepLimit),
+        other => return Err(format!("bad halt byte {other}")),
+    })
+}
+
+impl EmuCheckpoint {
+    /// Serializes the checkpoint: magic, fixed-width LE header, register
+    /// file, raw memory image.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 8 * 3 + 1 + 8 * NUM_ARCH_REGS + self.memory.len());
+        out.extend_from_slice(&CHECKPOINT_MAGIC);
+        out.extend_from_slice(&(self.pc_index as u64).to_le_bytes());
+        out.extend_from_slice(&self.executed.to_le_bytes());
+        out.extend_from_slice(&(self.memory.len() as u64).to_le_bytes());
+        out.push(halt_to_byte(self.halted));
+        for r in &self.regs {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out.extend_from_slice(&self.memory);
+        out
+    }
+
+    /// Decodes a checkpoint serialized by [`EmuCheckpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a framing error naming the first malformed field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let take_u64 = |data: &[u8], off: usize, what: &str| -> Result<u64, String> {
+            data.get(off..off + 8)
+                .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+                .ok_or_else(|| format!("checkpoint truncated at {what}"))
+        };
+        let magic = bytes.get(..8).ok_or("checkpoint shorter than magic")?;
+        if magic != CHECKPOINT_MAGIC {
+            return Err("bad checkpoint magic".to_owned());
+        }
+        let pc_index = take_u64(bytes, 8, "pc_index")? as usize;
+        let executed = take_u64(bytes, 16, "executed")?;
+        let mem_len = take_u64(bytes, 24, "memory length")? as usize;
+        let halted = halt_from_byte(*bytes.get(32).ok_or("checkpoint truncated at halt byte")?)?;
+        let mut regs = [0u64; NUM_ARCH_REGS];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = take_u64(bytes, 33 + 8 * i, "register file")?;
+        }
+        let mem_off = 33 + 8 * NUM_ARCH_REGS;
+        let memory = bytes
+            .get(mem_off..mem_off + mem_len)
+            .ok_or("checkpoint truncated in memory image")?
+            .to_vec();
+        if !mem_len.is_power_of_two() || mem_len < 8 {
+            return Err(format!("bad checkpoint memory size {mem_len}"));
+        }
+        if bytes.len() != mem_off + mem_len {
+            return Err("trailing bytes after checkpoint memory image".to_owned());
+        }
+        Ok(Self { regs, memory, pc_index, executed, halted })
+    }
+}
+
 /// Architectural-state interpreter for micro-ISA [`Program`]s.
 ///
 /// Memory is a flat byte array; addresses are masked to its (power-of-two)
@@ -220,6 +324,72 @@ impl Emulator {
             pc_index: self.pc_index,
             executed: self.seq,
         }
+    }
+
+    /// Captures a restorable architectural checkpoint (registers, memory
+    /// image, next PC, halt state). Pair with [`Emulator::restore`] to
+    /// resume the program mid-flight in a fresh emulator.
+    #[must_use]
+    pub fn checkpoint(&self) -> EmuCheckpoint {
+        EmuCheckpoint {
+            regs: self.regs,
+            memory: self.memory.clone(),
+            pc_index: self.pc_index,
+            executed: self.seq,
+            halted: self.halted,
+        }
+    }
+
+    /// Builds an emulator resuming `program` from checkpoint `ck`.
+    ///
+    /// Sequence numbers restart at zero (see [`EmuCheckpoint`]) and no
+    /// step limit is carried over, so the result behaves like a fresh
+    /// program whose initial architectural state is the checkpointed one.
+    /// A `StepLimit` halt at capture is cleared; `Halted`/`RanOff` stick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpointed memory size is not a power of two `>= 8`
+    /// (cannot happen for a checkpoint taken by [`Emulator::checkpoint`]).
+    #[must_use]
+    pub fn restore(program: Program, ck: &EmuCheckpoint) -> Self {
+        assert!(
+            ck.memory.len().is_power_of_two() && ck.memory.len() >= 8,
+            "checkpoint memory size must be a power of two >= 8"
+        );
+        Self {
+            program,
+            regs: ck.regs,
+            memory: ck.memory.clone(),
+            addr_mask: (ck.memory.len() as u64 - 1) & !7,
+            pc_index: ck.pc_index,
+            seq: 0,
+            halted: ck.halted.filter(|&h| h != HaltReason::StepLimit),
+            step_limit: u64::MAX,
+        }
+    }
+
+    /// Clones the emulator with sequence numbers rebased to zero, any
+    /// `StepLimit` halt cleared and no step limit — the in-memory
+    /// equivalent of checkpoint-then-restore, used by the interval sampler
+    /// to spawn a detailed-simulation emulator at the master's current
+    /// position.
+    #[must_use]
+    pub fn fork_rebased(&self) -> Self {
+        let mut forked = self.clone();
+        forked.seq = 0;
+        forked.step_limit = u64::MAX;
+        if forked.halted == Some(HaltReason::StepLimit) {
+            forked.halted = None;
+        }
+        forked
+    }
+
+    /// The program being executed (static code is not part of a
+    /// checkpoint; restore needs it back).
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
     }
 
     /// FNV-1a fingerprint of the full memory image — cheap equality
@@ -590,5 +760,97 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_memory_size_panics() {
         let _ = Emulator::new(Program::new(), 1000);
+    }
+
+    /// A store-heavy loop for checkpoint tests: state lives in both the
+    /// register file and memory.
+    fn store_loop(n: i64) -> Emulator {
+        let mut b = ProgramBuilder::new();
+        b.li(x(1), n);
+        b.li(x(2), 0);
+        let top = b.label();
+        b.bind(top);
+        b.st(x(1), x(2), 64);
+        b.addi(x(2), x(2), 8);
+        b.addi(x(1), x(1), -1);
+        b.bne(x(1), ArchReg::ZERO, top);
+        b.halt();
+        Emulator::new(b.build(), 1 << 12)
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically() {
+        let mut emu = store_loop(40);
+        for _ in 0..50 {
+            emu.step();
+        }
+        let ck = emu.checkpoint();
+        assert_eq!(ck.executed, 50);
+        let mut resumed = Emulator::restore(emu.program().clone(), &ck);
+        // Sequence numbers rebase to zero...
+        assert_eq!(resumed.executed(), 0);
+        let first = resumed.step().unwrap();
+        assert_eq!(first.seq, 0);
+        // ...but execution continues exactly where the original left off.
+        let mut rest = vec![first];
+        rest.extend(resumed.by_ref());
+        let tail = emu.run();
+        assert_eq!(rest.len(), tail.len());
+        for (a, b) in rest.iter().zip(tail.iter()) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.mem_addr, b.mem_addr);
+            assert_eq!(a.taken, b.taken);
+            assert_eq!(b.seq - a.seq, 50);
+        }
+        assert_eq!(resumed.regs(), emu.regs());
+        assert_eq!(resumed.mem_fingerprint(), emu.mem_fingerprint());
+        assert_eq!(resumed.halt_reason(), emu.halt_reason());
+    }
+
+    #[test]
+    fn checkpoint_bytes_roundtrip() {
+        let mut emu = store_loop(12);
+        for _ in 0..20 {
+            emu.step();
+        }
+        let ck = emu.checkpoint();
+        let decoded = EmuCheckpoint::from_bytes(&ck.to_bytes()).expect("roundtrip");
+        assert_eq!(decoded, ck);
+    }
+
+    #[test]
+    fn checkpoint_bytes_reject_corruption() {
+        let ck = store_loop(3).checkpoint();
+        let good = ck.to_bytes();
+        assert!(EmuCheckpoint::from_bytes(&good[..10]).is_err());
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(EmuCheckpoint::from_bytes(&bad_magic).is_err());
+        let mut trailing = good;
+        trailing.push(0);
+        assert!(EmuCheckpoint::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn fork_rebased_clears_step_limit_halt() {
+        let mut emu = store_loop(40);
+        emu.set_step_limit(10);
+        while emu.step().is_some() {}
+        assert_eq!(emu.halt_reason(), Some(HaltReason::StepLimit));
+        let mut forked = emu.fork_rebased();
+        assert_eq!(forked.halt_reason(), None);
+        assert_eq!(forked.executed(), 0);
+        let d = forked.step().expect("fork resumes past the step limit");
+        assert_eq!(d.seq, 0);
+    }
+
+    #[test]
+    fn opcode_byte_roundtrip() {
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(op.as_u8() as usize, i);
+            assert_eq!(Opcode::from_u8(op.as_u8()), Some(*op));
+        }
+        assert_eq!(Opcode::from_u8(Opcode::ALL.len() as u8), None);
     }
 }

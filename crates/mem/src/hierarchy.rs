@@ -270,6 +270,92 @@ impl MemorySystem {
         self.outstanding.clear();
         self.stats = MemStats::default();
     }
+
+    /// Snapshots the *warm* state — cache tag stores and prefetcher
+    /// training — with in-flight misses dropped and statistics zeroed.
+    /// Pair with [`MemorySystem::restore_warm`] to start a fresh run with
+    /// warmed caches (sampled-simulation checkpoints).
+    #[must_use]
+    pub fn warm_snapshot(&self) -> MemorySystem {
+        let mut snap = self.clone();
+        snap.outstanding.clear();
+        snap.stats = MemStats::default();
+        snap
+    }
+
+    /// Functional-warming access (SMARTS-style): walks the tag arrays and
+    /// fills on miss exactly like [`MemorySystem::access`], training the
+    /// prefetcher too, but with no timing, no MSHR occupancy and no
+    /// statistics. Sampled simulation calls this for every memory
+    /// instruction executed during functional fast-forward, so the cache
+    /// and prefetcher state a detailed interval starts from matches what
+    /// a full detailed run would have accumulated — without it, carried
+    /// warm state goes stale over the fast-forwarded gap and
+    /// memory-resident workloads read 20%+ slow.
+    ///
+    /// Returns the level that served the access (before the fill), so
+    /// callers can approximate load latency functionally.
+    pub fn warm_access(&mut self, addr: u64) -> HitLevel {
+        if self.l1.access(addr) {
+            return HitLevel::L1;
+        }
+        let level = if self.l2.access(addr) {
+            HitLevel::L2
+        } else if self.llc.access(addr) {
+            HitLevel::Llc
+        } else {
+            HitLevel::Dram
+        };
+        self.l1.fill(addr);
+        if level != HitLevel::L2 {
+            self.l2.fill(addr);
+        }
+        if level == HitLevel::Dram {
+            self.llc.fill(addr);
+        }
+        if let Some(pf) = self.prefetcher.as_mut() {
+            let mut candidates = std::mem::take(&mut self.scratch_pf);
+            pf.on_access_into(addr, &mut candidates);
+            for &pf_addr in &candidates {
+                if !self.l1.contains(pf_addr) {
+                    self.l1.fill(pf_addr);
+                    self.l2.fill(pf_addr);
+                    self.llc.fill(pf_addr);
+                }
+            }
+            self.scratch_pf = candidates;
+        }
+        level
+    }
+
+    /// Non-mutating residency probe: the closest level holding `addr`'s
+    /// line, or `None` when only DRAM would serve it. Unlike
+    /// [`MemorySystem::access`] this touches no replacement state and no
+    /// statistics — it exists for warm-state inspection and diagnostics.
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> Option<HitLevel> {
+        if self.l1.contains(addr) {
+            Some(HitLevel::L1)
+        } else if self.l2.contains(addr) {
+            Some(HitLevel::L2)
+        } else if self.llc.contains(addr) {
+            Some(HitLevel::Llc)
+        } else {
+            None
+        }
+    }
+
+    /// Restores warm state from a [`MemorySystem::warm_snapshot`]: cache
+    /// contents and prefetcher training are copied, while MSHRs and
+    /// statistics start empty (the snapshot already dropped them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken under a different configuration.
+    pub fn restore_warm(&mut self, warm: &MemorySystem) {
+        assert!(self.cfg == warm.cfg, "warm snapshot from a different MemConfig");
+        *self = warm.clone();
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,546 @@
+//! Instruction-stream capture and replay: the trace-driven frontend.
+//!
+//! A *capture* records the emulator-resolved dynamic instruction stream —
+//! every [`DynInst`] a program executes — in an `ORTRACE1`-family binary
+//! section, so the cycle-level pipeline can later be driven from the file
+//! (replay) instead of live fetch+emulation. Replay reproduces the
+//! live-fetch run exactly: the stream carries everything fetch consumes
+//! (opcode, registers, resolved branch outcome and target, effective
+//! address), and the file header carries the two pieces of emulator
+//! context fetch needs beyond the stream itself — the address mask for
+//! synthetic wrong-path addresses and the final halt reason.
+//!
+//! # Format
+//!
+//! ```text
+//! [ORTRACE1][CAP1][count: u64 LE][mem_bytes: u64 LE][halt: u8][records…]
+//! ```
+//!
+//! Each record is variable-width (typically 4–9 bytes against the 80+
+//! bytes of an in-memory [`DynInst`]):
+//!
+//! ```text
+//! flags: u8   — bit0 dst, bit1 src1, bit2 src2, bit3 mem_addr,
+//!               bit4 taken, bit5 fallthrough (next_pc == pc + 4)
+//! op:    u8   — Opcode::as_u8
+//! index: LEB128 varint (pc = index * 4)
+//! dst/src1/src2: one byte each when present (folded register index)
+//! mem_addr:   varint, when present
+//! next_index: varint, when not a fallthrough (next_pc = next_index * 4)
+//! ```
+//!
+//! Sequence numbers are implicit — the record ordinal. They are therefore
+//! always dense from zero, which is exactly the invariant the pipeline's
+//! commit checksum demands, whether the capture started at program entry
+//! or at a checkpoint.
+//!
+//! # Example
+//!
+//! ```
+//! use orinoco_isa::{ArchReg, Emulator, ProgramBuilder};
+//! use orinoco_trace::{capture_program, ReplayStream};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.li(ArchReg::int(1), 3);
+//! b.halt();
+//! let bytes = capture_program(&mut Emulator::new(b.build(), 4096));
+//! let mut replay = ReplayStream::from_bytes(bytes).unwrap();
+//! assert_eq!(replay.remaining(), 2);
+//! let first = replay.step().unwrap();
+//! assert_eq!(first.seq, 0);
+//! ```
+
+use crate::sink::BINARY_MAGIC;
+use orinoco_isa::{ArchReg, DynInst, Emulator, HaltReason, Opcode};
+
+/// Section tag distinguishing an instruction-stream capture from an
+/// instruction-lifecycle dump inside the shared `ORTRACE1` container.
+pub const CAPTURE_SECTION: &[u8; 4] = b"CAP1";
+
+const FLAG_DST: u8 = 1 << 0;
+const FLAG_SRC1: u8 = 1 << 1;
+const FLAG_SRC2: u8 = 1 << 2;
+const FLAG_MEM: u8 = 1 << 3;
+const FLAG_TAKEN: u8 = 1 << 4;
+const FLAG_FALLTHROUGH: u8 = 1 << 5;
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos).ok_or("truncated varint")?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err("varint overflows u64".to_owned());
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn halt_byte(h: HaltReason) -> u8 {
+    match h {
+        HaltReason::Halted => 0,
+        HaltReason::RanOff => 1,
+        HaltReason::StepLimit => 2,
+    }
+}
+
+fn halt_from_byte(b: u8) -> Result<HaltReason, String> {
+    Ok(match b {
+        0 => HaltReason::Halted,
+        1 => HaltReason::RanOff,
+        2 => HaltReason::StepLimit,
+        other => return Err(format!("bad capture halt byte {other}")),
+    })
+}
+
+/// Incremental encoder for an instruction-stream capture. Push each
+/// executed [`DynInst`] in order, then [`CaptureWriter::finish`] with the
+/// emulator's halt reason to obtain the serialized capture.
+///
+/// Streaming by design: memory held is the encoded bytes (a few bytes per
+/// instruction), never the decoded stream, so capturing multi-million
+/// instruction programs is cheap.
+#[derive(Debug)]
+pub struct CaptureWriter {
+    body: Vec<u8>,
+    count: u64,
+    mem_bytes: u64,
+}
+
+impl CaptureWriter {
+    /// Starts a capture for a program running against `mem_bytes` of
+    /// emulator memory (recorded in the header; replay needs the address
+    /// mask for wrong-path address synthesis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_bytes` is not a power of two `>= 8` (the emulator
+    /// enforces the same invariant).
+    #[must_use]
+    pub fn new(mem_bytes: usize) -> Self {
+        assert!(
+            mem_bytes.is_power_of_two() && mem_bytes >= 8,
+            "memory size must be a power of two >= 8"
+        );
+        Self { body: Vec::new(), count: 0, mem_bytes: mem_bytes as u64 }
+    }
+
+    /// Appends one executed instruction to the capture.
+    pub fn push(&mut self, d: &DynInst) {
+        let mut flags = 0u8;
+        if d.dst.is_some() {
+            flags |= FLAG_DST;
+        }
+        if d.src1.is_some() {
+            flags |= FLAG_SRC1;
+        }
+        if d.src2.is_some() {
+            flags |= FLAG_SRC2;
+        }
+        if d.mem_addr.is_some() {
+            flags |= FLAG_MEM;
+        }
+        if d.taken {
+            flags |= FLAG_TAKEN;
+        }
+        let fallthrough = d.next_pc == d.pc + 4;
+        if fallthrough {
+            flags |= FLAG_FALLTHROUGH;
+        }
+        self.body.push(flags);
+        self.body.push(d.op.as_u8());
+        push_varint(&mut self.body, d.index as u64);
+        for reg in [d.dst, d.src1, d.src2].into_iter().flatten() {
+            self.body.push(reg.index() as u8);
+        }
+        if let Some(addr) = d.mem_addr {
+            push_varint(&mut self.body, addr);
+        }
+        if !fallthrough {
+            push_varint(&mut self.body, d.next_pc / 4);
+        }
+        self.count += 1;
+    }
+
+    /// Instructions captured so far.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` before the first [`CaptureWriter::push`].
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Seals the capture with the reason the stream ended and returns the
+    /// serialized bytes.
+    #[must_use]
+    pub fn finish(self, halt: HaltReason) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 4 + 8 + 8 + 1 + self.body.len());
+        out.extend_from_slice(BINARY_MAGIC);
+        out.extend_from_slice(CAPTURE_SECTION);
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.mem_bytes.to_le_bytes());
+        out.push(halt_byte(halt));
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Runs `emu` to its halt (honouring any configured step limit) and
+/// returns the serialized capture of everything it executed. The
+/// emulator's own sequence numbers are irrelevant — the capture re-bases
+/// to a dense 0-origin stream — so this works equally on a fresh program
+/// or an emulator restored from a checkpoint.
+#[must_use]
+pub fn capture_program(emu: &mut Emulator) -> Vec<u8> {
+    let mut w = CaptureWriter::new(emu.memory().len());
+    while let Some(d) = emu.step() {
+        w.push(&d);
+    }
+    w.finish(emu.halt_reason().expect("halted emulator has a reason"))
+}
+
+/// A decoded capture being replayed: hands out the recorded [`DynInst`]
+/// stream through the same stepping interface the live emulator exposes
+/// to fetch ([`ReplayStream::step`] / [`ReplayStream::halt_reason`] /
+/// [`ReplayStream::executed`] / [`ReplayStream::canonical_addr`]).
+///
+/// Decoding is lazy — one record per `step`, straight off the byte
+/// buffer — so replaying a capture costs the file size in memory, not the
+/// expanded stream.
+#[derive(Clone, Debug)]
+pub struct ReplayStream {
+    bytes: Vec<u8>,
+    pos: usize,
+    count: u64,
+    emitted: u64,
+    addr_mask: u64,
+    final_halt: HaltReason,
+    halted: Option<HaltReason>,
+    step_limit: u64,
+}
+
+impl ReplayStream {
+    /// Byte offset of the first record (after magic, section tag, count,
+    /// memory size and halt byte).
+    const HEADER_BYTES: usize = 8 + 4 + 8 + 8 + 1;
+
+    /// Decodes a capture header and prepares lazy replay of its records.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first framing problem: bad magic or
+    /// section tag, truncated header, bad halt byte or memory size.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, String> {
+        let payload = bytes
+            .strip_prefix(BINARY_MAGIC.as_slice())
+            .ok_or_else(|| "bad capture magic".to_string())?;
+        let payload = payload
+            .strip_prefix(CAPTURE_SECTION.as_slice())
+            .ok_or_else(|| "not a capture section".to_string())?;
+        let count = payload
+            .get(..8)
+            .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+            .ok_or("truncated capture count")?;
+        let mem_bytes = payload
+            .get(8..16)
+            .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+            .ok_or("truncated capture memory size")?;
+        if !mem_bytes.is_power_of_two() || mem_bytes < 8 {
+            return Err(format!("bad capture memory size {mem_bytes}"));
+        }
+        let final_halt = halt_from_byte(*payload.get(16).ok_or("truncated capture halt byte")?)?;
+        Ok(Self {
+            pos: Self::HEADER_BYTES,
+            bytes,
+            count,
+            emitted: 0,
+            addr_mask: (mem_bytes - 1) & !7,
+            final_halt,
+            halted: None,
+            step_limit: u64::MAX,
+        })
+    }
+
+    /// Total instructions in the capture.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.count
+    }
+
+    /// Instructions not yet replayed.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.count - self.emitted
+    }
+
+    /// Caps replay at `limit` instructions, mirroring
+    /// [`Emulator::set_step_limit`].
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// Instructions replayed so far (mirrors [`Emulator::executed`]).
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Why replay stopped, once it has: the capture's recorded halt
+    /// reason at stream end, or `StepLimit` if a replay-side limit cut it
+    /// short (mirrors [`Emulator::halt_reason`]).
+    #[must_use]
+    pub fn halt_reason(&self) -> Option<HaltReason> {
+        self.halted
+    }
+
+    /// The canonical (masked, aligned) form of `addr` under the captured
+    /// program's memory size (mirrors [`Emulator::canonical_addr`]; fetch
+    /// uses it to keep synthetic wrong-path addresses in range).
+    #[must_use]
+    pub fn canonical_addr(&self, addr: u64) -> u64 {
+        addr & self.addr_mask
+    }
+
+    fn decode_error(&self, what: &str) -> String {
+        format!("capture record {} malformed: {what}", self.emitted)
+    }
+
+    /// Replays the next recorded instruction; `None` once the stream (or
+    /// the step limit) is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record bytes are malformed — [`ReplayStream::verify`]
+    /// pre-validates a capture end to end when untrusted bytes are
+    /// involved.
+    pub fn step(&mut self) -> Option<DynInst> {
+        match self.try_step() {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`ReplayStream::step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed record.
+    pub fn try_step(&mut self) -> Result<Option<DynInst>, String> {
+        if self.halted.is_some() {
+            return Ok(None);
+        }
+        if self.emitted >= self.step_limit {
+            self.halted = Some(HaltReason::StepLimit);
+            return Ok(None);
+        }
+        if self.emitted >= self.count {
+            self.halted = Some(self.final_halt);
+            return Ok(None);
+        }
+        let pos = &mut self.pos;
+        let bytes = &self.bytes;
+        let mut take_byte = |what: &str| -> Result<u8, String> {
+            let &b = bytes.get(*pos).ok_or_else(|| format!("truncated {what}"))?;
+            *pos += 1;
+            Ok(b)
+        };
+        let flags = take_byte("flags")?;
+        let op_byte = take_byte("opcode")?;
+        let op = Opcode::from_u8(op_byte)
+            .ok_or_else(|| format!("unknown opcode byte {op_byte}"))?;
+        let index = read_varint(&self.bytes, &mut self.pos)? as usize;
+        let mut reg = |present: u8| -> Result<Option<ArchReg>, String> {
+            if flags & present == 0 {
+                return Ok(None);
+            }
+            let &b = self.bytes.get(self.pos).ok_or("truncated register")?;
+            self.pos += 1;
+            if b as usize >= orinoco_isa::NUM_ARCH_REGS {
+                return Err(format!("bad register byte {b}"));
+            }
+            Ok(Some(ArchReg::from_index(b as usize)))
+        };
+        let dst = reg(FLAG_DST)?;
+        let src1 = reg(FLAG_SRC1)?;
+        let src2 = reg(FLAG_SRC2)?;
+        let mem_addr = if flags & FLAG_MEM != 0 {
+            Some(read_varint(&self.bytes, &mut self.pos)?)
+        } else {
+            None
+        };
+        let pc = (index as u64) * 4;
+        let next_pc = if flags & FLAG_FALLTHROUGH != 0 {
+            pc + 4
+        } else {
+            read_varint(&self.bytes, &mut self.pos)? * 4
+        };
+        let d = DynInst {
+            seq: self.emitted,
+            index,
+            pc,
+            op,
+            class: op.class(),
+            dst,
+            src1,
+            src2,
+            mem_addr,
+            taken: flags & FLAG_TAKEN != 0,
+            next_pc,
+        };
+        self.emitted += 1;
+        Ok(Some(d))
+    }
+
+    /// Decodes every record (from a fresh cursor), checking the framing
+    /// end to end, and returns the instruction count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed record, a premature
+    /// end of stream, or trailing bytes after the last record.
+    pub fn verify(&self) -> Result<u64, String> {
+        let mut probe = self.clone();
+        probe.pos = Self::HEADER_BYTES;
+        probe.emitted = 0;
+        probe.halted = None;
+        probe.step_limit = u64::MAX;
+        while probe
+            .try_step()
+            .map_err(|e| probe.decode_error(&e))?
+            .is_some()
+        {}
+        if probe.pos != probe.bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after {} records",
+                probe.bytes.len() - probe.pos,
+                probe.count
+            ));
+        }
+        Ok(probe.count)
+    }
+
+    /// Rewinds replay to the first instruction (allocation-free; the
+    /// buffer is reused).
+    pub fn rewind(&mut self) {
+        self.pos = Self::HEADER_BYTES;
+        self.emitted = 0;
+        self.halted = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orinoco_isa::ProgramBuilder;
+
+    fn branchy_emu() -> Emulator {
+        let mut b = ProgramBuilder::new();
+        let x1 = ArchReg::int(1);
+        let x2 = ArchReg::int(2);
+        b.li(x1, 25);
+        let top = b.label();
+        b.bind(top);
+        b.st(x1, x2, 128);
+        b.ld(x2, x2, 128);
+        b.addi(x1, x1, -1);
+        b.bne(x1, ArchReg::ZERO, top);
+        b.halt();
+        Emulator::new(b.build(), 1 << 12)
+    }
+
+    #[test]
+    fn capture_replays_byte_identical_stream() {
+        let mut live = branchy_emu();
+        let bytes = capture_program(&mut branchy_emu());
+        let mut replay = ReplayStream::from_bytes(bytes).unwrap();
+        assert_eq!(replay.verify().unwrap(), replay.total());
+        let mut n = 0u64;
+        while let Some(want) = live.step() {
+            let got = replay.step().expect("replay ends early");
+            assert_eq!(got, want, "at instruction {n}");
+            n += 1;
+        }
+        assert!(replay.step().is_none());
+        assert_eq!(replay.halt_reason(), live.halt_reason());
+        assert_eq!(replay.executed(), live.executed());
+    }
+
+    #[test]
+    fn step_limit_mirrors_emulator() {
+        let bytes = capture_program(&mut branchy_emu());
+        let mut replay = ReplayStream::from_bytes(bytes).unwrap();
+        replay.set_step_limit(10);
+        let mut n = 0;
+        while replay.step().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10);
+        assert_eq!(replay.halt_reason(), Some(HaltReason::StepLimit));
+    }
+
+    #[test]
+    fn rewind_replays_from_the_top() {
+        let bytes = capture_program(&mut branchy_emu());
+        let mut replay = ReplayStream::from_bytes(bytes).unwrap();
+        let first: Vec<_> = std::iter::from_fn(|| replay.step()).collect();
+        replay.rewind();
+        let second: Vec<_> = std::iter::from_fn(|| replay.step()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn canonical_addr_masks_like_the_emulator() {
+        let emu = branchy_emu();
+        let bytes = capture_program(&mut branchy_emu());
+        let replay = ReplayStream::from_bytes(bytes).unwrap();
+        for addr in [0u64, 13, 4096, 4105, u64::MAX] {
+            assert_eq!(replay.canonical_addr(addr), emu.canonical_addr(addr));
+        }
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let bytes = capture_program(&mut branchy_emu());
+        assert!(ReplayStream::from_bytes(bytes[1..].to_vec()).is_err(), "magic");
+        let mut wrong_section = bytes.clone();
+        wrong_section[8] = b'X';
+        assert!(ReplayStream::from_bytes(wrong_section).is_err(), "section");
+        assert!(ReplayStream::from_bytes(bytes[..12].to_vec()).is_err(), "header");
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(ReplayStream::from_bytes(trailing).unwrap().verify().is_err());
+        let mut truncated = bytes;
+        truncated.truncate(truncated.len() - 2);
+        assert!(ReplayStream::from_bytes(truncated).unwrap().verify().is_err());
+    }
+
+    #[test]
+    fn lifecycle_dump_is_not_a_capture() {
+        // The shared ORTRACE1 magic with a different section layout must
+        // be rejected up front, not misdecoded.
+        let mut t = crate::Tracer::new(4);
+        t.record(1, crate::TraceEventKind::Fetch, 0, 0x40);
+        assert!(ReplayStream::from_bytes(t.to_binary()).is_err());
+    }
+}

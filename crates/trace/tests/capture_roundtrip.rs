@@ -1,0 +1,89 @@
+//! Capture→replay round-trips at workload scale: the `CAP1` section must
+//! reproduce the emulator's dynamic instruction stream exactly, stay
+//! compact, and re-base checkpoint-origin captures to a dense stream.
+
+use orinoco_isa::{Emulator, HaltReason};
+use orinoco_trace::{capture_program, CaptureWriter, ReplayStream};
+use orinoco_workloads::Workload;
+
+#[test]
+fn workload_captures_roundtrip_the_exact_stream() {
+    for wl in [Workload::HashjoinLike, Workload::PerlLike, Workload::ExchangeLike] {
+        let mut live = wl.build(11, 1);
+        let bytes = capture_program(&mut wl.build(11, 1));
+        let mut replay = ReplayStream::from_bytes(bytes).unwrap();
+        assert_eq!(replay.verify().unwrap(), replay.total());
+        while let Some(want) = live.step() {
+            let got = replay.step().unwrap_or_else(|| panic!("{wl:?}: replay ended early"));
+            assert_eq!(got, want, "{wl:?} at instruction {}", want.seq);
+        }
+        assert!(replay.step().is_none());
+        assert_eq!(replay.halt_reason(), live.halt_reason(), "{wl:?}");
+        assert_eq!(replay.executed(), live.executed(), "{wl:?}");
+    }
+}
+
+#[test]
+fn capture_is_an_order_of_magnitude_smaller_than_dyninsts() {
+    let mut emu = Workload::StreamLike.build(3, 1);
+    let bytes = capture_program(&mut emu);
+    let per_inst = bytes.len() as f64 / emu.executed() as f64;
+    // Records are 4–9 bytes against the 80+ bytes of an in-memory
+    // DynInst; anything near 10 means the varint packing regressed.
+    assert!(
+        per_inst < 10.0,
+        "capture costs {per_inst:.1} bytes/inst over {} insts",
+        emu.executed()
+    );
+}
+
+#[test]
+fn checkpoint_origin_capture_rebases_to_a_dense_stream() {
+    let mut emu = Workload::XzLike.build(4, 1);
+    for _ in 0..10_000 {
+        emu.step();
+    }
+    let ck = emu.checkpoint();
+    let mut resumed = Emulator::restore(emu.program().clone(), &ck);
+    let bytes = capture_program(&mut resumed);
+    let mut replay = ReplayStream::from_bytes(bytes).unwrap();
+    // Sequence numbers restart at zero even though the capture began
+    // mid-program — the pipeline's commit checksum depends on density.
+    let first = replay.step().expect("non-empty tail capture");
+    assert_eq!(first.seq, 0);
+    // A restored emulator counts from zero, so its executed() is exactly
+    // the tail the capture recorded.
+    assert_eq!(replay.total(), resumed.executed());
+    assert_eq!(replay.halt_reason(), None);
+}
+
+#[test]
+fn streaming_writer_matches_capture_program() {
+    let mut emu = Workload::McfLike.build(9, 1);
+    let mut w = CaptureWriter::new(emu.memory().len());
+    assert!(w.is_empty());
+    while let Some(d) = emu.step() {
+        w.push(&d);
+    }
+    assert_eq!(w.len(), emu.executed());
+    let bytes = w.finish(emu.halt_reason().unwrap());
+    assert_eq!(bytes, capture_program(&mut Workload::McfLike.build(9, 1)));
+    assert_eq!(
+        ReplayStream::from_bytes(bytes).unwrap().verify().unwrap(),
+        emu.executed()
+    );
+}
+
+#[test]
+fn step_limited_replay_reports_step_limit_halt() {
+    let bytes = capture_program(&mut Workload::ExchangeLike.build(2, 1));
+    let mut replay = ReplayStream::from_bytes(bytes).unwrap();
+    replay.set_step_limit(1_000);
+    while replay.step().is_some() {}
+    assert_eq!(replay.executed(), 1_000);
+    assert_eq!(replay.halt_reason(), Some(HaltReason::StepLimit));
+    replay.rewind();
+    replay.set_step_limit(u64::MAX);
+    let n = std::iter::from_fn(|| replay.step()).count() as u64;
+    assert_eq!(n, replay.total());
+}

@@ -133,15 +133,25 @@ impl Default for Bench {
 
 /// Where a `BENCH_*.json` artefact should be written: the directory named
 /// by `ORINOCO_BENCH_OUT` when set, else the workspace root (so the
-/// baseline file can be checked in next to the sources).
+/// baseline file can be checked in next to the sources) — **unless** the
+/// run is an `ORINOCO_BENCH_QUICK` smoke run, in which case the default
+/// diverts to `target/bench-quick/` instead. Quick-mode numbers are
+/// measured with 3 shrunk samples and are not comparable to full-mode
+/// baselines, so letting them land on the checked-in `BENCH_*.json` used
+/// to silently clobber real baselines with garbage; now a quick run only
+/// touches the repo root when the caller explicitly points
+/// `ORINOCO_BENCH_OUT` there.
 #[must_use]
 pub fn out_path(file: &str) -> std::path::PathBuf {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
     match std::env::var_os("ORINOCO_BENCH_OUT") {
         Some(dir) => std::path::PathBuf::from(dir).join(file),
-        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("..")
-            .join("..")
-            .join(file),
+        None if quick_mode() => {
+            let dir = root.join("target").join("bench-quick");
+            let _ = std::fs::create_dir_all(&dir);
+            dir.join(file)
+        }
+        None => root.join(file),
     }
 }
 
@@ -296,6 +306,43 @@ mod tests {
         }
         // with_throughput derives both rates from ns_per_iter
         assert!(e.cycles_per_sec.is_some() && e.instrs_per_sec.is_some());
+    }
+
+    #[test]
+    fn quick_mode_diverts_default_out_path_from_repo_root() {
+        // Hold the env mutations in one test so they cannot race each
+        // other; restore everything on exit.
+        let prev_quick = std::env::var_os("ORINOCO_BENCH_QUICK");
+        let prev_out = std::env::var_os("ORINOCO_BENCH_OUT");
+        std::env::remove_var("ORINOCO_BENCH_OUT");
+
+        std::env::remove_var("ORINOCO_BENCH_QUICK");
+        let full = out_path("BENCH_test.json");
+        assert!(!full.components().any(|c| c.as_os_str() == "bench-quick"));
+
+        std::env::set_var("ORINOCO_BENCH_QUICK", "1");
+        let quick = out_path("BENCH_test.json");
+        assert!(
+            quick.components().any(|c| c.as_os_str() == "bench-quick"),
+            "quick-mode default must not be the checked-in baseline: {}",
+            quick.display()
+        );
+
+        // An explicit ORINOCO_BENCH_OUT always wins, quick or not.
+        std::env::set_var("ORINOCO_BENCH_OUT", "/tmp/somewhere");
+        assert_eq!(
+            out_path("BENCH_test.json"),
+            std::path::Path::new("/tmp/somewhere").join("BENCH_test.json")
+        );
+
+        match prev_quick {
+            Some(v) => std::env::set_var("ORINOCO_BENCH_QUICK", v),
+            None => std::env::remove_var("ORINOCO_BENCH_QUICK"),
+        }
+        match prev_out {
+            Some(v) => std::env::set_var("ORINOCO_BENCH_OUT", v),
+            None => std::env::remove_var("ORINOCO_BENCH_OUT"),
+        }
     }
 
     #[test]

@@ -116,6 +116,129 @@ pub(crate) fn memlat(rng: &mut Rng, scale: u32) -> Emulator {
     })
 }
 
+/// The long-run sampling workload: `outer` rounds of four heterogeneous
+/// phases (unit-stride FP streaming, a dependent pointer chase over a
+/// 2 MiB ring, six independent integer compute chains, and an
+/// interpreter-style dispatch ladder), ~9–10k dynamic instructions per
+/// round. Phase heterogeneity is the point: whole-program IPC is a blend
+/// of four very different regimes, so a sampling estimator only gets it
+/// right if its intervals cover all of them — exactly what the
+/// checkpointed interval sampler is validated against. Rounds repeat the
+/// same code over wrapping pointers, so the dynamic length is linear in
+/// `outer` and programs of 100M+ instructions cost no extra build time.
+pub(crate) fn phased(rng: &mut Rng, outer: i64) -> Emulator {
+    assert!(outer > 0, "outer round count must be positive");
+    let mem: usize = 8 << 20;
+    let chase_base: u64 = 0x20_0000; // 2 MiB ring (straddles the LLC)
+    let chase_nodes = (2usize << 20) / LINE as usize;
+    let mut b = ProgramBuilder::new();
+    let (ctr, inner) = (x(1), x(2));
+    // Persistent across rounds: x9 chase pointer; x10/x11/x12 stream
+    // dst/src/src; x13 dispatch cursor; x14 store cursor; x15 dispatch
+    // accumulator; x16-x21 compute-chain accumulators.
+    for c in 0..6u8 {
+        b.li(x(16 + c), rng.gen_range(1..1000));
+    }
+    b.li(ctr, outer);
+    let o_top = b.label();
+    b.bind(o_top);
+    // Phase A — streaming: a[i] = b[i] + c[i] over 512 KiB arrays,
+    // prefetcher-friendly, high MLP.
+    b.li(inner, 256);
+    let a_top = b.label();
+    b.bind(a_top);
+    b.ld(f(0), x(11), 0);
+    b.ld(f(1), x(12), 0);
+    b.fadd(f(2), f(0), f(1));
+    b.st(f(2), x(10), 0);
+    b.addi(x(10), x(10), 8);
+    b.andi(x(10), x(10), 0x57_FFF8); // wrap in [5 MiB, 5.5 MiB)
+    b.addi(x(11), x(11), 8);
+    b.andi(x(11), x(11), 0x47_FFF8); // wrap in [4 MiB, 4.5 MiB)
+    b.addi(x(12), x(12), 8);
+    b.andi(x(12), x(12), 0x4F_FFF8); // wrap in [4.5 MiB, 5 MiB)
+    b.addi(inner, inner, -1);
+    b.bne(inner, ArchReg::ZERO, a_top);
+    // Phase B — dependent pointer chase: zero MLP, recurrence-bound.
+    b.li(inner, 192);
+    let b_top = b.label();
+    b.bind(b_top);
+    b.ld(x(9), x(9), 0);
+    b.addi(inner, inner, -1);
+    b.bne(inner, ArchReg::ZERO, b_top);
+    // Phase C — six independent register-resident compute chains:
+    // issue-port-bound ILP, no memory.
+    b.li(inner, 96);
+    let c_top = b.label();
+    b.bind(c_top);
+    for c in 0..6u8 {
+        let (a, t) = (x(16 + c), x(22 + c));
+        b.xor(t, a, inner);
+        b.slli(t, t, 1 + i64::from(c % 5));
+        b.add(a, a, t);
+        b.srli(a, a, 1 + i64::from(c % 3));
+    }
+    b.addi(inner, inner, -1);
+    b.bne(inner, ArchReg::ZERO, c_top);
+    // Phase D — interpreter dispatch ladder over random bytecodes:
+    // data-dependent, poorly predictable branches.
+    let (val, op, t1, t2, acc) = (x(28), x(29), x(30), x(31), x(15));
+    b.li(inner, 256);
+    let d_top = b.label();
+    let case1 = b.label();
+    let case2 = b.label();
+    let case3 = b.label();
+    let done = b.label();
+    b.bind(d_top);
+    b.ld(val, x(13), 0);
+    b.addi(x(13), x(13), 8);
+    b.andi(x(13), x(13), 0x67_FFF8); // wrap in [6 MiB, 6.5 MiB)
+    b.andi(op, val, 3);
+    b.li(t1, 1);
+    b.beq(op, t1, case1);
+    b.li(t1, 2);
+    b.beq(op, t1, case2);
+    b.li(t1, 3);
+    b.beq(op, t1, case3);
+    b.add(acc, acc, val); // case 0
+    b.jal(ArchReg::ZERO, done);
+    b.bind(case1);
+    b.xor(acc, acc, val);
+    b.jal(ArchReg::ZERO, done);
+    b.bind(case2);
+    b.sub(acc, acc, val);
+    b.jal(ArchReg::ZERO, done);
+    b.bind(case3);
+    b.srli(t2, val, 9);
+    b.add(acc, acc, t2);
+    b.bind(done);
+    b.addi(inner, inner, -1);
+    b.bne(inner, ArchReg::ZERO, d_top);
+    // Spill the round's accumulator (keeps the stores architecturally
+    // live) and close the outer loop.
+    b.st(acc, x(14), 0);
+    b.addi(x(14), x(14), 8);
+    b.andi(x(14), x(14), 0x70_FFF8); // wrap in [7 MiB, 7 MiB + 64 KiB)
+    b.addi(ctr, ctr, -1);
+    b.bne(ctr, ArchReg::ZERO, o_top);
+    finish(b, mem, |emu| {
+        init_chase_region(emu, chase_base, chase_nodes, rng);
+        emu.set_reg(x(9), chase_base);
+        emu.set_reg(x(10), 0x50_0000);
+        emu.set_reg(x(11), 0x40_0000);
+        emu.set_reg(x(12), 0x48_0000);
+        emu.set_reg(x(13), 0x60_0000);
+        emu.set_reg(x(14), 0x70_0000);
+        for i in 0..(1u64 << 16) {
+            let v = f64::from(rng.gen_range(0..100)).to_bits();
+            emu.store_word(0x40_0000 + i * 8, v);
+            let w = f64::from(rng.gen_range(0..100)).to_bits();
+            emu.store_word(0x48_0000 + i * 8, w);
+            emu.store_word(0x60_0000 + i * 8, rng.gen::<u64>());
+        }
+    })
+}
+
 /// `stream_like`: `a[i] = b[i] + c[i]` over 1 MiB arrays — unit-stride,
 /// prefetcher-friendly, high MLP.
 pub(crate) fn stream(rng: &mut Rng, scale: u32) -> Emulator {

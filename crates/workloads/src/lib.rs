@@ -139,6 +139,49 @@ impl std::fmt::Display for Workload {
     }
 }
 
+/// Builds the multi-phase long-run kernel with `outer` phase rounds
+/// (~9–10k dynamic instructions per round). Each round cycles through
+/// streaming, pointer-chase, compute-chain and branchy-dispatch phases,
+/// so whole-program IPC blends four regimes — the validation workload
+/// for checkpointed interval sampling. Not part of [`Workload::ALL`]:
+/// the 13-kernel suite reproduces the paper's figures and stays as-is.
+///
+/// # Panics
+///
+/// Panics if `outer` is zero or exceeds `i64::MAX`.
+#[must_use]
+pub fn phased_program(seed: u64, outer: u64) -> Emulator {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    kernels::phased(&mut rng, i64::try_from(outer).expect("outer round count overflow"))
+}
+
+/// Builds a phased program whose dynamic instruction count is at least
+/// `target_insts` (typically within ~2% above it). The per-round length
+/// is calibrated by functionally running two short builds, so the call
+/// costs ~100k emulated instructions regardless of `target_insts` —
+/// 100M+ instruction programs are built in milliseconds.
+///
+/// # Panics
+///
+/// Panics if `target_insts` is zero.
+#[must_use]
+pub fn long_program(seed: u64, target_insts: u64) -> Emulator {
+    assert!(target_insts > 0, "target_insts must be positive");
+    // Dynamic length is linear in the round count: total = base + r·per.
+    // Measure at 4 and 8 rounds to solve for both, then add a 2% margin
+    // for the (tiny) data-dependent variance of the dispatch ladder.
+    let count = |outer: u64| phased_program(seed, outer).by_ref().count() as u64;
+    let (c4, c8) = (count(4), count(8));
+    let per_round = (c8 - c4) / 4;
+    let padded = target_insts + target_insts / 50;
+    let rounds = if padded <= c8 {
+        8
+    } else {
+        8 + (padded - c8).div_ceil(per_round)
+    };
+    phased_program(seed, rounds)
+}
+
 /// Convenience: integer register helper shared by the kernel builders.
 pub(crate) fn x(i: u8) -> ArchReg {
     ArchReg::int(i)
@@ -274,6 +317,60 @@ mod tests {
             let m = characterize(w, 5, 1);
             assert!(m.branch > 0.10, "{w} branch fraction {}", m.branch);
         }
+    }
+
+    #[test]
+    fn phased_program_halts_and_scales_linearly() {
+        let mut a = phased_program(9, 4);
+        let ca = a.by_ref().count();
+        assert_eq!(a.halt_reason(), Some(orinoco_isa::HaltReason::Halted));
+        let mut b = phased_program(9, 8);
+        let cb = b.by_ref().count();
+        let per_round = (cb - ca) / 4;
+        assert!(
+            (8_000..=12_000).contains(&per_round),
+            "per-round length {per_round} out of range"
+        );
+    }
+
+    #[test]
+    fn long_program_meets_its_target() {
+        for target in [500_000u64, 2_000_000] {
+            let mut emu = long_program(3, target);
+            let n = emu.by_ref().count() as u64;
+            assert_eq!(emu.halt_reason(), Some(orinoco_isa::HaltReason::Halted));
+            assert!(n >= target, "long_program({target}) ran only {n}");
+            assert!(n <= target + target / 10 + 100_000, "overshoot: {n} for {target}");
+        }
+    }
+
+    #[test]
+    fn long_program_is_deterministic() {
+        let a: Vec<_> = long_program(11, 300_000).by_ref().take(5_000).map(|d| d.pc).collect();
+        let b: Vec<_> = long_program(11, 300_000).by_ref().take(5_000).map(|d| d.pc).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phased_phases_cover_behaviour_axes() {
+        // The blend should show loads, stores, FP and branches all at once.
+        let mut emu = phased_program(5, 8);
+        let (mut load, mut store, mut branch, mut fp, mut total) = (0u64, 0, 0, 0, 0u64);
+        for d in emu.by_ref() {
+            total += 1;
+            match d.class {
+                InstClass::Load => load += 1,
+                InstClass::Store => store += 1,
+                InstClass::Branch => branch += 1,
+                InstClass::FpAlu | InstClass::FpMul => fp += 1,
+                _ => {}
+            }
+        }
+        let t = total as f64;
+        assert!(load as f64 / t > 0.08, "load fraction {}", load as f64 / t);
+        assert!(store as f64 / t > 0.01);
+        assert!(branch as f64 / t > 0.05);
+        assert!(fp as f64 / t > 0.01);
     }
 
     #[test]

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Run an orinoco-bench binary or the bench suites against a guaranteed
+# fresh build.
+#
+# A workspace-root `cargo build --release` does not always relink the
+# orinoco-bench binaries (the fingerprint chain can consider them up to
+# date while crate changes are still pending), so profiling `profgemm`
+# or trusting bench numbers after only a workspace build silently
+# measures a stale binary. This wrapper forces the package build first
+# and then execs the requested tool.
+#
+# Usage:
+#   scripts/bench_fresh.sh bench [cargo bench args...]
+#       rebuild, then `cargo bench -p orinoco-bench [args...]`
+#   scripts/bench_fresh.sh <bin> [args...]
+#       rebuild, then run target/release/<bin> (profgemm, bench_check,
+#       fig14, table1, stallstats, sampled_check, ...)
+#
+# Environment passes straight through, so ORINOCO_BENCH_QUICK /
+# ORINOCO_BENCH_OUT behave exactly as with a manual invocation.
+
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 bench|<bin-name> [args...]" >&2
+    echo "bins: $(ls crates/bench/src/bin | sed 's/\.rs$//' | tr '\n' ' ')" >&2
+    exit 2
+fi
+
+cmd="$1"
+shift
+
+echo "== rebuilding orinoco-bench (stale-binary guard) ==" >&2
+cargo build --release -p orinoco-bench
+
+if [ "$cmd" = bench ]; then
+    exec cargo bench -p orinoco-bench "$@"
+fi
+
+bin="target/release/$cmd"
+if [ ! -x "$bin" ]; then
+    echo "error: $bin not found; known bins:" >&2
+    ls crates/bench/src/bin | sed 's/\.rs$//' >&2
+    exit 1
+fi
+exec "$bin" "$@"

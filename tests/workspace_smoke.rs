@@ -1,0 +1,75 @@
+//! Root-package smoke coverage for the trace-capture / checkpoint /
+//! sampled-simulation stack.
+//!
+//! Tier-1 is `cargo test -q --workspace` (see ROADMAP.md); a bare
+//! `cargo test -q` at the root only runs this package, so the
+//! cross-crate feature seams that matter most are exercised here too —
+//! a plain root test run still smoke-checks capture→replay equivalence,
+//! checkpoint/restore and the sampled estimator end to end.
+
+use orinoco::core::sample::{run_sampled, SampleConfig};
+use orinoco::core::{capture_program, CommitKind, Core, CoreConfig, FetchSource, ReplayStream};
+use orinoco::core::SchedulerKind;
+use orinoco::isa::{Emulator, HaltReason};
+use orinoco::workloads::{long_program, Workload};
+
+fn orinoco_cfg() -> CoreConfig {
+    CoreConfig::base()
+        .with_scheduler(SchedulerKind::Orinoco)
+        .with_commit(CommitKind::Orinoco)
+}
+
+#[test]
+fn captured_trace_replays_to_identical_timing() {
+    let live = Workload::HashjoinLike.build(21, 1);
+    let bytes = capture_program(&mut Workload::HashjoinLike.build(21, 1));
+    let stream = ReplayStream::from_bytes(bytes).expect("valid capture");
+
+    let live_stats = Core::new(live, orinoco_cfg()).run(200_000_000).clone();
+    let mut replay_core = Core::new(stream, orinoco_cfg());
+    let replay_stats = replay_core.run(200_000_000).clone();
+
+    // Replay is not an approximation: identical instruction stream in,
+    // identical cycle count and commit count out.
+    assert_eq!(live_stats.cycles, replay_stats.cycles);
+    assert_eq!(live_stats.committed, replay_stats.committed);
+    assert!(matches!(replay_core.source(), FetchSource::Replay(_)));
+}
+
+#[test]
+fn checkpoint_restore_resumes_mid_program() {
+    let mut emu = Workload::XzLike.build(4, 1);
+    for _ in 0..50_000 {
+        emu.step();
+    }
+    let ck = emu.checkpoint();
+    let bytes = ck.to_bytes();
+    let restored = orinoco::isa::EmuCheckpoint::from_bytes(&bytes).expect("valid checkpoint");
+    let mut resumed = Emulator::restore(emu.program().clone(), &restored);
+    let stats = Core::new(resumed.fork_rebased(), orinoco_cfg()).run(200_000_000).clone();
+    assert!(stats.committed > 0);
+    // The restored emulator finishes the remaining program exactly.
+    let rest = resumed.by_ref().count() as u64;
+    assert_eq!(resumed.halt_reason(), Some(HaltReason::Halted));
+    assert_eq!(stats.committed, rest);
+}
+
+#[test]
+fn sampled_run_tracks_full_run_ipc() {
+    // ~1M instructions so the sampler draws enough intervals (~26) to
+    // cover the program's long-period phase structure; at 400k insts the
+    // same config under-samples and the error triples.
+    let emu = long_program(13, 1_000_000);
+    let full = Core::new(emu.fork_rebased(), orinoco_cfg()).run(20_000_000_000).clone();
+    let est = run_sampled(emu, orinoco_cfg(), &SampleConfig::new(2_000, 10_000, 40_000));
+    let err = (est.est_ipc() - full.ipc()).abs() / full.ipc();
+    assert!(
+        err < 0.03,
+        "sampled IPC {:.4} vs full {:.4}: {:.2}% error",
+        est.est_ipc(),
+        full.ipc(),
+        err * 100.0
+    );
+    assert_eq!(est.total_insts, full.committed);
+    assert!(est.detail_fraction() < 0.5, "sampling simulated too much in detail");
+}
