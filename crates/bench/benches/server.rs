@@ -1,0 +1,147 @@
+//! Benchmarks of the campaign server's service path: what the dispatcher,
+//! cache and wire protocol cost on top of raw simulation.
+//!
+//! Three `server/` entries share one 8-point mini-sweep (4 workloads x
+//! 2 seeds, 10k instructions each):
+//!
+//! - `server/oneshot_serial/mixed` — the pre-server baseline: the same
+//!   sweep as serial [`run_one_shot`] calls on the bench thread.
+//! - `server/cold_sweep8/mixed` — a fresh 8-worker [`Server`] per
+//!   iteration, one client, all cache misses: worker spawn + dispatch +
+//!   compute + result streaming.
+//! - `server/warm_cache8/mixed` — a persistent server re-answering the
+//!   identical sweep from the completed-result cache: the pure service
+//!   overhead (submit, queue hop, cache probe, response channel) with
+//!   zero simulation in the loop.
+//!
+//! Plus `server/tcp_ping` — wire-protocol round-trip latency through the
+//! real TCP front (frame encode, checksum, loopback, decode), reported as
+//! "cycles"/sec where one ping counts as one cycle and one instruction.
+//!
+//! `harness = false`: plain binary on the in-workspace
+//! [`orinoco_util::bench`] timer (run with `cargo bench -p orinoco-bench`).
+//! Writes `BENCH_server.json` to the workspace root (override the
+//! directory with `ORINOCO_BENCH_OUT`).
+
+use orinoco_server::{
+    run_one_shot, ConfigSpec, JobResult, JobSpec, Request, Response, Server, SimSpec, TcpClient,
+    TcpFront,
+};
+use orinoco_util::alloc_counter::CountingAlloc;
+use orinoco_util::bench::{out_path, Bench, Report};
+use orinoco_workloads::Workload;
+use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const INSTRS: u64 = 10_000;
+const WORKERS: usize = 8;
+
+fn sweep() -> Vec<SimSpec> {
+    let mut specs = Vec::new();
+    for w in [Workload::GemmLike, Workload::HashjoinLike, Workload::ExchangeLike, Workload::MemlatLike]
+    {
+        for seed in [13, 29] {
+            specs.push(SimSpec {
+                config: ConfigSpec::orinoco_base(),
+                workload: w,
+                scale: 1,
+                seed,
+                max_instrs: INSTRS,
+                max_cycles: 0,
+                progress_cycles: 0,
+            });
+        }
+    }
+    specs
+}
+
+/// Submits the whole sweep to `server` on one client and sums the
+/// resulting cycle counts (submission-order FIFO means `wait` in order).
+fn sweep_via_server(server: &Server, specs: &[SimSpec]) -> u64 {
+    let client = server.client();
+    let ids: Vec<u64> = specs.iter().map(|s| client.submit(JobSpec::Sim(*s))).collect();
+    ids.into_iter()
+        .map(|id| match client.wait(id).0.expect("bench job failed") {
+            JobResult::Sim(r) => r.cycles,
+            other => panic!("unexpected result {other:?}"),
+        })
+        .sum()
+}
+
+fn main() {
+    let b = Bench::new().samples(5);
+    let mut report = Report::new();
+    let specs = sweep();
+
+    // Untimed reference pass: the deterministic total cycle count every
+    // variant must reproduce, and the throughput denominator.
+    let total_cycles: u64 =
+        specs.iter().map(|s| run_one_shot(s).expect("reference").cycles).sum();
+    let total_instrs = INSTRS * specs.len() as u64;
+
+    let entry = b
+        .run_entry("server/oneshot_serial/mixed", || {
+            black_box(
+                specs.iter().map(|s| run_one_shot(s).expect("one-shot").cycles).sum::<u64>(),
+            )
+        })
+        .with_throughput(total_cycles, total_instrs);
+    report.push(entry);
+
+    let entry = b
+        .run_entry("server/cold_sweep8/mixed", || {
+            let server = Server::new(WORKERS);
+            let cycles = sweep_via_server(&server, &specs);
+            assert_eq!(cycles, total_cycles, "server sweep diverged from one-shots");
+            black_box(cycles)
+        })
+        .with_throughput(total_cycles, total_instrs);
+    report.push(entry);
+
+    // The µs-scale service-latency entries need samples long enough to
+    // amortise cold-start scheduling, even in quick mode — see
+    // `Bench::min_sample_time`.
+    let lat = Bench::new().samples(5).min_sample_time(std::time::Duration::from_millis(10));
+
+    {
+        let server = Server::new(WORKERS);
+        // Warm the cache untimed; every timed iteration is then pure
+        // service overhead (hits only — asserted after the run).
+        assert_eq!(sweep_via_server(&server, &specs), total_cycles);
+        let entry = lat
+            .run_entry("server/warm_cache8/mixed", || {
+                black_box(sweep_via_server(&server, &specs))
+            })
+            .with_throughput(total_cycles, total_instrs);
+        assert_eq!(server.cache_stats().misses, specs.len() as u64, "warm sweep recomputed");
+        report.push(entry);
+    }
+
+    {
+        const PINGS: u64 = 64;
+        let server = Server::new(1);
+        let front = TcpFront::spawn(&server, "127.0.0.1:0").expect("bind TCP front");
+        let mut tcp = TcpClient::connect(front.addr()).expect("connect");
+        let entry = lat
+            .run_entry("server/tcp_ping", || {
+                for _ in 0..PINGS {
+                    tcp.send(&Request::Ping).expect("send ping");
+                    match tcp.recv().expect("recv pong") {
+                        Some(Response::Pong) => {}
+                        other => panic!("ping answered with {other:?}"),
+                    }
+                }
+                black_box(PINGS)
+            })
+            .with_throughput(PINGS, PINGS);
+        report.push(entry);
+        tcp.send(&Request::Bye).ok();
+        front.stop();
+    }
+
+    let path = out_path("BENCH_server.json");
+    report.write_json(&path).expect("write BENCH_server.json");
+    println!("wrote {}", path.display());
+}

@@ -188,4 +188,42 @@ impl Fleet {
         self.cycles.remove(lane);
         self.loaded -= 1;
     }
+
+    /// Loads a single-lane batch, hands the core to `body`, and restores
+    /// the fleet to empty afterwards — the panic-safe handout pattern the
+    /// campaign server and the pooled co-simulation path share.
+    ///
+    /// On normal return the lane is parked for reuse ([`Fleet::clear`]);
+    /// if `body` panics the lane is [discarded](Fleet::discard) — a core
+    /// that unwound mid-cycle holds broken invariants and must never be
+    /// revived — and the panic resumes. Either way the fleet comes back
+    /// empty, so a long-lived per-worker fleet cannot be wedged by one
+    /// bad job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet already has loaded lanes (a handout requires
+    /// exclusive use of the batch), and re-raises any panic from `body`.
+    pub fn with_lane<R>(
+        &mut self,
+        cfg: CoreConfig,
+        emu: Emulator,
+        body: impl FnOnce(&mut Core) -> R,
+    ) -> R {
+        assert!(self.is_empty(), "with_lane requires an empty fleet");
+        let lane = self.load(cfg, emu);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            body(&mut self.cores[lane])
+        }));
+        match result {
+            Ok(r) => {
+                self.clear();
+                r
+            }
+            Err(payload) => {
+                self.discard(lane);
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
 }

@@ -143,6 +143,51 @@ fn same_shape_different_seed_is_reused() {
 }
 
 #[test]
+fn with_lane_parks_on_success_and_matches_fresh() {
+    let mut fleet = Fleet::new();
+    let stats = fleet.with_lane(orinoco_cfg(), emu_for(Workload::GemmLike, 13), |core| {
+        format!("{:?}", core.run(100_000_000))
+    });
+    assert_eq!(stats, fresh_stats(Workload::GemmLike, 13, orinoco_cfg()));
+    assert!(fleet.is_empty(), "with_lane must leave the fleet empty");
+    assert_eq!(fleet.capacity(), 1, "the lane should be parked, not dropped");
+
+    // The parked lane is revived for the next handout (no pool growth).
+    let again = fleet.with_lane(orinoco_cfg(), emu_for(Workload::McfLike, 3), |core| {
+        format!("{:?}", core.run(100_000_000))
+    });
+    assert_eq!(again, fresh_stats(Workload::McfLike, 3, orinoco_cfg()));
+    assert_eq!(fleet.capacity(), 1, "same-shape handout grew the pool");
+}
+
+#[test]
+fn with_lane_discards_on_panic_and_stays_usable() {
+    let mut fleet = Fleet::new();
+    fleet.with_lane(orinoco_cfg(), emu_for(Workload::GemmLike, 13), |core| {
+        core.run(100_000_000);
+    });
+    assert_eq!(fleet.capacity(), 1);
+
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        fleet.with_lane(orinoco_cfg(), emu_for(Workload::McfLike, 3), |core| {
+            // A deliberately absurd cycle budget: run_until cannot finish,
+            // and the follow-up panic models a mid-run invariant failure.
+            core.run_until(1);
+            panic!("lane broke mid-run");
+        })
+    }));
+    assert!(unwound.is_err(), "the body's panic must resume out of with_lane");
+    assert!(fleet.is_empty());
+    assert_eq!(fleet.capacity(), 0, "a panicked lane must be discarded, not parked");
+
+    // The fleet itself survives and serves the next handout from scratch.
+    let stats = fleet.with_lane(orinoco_cfg(), emu_for(Workload::MixLike, 5), |core| {
+        format!("{:?}", core.run(100_000_000))
+    });
+    assert_eq!(stats, fresh_stats(Workload::MixLike, 5, orinoco_cfg()));
+}
+
+#[test]
 fn discard_drops_the_lane_and_shifts_the_rest() {
     let mut fleet = Fleet::new();
     for (w, seed) in BATCH {

@@ -1,0 +1,153 @@
+//! CI smoke driver: a 3-client concurrent mini-sweep through the
+//! in-process client, diffed byte-for-byte against serial one-shot
+//! results, plus a round-trip over the real TCP transport.
+//!
+//! Exits non-zero on any mismatch, so the `server-smoke` CI job is a
+//! plain `cargo run --release -p orinoco-server --bin server_smoke`.
+
+use orinoco_core::{CommitKind, SchedulerKind};
+use orinoco_server::{
+    run_one_shot, ConfigSpec, JobResult, JobSpec, Request, Response, Server, SimSpec, TcpClient,
+    TcpFront,
+};
+use orinoco_workloads::Workload;
+use std::process::ExitCode;
+
+/// The mini-sweep: a handful of (workload, config) points, small enough
+/// for CI, varied enough to cross scheduler/commit kinds and seeds.
+fn sweep() -> Vec<SimSpec> {
+    let orinoco = ConfigSpec::orinoco_base();
+    let ioc = ConfigSpec {
+        scheduler: SchedulerKind::Age,
+        commit: CommitKind::InOrder,
+        ..ConfigSpec::orinoco_base()
+    };
+    let mut specs = Vec::new();
+    for (w, seed) in [
+        (Workload::GemmLike, 13),
+        (Workload::McfLike, 7),
+        (Workload::HashjoinLike, 3),
+        (Workload::StreamLike, 11),
+    ] {
+        for cfg in [orinoco, ioc] {
+            specs.push(SimSpec {
+                config: cfg,
+                workload: w,
+                scale: 1,
+                seed,
+                max_instrs: 20_000,
+                max_cycles: 0,
+                progress_cycles: 0,
+            });
+        }
+    }
+    specs
+}
+
+fn main() -> ExitCode {
+    let specs = sweep();
+
+    // Reference: the exact computation the one-shot sweep binaries do.
+    let serial: Vec<_> = specs
+        .iter()
+        .map(|s| run_one_shot(s).expect("serial one-shot reference failed"))
+        .collect();
+
+    let server = Server::new(8);
+    let mut failed = false;
+
+    // Three clients race the identical sweep; per-queue FIFO means each
+    // sees its results in submission order, and the cache means the work
+    // happens roughly once.
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..3 {
+            let server = &server;
+            let specs = &specs;
+            handles.push(scope.spawn(move || {
+                let client = server.client();
+                let ids: Vec<u64> =
+                    specs.iter().map(|s| client.submit(JobSpec::Sim(*s))).collect();
+                let mut results = Vec::with_capacity(ids.len());
+                for id in ids {
+                    match client.wait(id).0 {
+                        Ok(JobResult::Sim(r)) => results.push(r),
+                        other => panic!("client {c}: unexpected outcome {other:?}"),
+                    }
+                }
+                results
+            }));
+        }
+        for (c, h) in handles.into_iter().enumerate() {
+            let results = h.join().expect("client thread panicked");
+            for (i, (got, want)) in results.iter().zip(&serial).enumerate() {
+                if got != want {
+                    eprintln!(
+                        "MISMATCH client {c} job {i} ({} seed {}):\n server {got:?}\n serial {want:?}",
+                        specs[i].workload, specs[i].seed
+                    );
+                    failed = true;
+                }
+            }
+        }
+    });
+
+    let cache = server.cache_stats();
+    println!(
+        "in-process sweep: 3 clients x {} jobs, cache hits={} misses={} deduped={}",
+        specs.len(),
+        cache.hits,
+        cache.misses,
+        cache.deduped
+    );
+    if cache.misses > specs.len() as u64 {
+        eprintln!("MISMATCH: more computations ({}) than distinct jobs ({})", cache.misses, specs.len());
+        failed = true;
+    }
+
+    // TCP round trip: ping, then one job over the wire, same bytes.
+    let front = TcpFront::spawn(&server, "127.0.0.1:0").expect("bind TCP front");
+    let mut tcp = TcpClient::connect(front.addr()).expect("connect");
+    tcp.send(&Request::Ping).expect("send ping");
+    match tcp.recv() {
+        Ok(Some(Response::Pong)) => {}
+        other => {
+            eprintln!("MISMATCH: ping answered with {other:?}");
+            failed = true;
+        }
+    }
+    tcp.send(&Request::Submit { queue: 9001, spec: JobSpec::Sim(specs[0]) }).expect("submit");
+    let mut tcp_result = None;
+    while let Ok(Some(resp)) = tcp.recv() {
+        match resp {
+            Response::Done { result: JobResult::Sim(r), .. } => {
+                tcp_result = Some(r);
+                break;
+            }
+            Response::Failed { reason, .. } => {
+                eprintln!("MISMATCH: TCP job failed: {reason}");
+                failed = true;
+                break;
+            }
+            _ => {}
+        }
+    }
+    if let Some(r) = tcp_result {
+        if r != serial[0] {
+            eprintln!("MISMATCH: TCP result differs from serial one-shot");
+            failed = true;
+        } else {
+            println!("tcp round-trip: ok ({} cycles, digest {:#018x})", r.cycles, r.commit_digest);
+        }
+    }
+    tcp.send(&Request::Bye).ok();
+    front.stop();
+
+    if failed {
+        eprintln!("server-smoke: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("server-smoke: ok — concurrent sweep byte-identical to serial one-shots");
+        ExitCode::SUCCESS
+    }
+}

@@ -191,6 +191,18 @@ impl Bench {
         self
     }
 
+    /// Raises the per-sample time target (e.g. for scheduling-latency
+    /// entries whose per-iteration cost only stabilises once a sample
+    /// spans many wakeups). Unlike [`Bench::samples`] this applies in
+    /// quick mode too: a 2 ms sample of a ~20 µs queue round trip is
+    /// dominated by cold-start scheduling and reads up to 2x slower than
+    /// the steady state the checked-in baselines record.
+    #[must_use]
+    pub fn min_sample_time(mut self, target: Duration) -> Self {
+        self.target = self.target.max(target);
+        self
+    }
+
     /// Times `f`, printing `name`, the median per-iteration time, and the
     /// min–max spread across samples. Returns the median in nanoseconds.
     pub fn run<T>(&self, name: &str, f: impl FnMut() -> T) -> f64 {

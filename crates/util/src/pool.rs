@@ -11,6 +11,30 @@
 //! Built on `std::thread::scope` so borrowed inputs work without `Arc` and
 //! without any external crate.
 //!
+//! # Ordering audit: idle-worker pickup
+//!
+//! Audited (PR 9) for the fraktor-rs `SystemQueue` failure mode, where a
+//! contended CAS fallback on the idle-pickup path re-enqueued a FIFO batch
+//! in reverse. `parallel_map` is immune *by construction*, for two
+//! separate reasons:
+//!
+//! 1. There is no idle/park/refill path at all. The item set is fixed
+//!    before any worker starts; workers self-schedule by `fetch_add` on a
+//!    shared cursor and exit when it passes the end. A worker is never
+//!    idle while work remains, so there is no pickup step whose arrival
+//!    order could race a refill.
+//! 2. Output order never depends on completion order anyway. Every result
+//!    is tagged with the input index its worker claimed, and the final
+//!    merge sorts by that tag — even an adversarial scheduler that runs
+//!    claims in reverse produces byte-identical output.
+//!
+//! The `stalled_workers_never_invert_order` test below pins this: workers
+//! stall pseudo-randomly mid-item (forcing maximal claim/completion
+//! reordering) and the output must still equal the serial map. Long-lived
+//! queues that *do* refill live in [`crate::mailbox`], which sidesteps the
+//! bug class differently: each queue has a single consumer, so there is no
+//! contended multi-consumer pickup to get wrong.
+//!
 //! # Example
 //!
 //! ```
@@ -120,5 +144,27 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    /// Pinned regression for the fraktor-rs BugBot scenario (see the
+    /// module-level ordering audit): force workers to stall at
+    /// pseudo-random points so items complete far out of claim order —
+    /// the merged output must still be in input order, on every run.
+    #[test]
+    fn stalled_workers_never_invert_order() {
+        let items: Vec<u64> = (0..512).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(0x9E37_79B9)).collect();
+        for round in 0..4u64 {
+            let par = parallel_map(8, &items, |i, &x| {
+                // Deterministic per-(round, item) stall: some items sleep,
+                // later-claimed items overtake them freely.
+                let h = (i as u64 ^ (round << 32)).wrapping_mul(0x2545_F491_4F6C_DD1D);
+                if h.is_multiple_of(5) {
+                    std::thread::sleep(std::time::Duration::from_micros(h % 300));
+                }
+                x.wrapping_mul(0x9E37_79B9)
+            });
+            assert_eq!(par, serial, "round={round}");
+        }
     }
 }

@@ -144,6 +144,54 @@ pub fn ff_equivalence_campaign(
     out
 }
 
+/// A wire-transportable slice of a fast-forward equivalence campaign,
+/// mirroring [`crate::CampaignChunk`] for the ffeq units: counters over a
+/// contiguous seed range, merging in seed order to the whole-campaign
+/// totals. Mismatches ship as replayable program seeds only.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FfEqChunk {
+    /// FF-on/FF-off pairs diffed in this chunk.
+    pub programs_run: u64,
+    /// Simulated cycles (fast-forwarded run of each pair), summed.
+    pub total_cycles: u64,
+    /// Commit events cross-checked between the paired runs.
+    pub total_commits: u64,
+    /// Program seeds whose pair disagreed on an observable (replayable).
+    pub mismatch_seeds: Vec<u64>,
+}
+
+impl FfEqChunk {
+    /// Accumulates `other` into `self` (sums and appends only).
+    pub fn merge(&mut self, other: &FfEqChunk) {
+        self.programs_run += other.programs_run;
+        self.total_cycles += other.total_cycles;
+        self.total_commits += other.total_commits;
+        self.mismatch_seeds.extend_from_slice(&other.mismatch_seeds);
+    }
+}
+
+/// Runs the `[start, start + count)` slice of a `programs`-pair ffeq
+/// campaign and returns the chunk counters — the server-dispatchable
+/// sharding unit for [`ff_equivalence_campaign`]. Deterministic and
+/// clamped exactly like [`crate::campaign_chunk`].
+#[must_use]
+pub fn ffeq_chunk(campaign_seed: u64, start: u64, count: u64, programs: u64) -> FfEqChunk {
+    let seeds = program_seeds(campaign_seed, programs);
+    let lo = start.min(programs) as usize;
+    let hi = start.saturating_add(count).min(programs) as usize;
+    let mut out = FfEqChunk::default();
+    for &pseed in &seeds[lo..hi] {
+        let (cycles, commits, mismatch) = ffeq_unit(pseed);
+        out.programs_run += 1;
+        out.total_cycles += cycles;
+        out.total_commits += commits;
+        if mismatch.is_some() {
+            out.mismatch_seeds.push(pseed);
+        }
+    }
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Multi-core: the system-level fast-forward must be equally invisible.
 // ---------------------------------------------------------------------------

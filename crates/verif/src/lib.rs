@@ -31,7 +31,10 @@ pub mod oracle;
 pub mod syslitmus;
 pub mod traceinv;
 
-pub use ffeq::{ff_equivalence_campaign, sys_ff_equivalence_campaign, FfEqMismatch, FfEqOutcome};
+pub use ffeq::{
+    ff_equivalence_campaign, ffeq_chunk, sys_ff_equivalence_campaign, FfEqChunk, FfEqMismatch,
+    FfEqOutcome,
+};
 pub use gen::{generate, shrink, ProgSpec};
 pub use mcm::{check_tso, extract_trace, mcm_campaign, McmOutcome, McmTrace, McmViolation};
 pub use oracle::{
@@ -369,6 +372,88 @@ pub fn fuzz_campaign_par(
     out
 }
 
+/// A wire-transportable slice of a fuzz campaign: the counters
+/// [`campaign_chunk`] accumulates over a contiguous range of the
+/// campaign's seed stream. Chunks merged in seed order reproduce the
+/// whole-campaign counters exactly (pinned by the `chunking` tests), so a
+/// campaign can be sharded across server workers — or across machines —
+/// without changing its verdict.
+///
+/// Failures carry only the program seed: `verif replay <seed>` rebuilds
+/// the full reproducer, so a chunk never has to ship a `ProgSpec`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CampaignChunk {
+    /// Programs co-simulated in this chunk's clean pass.
+    pub programs_run: u64,
+    /// Pipeline cycles simulated in the clean pass.
+    pub total_cycles: u64,
+    /// Commits cross-checked in the clean pass.
+    pub total_commits: u64,
+    /// Commits observed out of order.
+    pub total_ooo_commits: u64,
+    /// Program seeds whose clean run diverged (replayable).
+    pub failure_seeds: Vec<u64>,
+    /// Injection-pass runs attempted.
+    pub injection_runs: u64,
+    /// Runs where the armed SPEC flip actually fired.
+    pub injection_fired: u64,
+    /// Runs where the oracle caught the injected bug.
+    pub injection_caught: u64,
+}
+
+impl CampaignChunk {
+    /// Accumulates `other` into `self`. Merging chunks in seed order is
+    /// associative-by-construction: every field is a sum or an append.
+    pub fn merge(&mut self, other: &CampaignChunk) {
+        self.programs_run += other.programs_run;
+        self.total_cycles += other.total_cycles;
+        self.total_commits += other.total_commits;
+        self.total_ooo_commits += other.total_ooo_commits;
+        self.failure_seeds.extend_from_slice(&other.failure_seeds);
+        self.injection_runs += other.injection_runs;
+        self.injection_fired += other.injection_fired;
+        self.injection_caught += other.injection_caught;
+    }
+}
+
+/// Runs the `[start, start + count)` slice of a `programs`-seed fuzz
+/// campaign — clean pass and SPEC-flip injection pass — and returns the
+/// chunk counters. The unit of sharding the campaign server dispatches.
+///
+/// Deterministic: no deadline, every unit is a pure function of its seed,
+/// so any partitioning of `0..programs` into chunks merges to the same
+/// totals as [`fuzz_campaign`] with no time budget (the chunking tests
+/// pin this). The range is clamped to the campaign length.
+///
+/// Unlike [`fuzz_campaign`], no quiet-panic hook is installed — hooks are
+/// process-global and chunks may run concurrently on server workers, so
+/// the caller decides (the server installs one hook at startup; tests
+/// wrap chunk loops in [`oracle::with_quiet_panics`]).
+#[must_use]
+pub fn campaign_chunk(campaign_seed: u64, start: u64, count: u64, programs: u64) -> CampaignChunk {
+    let seeds = program_seeds(campaign_seed, programs);
+    let lo = start.min(programs) as usize;
+    let hi = start.saturating_add(count).min(programs) as usize;
+    let mut out = CampaignChunk::default();
+    for &pseed in &seeds[lo..hi] {
+        let unit = clean_unit(pseed);
+        out.programs_run += 1;
+        out.total_cycles += unit.cycles;
+        out.total_commits += unit.commits;
+        out.total_ooo_commits += unit.ooo_commits;
+        if unit.failure.is_some() {
+            out.failure_seeds.push(pseed);
+        }
+    }
+    for &pseed in &seeds[lo..hi] {
+        let unit = inject_unit(pseed, &|| false);
+        out.injection_runs += unit.runs;
+        out.injection_fired += unit.fired;
+        out.injection_caught += unit.caught;
+    }
+    out
+}
+
 /// Replays one program seed: rebuilds the exact program and configuration
 /// and re-runs the co-simulation (optionally with an armed SPEC flip).
 /// `trace_capacity > 0` records the last that many lifecycle-trace events
@@ -416,6 +501,41 @@ mod tests {
         let par = fuzz_campaign_par(12, 0xD1FF, None, 3, |_, _| {});
         assert_eq!(format!("{serial:?}"), format!("{par:?}"));
         assert!(serial.passed() && par.passed());
+    }
+
+    #[test]
+    fn chunked_campaign_merges_to_whole_campaign_counters() {
+        let whole = fuzz_campaign(12, 0xD1FF, None, |_, _| {});
+        // Uneven partition on purpose: 5 + 4 + 3, plus a clamped tail.
+        let mut merged = CampaignChunk::default();
+        for (start, count) in [(0, 5), (5, 4), (9, 7)] {
+            merged.merge(&oracle::with_quiet_panics(|| campaign_chunk(0xD1FF, start, count, 12)));
+        }
+        assert_eq!(merged.programs_run, whole.programs_run);
+        assert_eq!(merged.total_cycles, whole.total_cycles);
+        assert_eq!(merged.total_commits, whole.total_commits);
+        assert_eq!(merged.total_ooo_commits, whole.total_ooo_commits);
+        assert_eq!(merged.injection_runs, whole.injection_runs);
+        assert_eq!(merged.injection_fired, whole.injection_fired);
+        assert_eq!(merged.injection_caught, whole.injection_caught);
+        let whole_failure_seeds: Vec<u64> =
+            whole.failures.iter().map(|f| f.program_seed).collect();
+        assert_eq!(merged.failure_seeds, whole_failure_seeds);
+    }
+
+    #[test]
+    fn chunked_ffeq_merges_to_whole_campaign_counters() {
+        let whole = ff_equivalence_campaign(8, 7, 1, |_, _| {});
+        let mut merged = FfEqChunk::default();
+        for (start, count) in [(0, 3), (3, 3), (6, 99)] {
+            merged.merge(&ffeq_chunk(7, start, count, 8));
+        }
+        assert_eq!(merged.programs_run, whole.programs_run);
+        assert_eq!(merged.total_cycles, whole.total_cycles);
+        assert_eq!(merged.total_commits, whole.total_commits);
+        let whole_mismatch_seeds: Vec<u64> =
+            whole.mismatches.iter().map(|m| m.program_seed).collect();
+        assert_eq!(merged.mismatch_seeds, whole_mismatch_seeds);
     }
 
     #[test]

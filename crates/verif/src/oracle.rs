@@ -354,18 +354,13 @@ pub fn run_cosim_pooled(
 ) -> CosimReport {
     assert!(fleet.is_empty(), "cosim fleet must start each unit with no loaded lanes");
     let golden = emu.clone();
-    let lane = fleet.load(cfg, emu.clone());
-    let result = catch_unwind(AssertUnwindSafe(|| cosim_loop(fleet.core_mut(lane), golden, opts)));
-    match result {
-        Ok(report) => {
-            fleet.clear();
-            report
-        }
-        Err(payload) => {
-            fleet.discard(lane);
-            panic_report(payload, opts)
-        }
-    }
+    // `Fleet::with_lane` parks the lane on success and discards it on
+    // panic, re-raising; the outer catch turns that resumed panic into a
+    // DutPanic report exactly as the unpooled path does.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        fleet.with_lane(cfg, emu.clone(), |core| cosim_loop(core, golden, opts))
+    }));
+    result.unwrap_or_else(|payload| panic_report(payload, opts))
 }
 
 /// Runs `f` with the default panic hook silenced, so expected DUT panics
