@@ -158,6 +158,11 @@ fn main() {
         for (name, scfg) in [
             ("sampled/warmed_full/long13", scfg),
             ("sampled/warm_horizon/long13", scfg.with_warm_horizon(15_000)),
+            // Parallel detailed intervals: same geometry as warm_horizon,
+            // sharded over worker threads (byte-identical result; on a
+            // single-core host these only measure the sharding overhead).
+            ("sampled/par2/long13", scfg.with_warm_horizon(15_000).with_threads(2)),
+            ("sampled/par4/long13", scfg.with_warm_horizon(15_000).with_threads(4)),
         ] {
             let cfg = orinoco();
             let est = run_sampled(emu.fork_rebased(), cfg.clone(), &scfg);

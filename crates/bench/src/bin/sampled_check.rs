@@ -2,18 +2,39 @@
 //! sampling against a full detailed run of the same program.
 //!
 //! ```text
-//! sampled_check            # smoke: 20M-instruction program  (~20 s)
-//! ORINOCO_SAMPLED_FULL=1 sampled_check   # 100M instructions (~2 min)
+//! sampled_check                      # smoke: 20M-inst program (~20 s)
+//! sampled_check --full               # 100M instructions (~2 min)
+//! sampled_check --threads 8          # + parallel byte-identity diff
+//! sampled_check --threads 8 --par-gate 2
+//!                                    # + >=2x wall-clock gate on a
+//!                                    #   detail-dominated geometry
+//! sampled_check --phases 48          # + BBV phase-clustered estimate
+//! sampled_check --kernels            # 13-kernel +/-2% battery, parallel
+//!                                    #   and phase-clustered modes
 //! ```
 //!
-//! Both modes run the phased `long_program` end to end in full detail,
-//! then sample it (W=2k warmup, D=10k detail, P=1M period, 100k warm
-//! horizon) and assert the two contracts the sampling frontend promises:
+//! The smoke runs the phased `long_program` end to end in full detail,
+//! then samples it (W=2k warmup, D=10k detail, P=1M period, 100k warm
+//! horizon) and asserts the contracts the sampling frontend promises:
 //!
 //! * **Accuracy** — sampled IPC within 3% of the full-run IPC;
 //! * **Speedup** — sampled wall clock at least 20× (full mode) / 12×
 //!   (smoke mode, headroom for noisy shared runners) faster than the
-//!   full detailed run.
+//!   full detailed run;
+//! * **Determinism** — with `--threads N`, the parallel sampled summary
+//!   is byte-identical to the serial one (ffeq-style diff);
+//! * **Scaling** — with `--par-gate R`, serial-vs-parallel wall clock on
+//!   a geometry whose detailed intervals dominate must reach R×. The
+//!   default smoke geometry spends most of its time in the *serial*
+//!   functional pass (Amdahl), so the scaling gate gets its own dense
+//!   windows (D=50k, P=250k, H=20k);
+//! * **Phases** — with `--phases K`, the BBV phase-clustered estimate
+//!   (K representatives covering every stratum by weight) stays within
+//!   3% of the full run while running strictly fewer detailed intervals.
+//!
+//! `--kernels` swaps the long-program smoke for the validation battery:
+//! every workload kernel (scale 2) in full detail vs parallel-stratified
+//! and phase-clustered sampling, each within ±2% IPC error.
 //!
 //! The smoke threshold is lower only because the fixed per-run costs
 //! (program build, first-interval warmup) weigh more at 20M; the per-
@@ -21,22 +42,130 @@
 
 use orinoco_core::sample::{run_sampled, SampleConfig};
 use orinoco_core::{CommitKind, Core, CoreConfig, SchedulerKind};
-use orinoco_workloads::long_program;
+use orinoco_workloads::{long_program, Workload};
 use std::time::Instant;
 
-fn full_mode() -> bool {
-    std::env::var_os("ORINOCO_SAMPLED_FULL").is_some_and(|v| v != "0" && !v.is_empty())
+struct Args {
+    threads: usize,
+    par_gate: Option<f64>,
+    phases: Option<usize>,
+    kernels: bool,
+    full: bool,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("sampled_check: {msg}");
+    eprintln!(
+        "usage: sampled_check [--threads N] [--par-gate RATIO] [--phases K] [--kernels] [--full]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        threads: 1,
+        par_gate: None,
+        phases: None,
+        kernels: false,
+        full: std::env::var_os("ORINOCO_SAMPLED_FULL").is_some_and(|v| v != "0" && !v.is_empty()),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a count"));
+            }
+            "--par-gate" => {
+                args.par_gate = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--par-gate needs a ratio")),
+                );
+            }
+            "--phases" => {
+                args.phases = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--phases needs a cluster count")),
+                );
+            }
+            "--kernels" => args.kernels = true,
+            "--full" => args.full = true,
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    args
+}
+
+fn orinoco() -> CoreConfig {
+    CoreConfig::base()
+        .with_scheduler(SchedulerKind::Orinoco)
+        .with_commit(CommitKind::Orinoco)
+}
+
+/// The validation battery: every kernel, full detail vs parallel
+/// stratified sampling and vs BBV phase-clustered sampling, ±2% each.
+fn kernel_battery(threads: usize) {
+    let cfg = orinoco();
+    let strat = SampleConfig::new(2_000, 10_000, 20_000).with_threads(threads);
+    // Phase mode extrapolates one representative window per cluster to
+    // the cluster's whole weight, so the window must *cover* its stratum
+    // (detail ≈ period − warmup); a much smaller window sub-samples a
+    // stratum that mixes phases and biases hard (DESIGN.md §15).
+    let phase = SampleConfig::new(2_000, 36_000, 40_000).phases(10).with_threads(threads);
+    let n = Workload::ALL.len();
+    println!("kernel battery: {n} kernels, scale 2, threads {threads}");
+    println!("{:<16} {:>9} {:>9} {:>7} {:>9} {:>7} {:>11}", "kernel", "full", "strat", "err%", "phase", "err%", "ints s/p");
+    for wl in Workload::ALL {
+        let emu = wl.build(7, 2);
+        let full = Core::new(emu.fork_rebased(), cfg.clone()).run(20_000_000_000).clone();
+        let st = run_sampled(emu.fork_rebased(), cfg.clone(), &strat);
+        let ph = run_sampled(emu, cfg.clone(), &phase);
+        let err_st = (st.est_ipc() - full.ipc()) / full.ipc();
+        let err_ph = (ph.est_ipc() - full.ipc()) / full.ipc();
+        println!(
+            "{:<16} {:>9.4} {:>9.4} {:>+6.2}% {:>9.4} {:>+6.2}% {:>5}/{:<5}",
+            format!("{wl:?}"),
+            full.ipc(),
+            st.est_ipc(),
+            err_st * 100.0,
+            ph.est_ipc(),
+            err_ph * 100.0,
+            st.intervals.len(),
+            ph.intervals.len(),
+        );
+        assert!(
+            err_st.abs() <= 0.02,
+            "{wl:?}: parallel-stratified IPC off by {:+.2}% (limit 2%)",
+            err_st * 100.0
+        );
+        assert!(
+            err_ph.abs() <= 0.02,
+            "{wl:?}: phase-clustered IPC off by {:+.2}% (limit 2%)",
+            err_ph * 100.0
+        );
+        assert_eq!(st.total_insts, full.committed, "{wl:?}: sampler lost instructions");
+        assert_eq!(ph.total_insts, full.committed, "{wl:?}: phase sampler lost instructions");
+    }
+    println!("kernel battery: {n}/{n} within ±2% in parallel and phase-clustered modes");
 }
 
 fn main() {
-    let (target_insts, min_speedup) = if full_mode() {
+    let args = parse_args();
+    if args.kernels {
+        kernel_battery(args.threads);
+        return;
+    }
+
+    let (target_insts, min_speedup) = if args.full {
         (100_000_000u64, 20.0)
     } else {
         (20_000_000u64, 12.0)
     };
-    let cfg = CoreConfig::base()
-        .with_scheduler(SchedulerKind::Orinoco)
-        .with_commit(CommitKind::Orinoco);
+    let cfg = orinoco();
     let scfg = SampleConfig::new(2_000, 10_000, 1_000_000).with_warm_horizon(100_000);
 
     println!("sampled_check: building ~{}M-instruction program", target_insts / 1_000_000);
@@ -55,7 +184,7 @@ fn main() {
     );
 
     let t = Instant::now();
-    let est = run_sampled(emu, cfg, &scfg);
+    let est = run_sampled(emu.fork_rebased(), cfg.clone(), &scfg);
     let sampled_secs = t.elapsed().as_secs_f64();
     let speedup = full_secs / sampled_secs;
     let err = (est.est_ipc() - full.ipc()) / full.ipc();
@@ -80,5 +209,78 @@ fn main() {
         speedup >= min_speedup,
         "sampling speedup {speedup:.1}x below the {min_speedup:.0}x floor"
     );
+
+    if args.threads > 1 {
+        // Determinism diff: the parallel path must reproduce the serial
+        // result byte for byte at the same geometry.
+        let par = run_sampled(emu.fork_rebased(), cfg.clone(), &scfg.with_threads(args.threads));
+        assert_eq!(
+            par.summary(),
+            est.summary(),
+            "parallel ({} threads) summary diverged from serial",
+            args.threads
+        );
+        assert_eq!(par.total_insts, est.total_insts);
+        assert_eq!(par.est_cycles().to_bits(), est.est_cycles().to_bits());
+        println!("parallel: {} threads byte-identical to serial at smoke geometry", args.threads);
+    }
+
+    if let Some(gate) = args.par_gate {
+        // Wall-clock scaling gate. The smoke geometry spends most of its
+        // time in the (serial) functional pass, so Amdahl caps it near
+        // 1.3x regardless of threads; the gate geometry makes detailed
+        // intervals dominate — dense windows, short warm horizon — so
+        // the ratio measures the sharded section.
+        let dense = SampleConfig::new(2_000, 50_000, 250_000).with_warm_horizon(20_000);
+        let t = Instant::now();
+        let serial = run_sampled(emu.fork_rebased(), cfg.clone(), &dense);
+        let serial_secs = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let par = run_sampled(emu.fork_rebased(), cfg.clone(), &dense.with_threads(args.threads));
+        let par_secs = t.elapsed().as_secs_f64();
+        assert_eq!(par.summary(), serial.summary(), "gate-geometry summaries diverged");
+        let ratio = serial_secs / par_secs;
+        println!(
+            "par-gate: {} intervals, serial {serial_secs:.1}s vs {} threads {par_secs:.1}s = {ratio:.2}x",
+            serial.intervals.len(),
+            args.threads
+        );
+        assert!(
+            ratio >= gate,
+            "parallel speedup {ratio:.2}x below the {gate:.1}x gate at {} threads",
+            args.threads
+        );
+    }
+
+    if let Some(k) = args.phases {
+        // Phase clustering: K representative windows (covering every
+        // stratum by weight) instead of one window per stratum; window
+        // covers its stratum (detail ≈ period − warmup, see --kernels).
+        let pcfg =
+            SampleConfig::new(2_000, 50_000, 60_000).phases(k).with_threads(args.threads.max(1));
+        let t = Instant::now();
+        let ph = run_sampled(emu.fork_rebased(), cfg.clone(), &pcfg);
+        let phase_secs = t.elapsed().as_secs_f64();
+        let perr = (ph.est_ipc() - full.ipc()) / full.ipc();
+        println!(
+            "phases({k}): {} representatives covering {} strata in {phase_secs:.1}s, IPC error {:+.2}%",
+            ph.intervals.len(),
+            ph.weight_sum(),
+            perr * 100.0
+        );
+        assert!(ph.intervals.len() <= k, "more representatives than clusters");
+        assert!(
+            ph.weight_sum() > ph.intervals.len() as u64,
+            "phase weights should cover more strata than representatives"
+        );
+        assert!(
+            perr.abs() < 0.03,
+            "phase-clustered IPC {:.4} deviates {:.2}% from full-run IPC {:.4} (limit 3%)",
+            ph.est_ipc(),
+            perr.abs() * 100.0,
+            full.ipc()
+        );
+    }
+
     println!("sampled_check: OK (error {:.2}% < 3%, speedup {speedup:.1}x)", err.abs() * 100.0);
 }

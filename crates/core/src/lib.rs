@@ -63,7 +63,10 @@ pub use fleet::Fleet;
 pub use iq::{IqEntry, IssueQueue};
 pub use lsq::{LoadSearch, Lsq};
 pub use pipeline::{CohEvent, CommitEvent, Core, WarmState};
-pub use sample::{run_sampled, IntervalSample, SampleConfig, SampledStats};
+pub use sample::{
+    cluster_bbvs, collect_bbvs, run_sampled, run_sampled_spill, IntervalSample, SampleConfig,
+    SampledStats, DEFAULT_JITTER_SEED, DEFAULT_MAX_CYCLES_PER_INTERVAL,
+};
 pub use system::{System, SystemConfig, SystemStats};
 pub use orinoco_stats::{StallCause, StallTaxonomy};
 pub use orinoco_trace::{

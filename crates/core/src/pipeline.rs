@@ -487,6 +487,21 @@ impl Core {
     /// configuration.
     pub fn reset_warm(&mut self, src: impl Into<crate::fetch::FetchSource>, warm: &WarmState) {
         self.reset_inner(src.into());
+        self.apply_warm_state(warm);
+    }
+
+    /// Reinstates a warm-state snapshot onto an already-reset core — the
+    /// second half of [`Core::reset_warm`], split out for handout paths
+    /// ([`crate::fleet::Fleet::with_lane`]) where the lane load has
+    /// already performed the reset. Calling this on a core that has run
+    /// cycles since its last reset leaves pipeline-transient state
+    /// inconsistent with the warmed image; only call it reset-fresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken under a different memory
+    /// configuration.
+    pub fn apply_warm_state(&mut self, warm: &WarmState) {
         self.mem.restore_warm(&warm.mem);
         self.fetch.restore_warm(&warm.frontend);
     }

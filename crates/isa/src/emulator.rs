@@ -81,6 +81,24 @@ pub struct ArchSnapshot {
 /// Magic prefix of the serialized [`EmuCheckpoint`] format.
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"ORCKPT01";
 
+/// Magic prefix of the on-disk `ORCKPT1` checkpoint-file container
+/// (seven bytes; the eighth byte of the header is the format version).
+pub const CHECKPOINT_FILE_MAGIC: [u8; 7] = *b"ORCKPT1";
+
+/// Current `ORCKPT1` container version.
+pub const CHECKPOINT_FILE_VERSION: u8 = 1;
+
+/// FNV-1a over `bytes` (the container checksum; `orinoco-isa` is
+/// dependency-free, so the hash lives here too).
+fn ckpt_fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// A restorable architectural checkpoint: everything the emulator needs to
 /// resume mid-program except the (static, regenerable) [`Program`] itself.
 ///
@@ -179,6 +197,88 @@ impl EmuCheckpoint {
             return Err("trailing bytes after checkpoint memory image".to_owned());
         }
         Ok(Self { regs, memory, pc_index, executed, halted })
+    }
+
+    /// Serializes the checkpoint into the on-disk `ORCKPT1` container:
+    /// `magic · version · u64 payload-length · payload · u64
+    /// FNV-1a(payload)`, where the payload is [`EmuCheckpoint::to_bytes`].
+    /// The container follows the wire-protocol discipline: a file is
+    /// either exactly one verified checkpoint or an error — truncation,
+    /// bit flips, trailing bytes and unknown versions are all rejected
+    /// before the payload is interpreted.
+    #[must_use]
+    pub fn to_file_bytes(&self) -> Vec<u8> {
+        let payload = self.to_bytes();
+        let mut out = Vec::with_capacity(payload.len() + 24);
+        out.extend_from_slice(&CHECKPOINT_FILE_MAGIC);
+        out.push(CHECKPOINT_FILE_VERSION);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&ckpt_fnv64(&payload).to_le_bytes());
+        out
+    }
+
+    /// Decodes an `ORCKPT1` container produced by
+    /// [`EmuCheckpoint::to_file_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the first malformed field: bad magic,
+    /// unknown version, truncated header/payload/checksum, checksum
+    /// mismatch (any flipped bit), declared-length mismatch, trailing
+    /// bytes, or a malformed inner payload.
+    pub fn from_file_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let magic = bytes.get(..7).ok_or("checkpoint file shorter than magic")?;
+        if magic != CHECKPOINT_FILE_MAGIC {
+            return Err("bad checkpoint file magic".to_owned());
+        }
+        let version = *bytes.get(7).ok_or("checkpoint file truncated at version")?;
+        if version != CHECKPOINT_FILE_VERSION {
+            return Err(format!("unknown checkpoint file version {version}"));
+        }
+        let len = bytes
+            .get(8..16)
+            .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+            .ok_or("checkpoint file truncated at payload length")?;
+        let payload_end = 16usize
+            .checked_add(usize::try_from(len).map_err(|_| "impossible payload length")?)
+            .ok_or("impossible payload length")?;
+        let payload = bytes
+            .get(16..payload_end)
+            .ok_or("checkpoint file truncated in payload")?;
+        let sum = bytes
+            .get(payload_end..payload_end + 8)
+            .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+            .ok_or("checkpoint file truncated at checksum")?;
+        if sum != ckpt_fnv64(payload) {
+            return Err("checkpoint file checksum mismatch".to_owned());
+        }
+        if bytes.len() != payload_end + 8 {
+            return Err("trailing bytes after checkpoint file".to_owned());
+        }
+        Self::from_bytes(payload)
+    }
+
+    /// Writes the checkpoint to `path` as an `ORCKPT1` container file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn write_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_file_bytes())
+    }
+
+    /// Reads and verifies an `ORCKPT1` container file written by
+    /// [`EmuCheckpoint::write_file`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error rendered as a string, or any
+    /// [`EmuCheckpoint::from_file_bytes`] rejection.
+    pub fn read_file(path: &std::path::Path) -> Result<Self, String> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| format!("reading checkpoint file {}: {e}", path.display()))?;
+        Self::from_file_bytes(&bytes)
     }
 }
 

@@ -46,7 +46,8 @@ mod reg;
 
 pub use asm::{assemble, disassemble, AsmError};
 pub use emulator::{
-    ArchSnapshot, DynInst, EmuCheckpoint, Emulator, HaltReason, CHECKPOINT_MAGIC,
+    ArchSnapshot, DynInst, EmuCheckpoint, Emulator, HaltReason, CHECKPOINT_FILE_MAGIC,
+    CHECKPOINT_FILE_VERSION, CHECKPOINT_MAGIC,
 };
 pub use inst::{Inst, InstClass, Opcode};
 pub use program::{Label, Program, ProgramBuilder};

@@ -35,7 +35,7 @@ pub mod server;
 pub use cache::{CacheStats, ResultCache};
 pub use net::{TcpClient, TcpFront};
 pub use protocol::{
-    ChunkSpec, ConfigSpec, JobResult, JobSpec, Preset, Request, Response, SimResult, SimSpec,
-    WireError,
+    ChunkSpec, ConfigSpec, JobResult, JobSpec, Preset, Request, Response, SampleSpec,
+    SampledResult, SimResult, SimSpec, WireError,
 };
 pub use server::{run_one_shot, Client, Server};

@@ -33,8 +33,10 @@
 //! runs on a fresh lane. Failures are not cached.
 
 use crate::cache::{Admission, CacheStats, ResultCache, Ticket};
-use crate::protocol::{fnv64, fnv64_from, JobResult, JobSpec, Response, SimResult, SimSpec};
-use orinoco_core::{Core, Fleet};
+use crate::protocol::{
+    fnv64, fnv64_from, JobResult, JobSpec, Response, SampleSpec, SampledResult, SimResult, SimSpec,
+};
+use orinoco_core::{run_sampled, Core, Fleet};
 use orinoco_util::mailbox::Dispatcher;
 use orinoco_verif::{campaign_chunk, ffeq_chunk};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -185,7 +187,9 @@ impl ServerInner {
 /// the cache, and answers the submitter. Panics out of the simulation are
 /// converted to `Failed` here — then re-raised so the mailbox panic
 /// counter still sees them, keeping "jobs that panicked a lane"
-/// observable at the dispatcher.
+/// observable at the dispatcher. Jobs can also fail *politely* (a
+/// semantically invalid `Sample` spec): those yield `Failed` without
+/// unwinding — no lane was poisoned, so nothing is discarded or counted.
 fn run_primary(
     inner: &Arc<ServerInner>,
     ctx: &mut WorkerCtx,
@@ -199,19 +203,24 @@ fn run_primary(
         let _ = tx.send(Response::Progress { job_id, cycles, committed, stalls });
     };
     let outcome = catch_unwind(AssertUnwindSafe(|| match spec {
-        JobSpec::Sim(sim) => JobResult::Sim(run_sim_on_fleet(&mut ctx.fleet, &sim, progress)),
+        JobSpec::Sim(sim) => Ok(JobResult::Sim(run_sim_on_fleet(&mut ctx.fleet, &sim, progress))),
         JobSpec::VerifChunk(c) => {
-            JobResult::Verif(campaign_chunk(c.campaign_seed, c.start, c.count, c.programs))
+            Ok(JobResult::Verif(campaign_chunk(c.campaign_seed, c.start, c.count, c.programs)))
         }
         JobSpec::FfeqChunk(c) => {
-            JobResult::Ffeq(ffeq_chunk(c.campaign_seed, c.start, c.count, c.programs))
+            Ok(JobResult::Ffeq(ffeq_chunk(c.campaign_seed, c.start, c.count, c.programs)))
         }
+        JobSpec::Sample(s) => execute_sample(&s).map(JobResult::Sampled),
     }));
     match outcome {
-        Ok(result) => {
+        Ok(Ok(result)) => {
             let result = Arc::new(result);
             inner.cache.complete(key, ticket, Arc::clone(&result));
             let _ = tx.send(Response::Done { job_id, result: (*result).clone() });
+        }
+        Ok(Err(reason)) => {
+            inner.cache.fail(key, ticket, reason.clone());
+            let _ = tx.send(Response::Failed { job_id, reason });
         }
         Err(payload) => {
             let reason = panic_message(&*payload);
@@ -300,6 +309,32 @@ fn run_sim_on_fleet(
     let cfg = spec.config.to_core_config(spec.seed);
     let emu = build_emulator(spec);
     fleet.with_lane(cfg, emu, |core| execute_sim(core, spec, progress))
+}
+
+/// Server-side sampling execution. Validation failures come back as
+/// `Err` (→ a `Failed` response), not a panic: a bad spec is a client
+/// mistake, not a poisoned lane. The sampler manages its own per-worker
+/// fleets internally (`SampleConfig::threads`), so the worker's warm
+/// fleet is not involved — parallelism here is *inside* one job, across
+/// the sample's detailed intervals.
+fn execute_sample(spec: &SampleSpec) -> Result<SampledResult, String> {
+    let scfg = spec.to_sample_config();
+    scfg.validate()?;
+    let cfg = spec.config.to_core_config(spec.seed);
+    let emu = spec.workload.build(spec.seed, spec.scale as u32);
+    let stats = run_sampled(emu, cfg, &scfg);
+    let summary = stats.summary();
+    Ok(SampledResult {
+        total_insts: stats.total_insts,
+        detailed_insts: stats.detailed_insts,
+        warmup_insts: stats.warmup_insts,
+        intervals: stats.intervals.len() as u64,
+        weight_sum: stats.weight_sum(),
+        est_cpi_bits: stats.est_cpi().to_bits(),
+        rel_ci95_bits: stats.rel_ci95().to_bits(),
+        summary_digest: fnv64(summary.as_bytes()),
+        summary,
+    })
 }
 
 /// Reference path: the exact computation a one-shot sweep binary performs

@@ -7,8 +7,8 @@
 use orinoco_core::{CommitKind, SchedulerKind};
 use orinoco_server::protocol::{decode_frame, encode_frame, MAX_FRAME_LEN};
 use orinoco_server::{
-    ChunkSpec, ConfigSpec, JobResult, JobSpec, Preset, Request, Response, SimResult, SimSpec,
-    WireError,
+    ChunkSpec, ConfigSpec, JobResult, JobSpec, Preset, Request, Response, SampleSpec,
+    SampledResult, SimResult, SimSpec, WireError,
 };
 use orinoco_util::prop::forall;
 use orinoco_util::Rng;
@@ -45,6 +45,36 @@ fn arb_sim_spec(rng: &mut Rng) -> SimSpec {
     }
 }
 
+fn arb_config_spec(rng: &mut Rng) -> ConfigSpec {
+    ConfigSpec {
+        preset: Preset::ALL[rng.gen_range(0..Preset::ALL.len() as u64) as usize],
+        scheduler: SchedulerKind::ALL[rng.gen_range(0..SchedulerKind::ALL.len() as u64) as usize],
+        commit: CommitKind::ALL[rng.gen_range(0..CommitKind::ALL.len() as u64) as usize],
+        fast_forward: rng.gen_range(0..2u64) == 0,
+        rob_entries: rng.gen_range(0..512u64),
+        iq_entries: rng.gen_range(0..256u64),
+    }
+}
+
+fn arb_sample_spec(rng: &mut Rng) -> SampleSpec {
+    // Deliberately unconstrained sample geometry: semantically invalid
+    // specs (period < warmup + detail, …) must still round-trip — the
+    // wire layer carries them and the *server* rejects them at run time.
+    SampleSpec {
+        config: arb_config_spec(rng),
+        workload: Workload::ALL[rng.gen_range(0..Workload::ALL.len() as u64) as usize],
+        scale: rng.gen_range(1..100u64),
+        seed: rng.next_u64(),
+        warmup_insts: rng.next_u64() >> 40,
+        detail_insts: rng.next_u64() >> 40,
+        period_insts: rng.next_u64() >> 30,
+        warm_horizon: rng.next_u64() >> 40,
+        max_intervals: rng.gen_range(0..1_000u64),
+        phases: rng.gen_range(0..64u64),
+        threads: rng.gen_range(0..32u64),
+    }
+}
+
 fn arb_chunk_spec(rng: &mut Rng) -> ChunkSpec {
     ChunkSpec {
         campaign_seed: rng.next_u64(),
@@ -55,10 +85,11 @@ fn arb_chunk_spec(rng: &mut Rng) -> ChunkSpec {
 }
 
 fn arb_job_spec(rng: &mut Rng) -> JobSpec {
-    match rng.gen_range(0..3u64) {
+    match rng.gen_range(0..4u64) {
         0 => JobSpec::Sim(arb_sim_spec(rng)),
         1 => JobSpec::VerifChunk(arb_chunk_spec(rng)),
-        _ => JobSpec::FfeqChunk(arb_chunk_spec(rng)),
+        2 => JobSpec::FfeqChunk(arb_chunk_spec(rng)),
+        _ => JobSpec::Sample(arb_sample_spec(rng)),
     }
 }
 
@@ -71,7 +102,18 @@ fn arb_request(rng: &mut Rng) -> Request {
 }
 
 fn arb_job_result(rng: &mut Rng) -> JobResult {
-    match rng.gen_range(0..3u64) {
+    match rng.gen_range(0..4u64) {
+        3 => JobResult::Sampled(SampledResult {
+            total_insts: rng.next_u64(),
+            detailed_insts: rng.next_u64(),
+            warmup_insts: rng.next_u64(),
+            intervals: rng.next_u64(),
+            weight_sum: rng.next_u64(),
+            est_cpi_bits: rng.next_u64(),
+            rel_ci95_bits: rng.next_u64(),
+            summary: arb_string(rng),
+            summary_digest: rng.next_u64(),
+        }),
         0 => JobResult::Sim(SimResult {
             cycles: rng.next_u64(),
             committed: rng.next_u64(),
@@ -111,6 +153,21 @@ fn arb_response(rng: &mut Rng) -> Response {
         3 => Response::Done { job_id: rng.next_u64(), result: arb_job_result(rng) },
         _ => Response::Failed { job_id: rng.next_u64(), reason: arb_string(rng) },
     }
+}
+
+#[test]
+fn sample_threads_is_not_part_of_the_cache_key() {
+    // Thread count only changes wall-clock time (the sampled result is
+    // byte-identical at any count), so it must not fragment the cache —
+    // while every result-bearing field must.
+    forall("sample-key-threads", 0x5A4B, 500, |rng| {
+        let mut spec = arb_sample_spec(rng);
+        let key = JobSpec::Sample(spec).cache_key();
+        spec.threads = rng.gen_range(0..32u64);
+        assert_eq!(JobSpec::Sample(spec).cache_key(), key, "threads fragmented the key");
+        spec.seed ^= 1;
+        assert_ne!(JobSpec::Sample(spec).cache_key(), key, "seed missing from the key");
+    });
 }
 
 #[test]

@@ -1,0 +1,98 @@
+//! `Sample` jobs over the campaign server: results match the direct
+//! `orinoco_core::run_sampled` path byte for byte, the cache treats
+//! thread count as result-invariant, and a semantically invalid spec
+//! fails politely (a `Failed` response, not a panicked lane).
+
+use orinoco_core::run_sampled;
+use orinoco_server::{JobResult, JobSpec, SampleSpec, Server};
+use orinoco_workloads::Workload;
+
+/// A quick sampling job: small kernel, dense-ish periods, 2 threads.
+fn quick_spec() -> SampleSpec {
+    SampleSpec {
+        workload: Workload::ExchangeLike,
+        seed: 7,
+        warmup_insts: 500,
+        detail_insts: 2_000,
+        period_insts: 10_000,
+        threads: 2,
+        ..SampleSpec::orinoco_base(Workload::ExchangeLike)
+    }
+}
+
+#[test]
+fn sample_job_matches_direct_run_and_caches_across_thread_counts() {
+    let spec = quick_spec();
+    // The reference: the exact computation the worker performs, inline.
+    let direct = run_sampled(
+        spec.workload.build(spec.seed, spec.scale as u32),
+        spec.config.to_core_config(spec.seed),
+        &spec.to_sample_config(),
+    );
+
+    let server = Server::new(2);
+    let client = server.client();
+    let first = match client.run(JobSpec::Sample(spec)).expect("sample job failed") {
+        JobResult::Sampled(r) => r,
+        other => panic!("unexpected result {other:?}"),
+    };
+    assert_eq!(first.total_insts, direct.total_insts);
+    assert_eq!(first.detailed_insts, direct.detailed_insts);
+    assert_eq!(first.warmup_insts, direct.warmup_insts);
+    assert_eq!(first.intervals, direct.intervals.len() as u64);
+    assert_eq!(first.weight_sum, direct.weight_sum());
+    assert_eq!(first.est_cpi_bits, direct.est_cpi().to_bits());
+    assert_eq!(first.rel_ci95_bits, direct.rel_ci95().to_bits());
+    assert_eq!(first.summary, direct.summary());
+    assert_eq!(server.cache_stats().misses, 1);
+
+    // Same job at a different thread count: byte-identical output means
+    // thread count is outside the cache key — this must be a hit.
+    let again = match client
+        .run(JobSpec::Sample(SampleSpec { threads: 8, ..spec }))
+        .expect("resubmitted sample job failed")
+    {
+        JobResult::Sampled(r) => r,
+        other => panic!("unexpected result {other:?}"),
+    };
+    assert_eq!(again, first);
+    let stats = server.cache_stats();
+    assert_eq!((stats.misses, stats.hits), (1, 1), "thread count fragmented the cache");
+}
+
+#[test]
+fn invalid_sample_spec_fails_politely_and_the_worker_survives() {
+    let server = Server::new(1);
+    let client = server.client();
+    // period < warmup + detail: rejected by SampleConfig::validate at run
+    // time, surfaced as Failed — no lane was poisoned, so the dispatcher
+    // panic counter must stay at zero.
+    let bad = SampleSpec { period_insts: 100, ..quick_spec() };
+    let reason = client.run(JobSpec::Sample(bad)).expect_err("invalid spec must fail");
+    assert!(reason.contains("period"), "unhelpful failure reason: {reason}");
+    assert_eq!(server.job_panics(), 0, "polite failure must not unwind a lane");
+
+    // The same worker then serves a valid job normally.
+    let ok = client.run(JobSpec::Sample(quick_spec())).expect("valid job after failure");
+    assert!(matches!(ok, JobResult::Sampled(r) if r.intervals > 0));
+
+    // Failures are not cached: resubmitting the bad spec fails afresh.
+    let again = client.run(JobSpec::Sample(bad)).expect_err("still invalid");
+    assert!(again.contains("period"));
+}
+
+#[test]
+fn phase_clustered_sample_job_reports_weights() {
+    let spec = SampleSpec { phases: 3, threads: 0, ..quick_spec() };
+    let server = Server::new(1);
+    let client = server.client();
+    let r = match client.run(JobSpec::Sample(spec)).expect("phased sample job") {
+        JobResult::Sampled(r) => r,
+        other => panic!("unexpected result {other:?}"),
+    };
+    // At most k representative intervals, whose weights cover every
+    // stratum of the run.
+    assert!(r.intervals <= 3, "phases=3 ran {} intervals", r.intervals);
+    assert!(r.weight_sum >= r.intervals, "weights must cover the strata");
+    assert!(r.est_cpi() > 0.0 && r.est_cpi().is_finite());
+}

@@ -113,6 +113,143 @@ where
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Streams items from a serial producer through up to `jobs` workers and
+/// returns the results **in production order**, regardless of scheduling.
+///
+/// Where [`parallel_map`] needs the whole item set up front,
+/// `ordered_pipeline_map` overlaps *production* with *consumption*: the
+/// producer runs on the calling thread (it may borrow mutable state — a
+/// master emulator, a file reader) and hands each item into a bounded
+/// queue; workers pull, transform, and tag results with the production
+/// index; the final merge sorts by that tag. The bound (`capacity`)
+/// backpressures the producer so at most `capacity` items are buffered —
+/// the knob that keeps memory flat when items are large (checkpoints,
+/// warm-state images).
+///
+/// `init` builds one long-lived state value per worker (a warm core pool,
+/// a scratch buffer); `work` receives `(&mut state, index, item)`. With
+/// `jobs <= 1` everything runs inline on the calling thread, producing
+/// the exact same output.
+///
+/// Determinism contract: as with [`parallel_map`], `work` must be a pure
+/// function of its arguments (plus state it synchronises itself) and
+/// `init` must not make results depend on the worker id; under that
+/// contract the returned vector is byte-identical across any thread
+/// count.
+///
+/// Ordering audit (the fraktor-rs bug class): the queue has multiple
+/// consumers, but output order never depends on pop order — every result
+/// carries its production index and the merge sorts by it. A worker panic
+/// propagates on join (losing results silently would break determinism);
+/// callers that want per-item retry catch panics inside `work`.
+///
+/// # Panics
+///
+/// Panics if a worker panics out of `work` (after all workers are
+/// joined), re-raising the first panic payload.
+pub fn ordered_pipeline_map<T, R, S>(
+    jobs: usize,
+    capacity: usize,
+    init: impl Fn(usize) -> S + Sync,
+    mut produce: impl FnMut() -> Option<T>,
+    work: impl Fn(&mut S, usize, T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    let jobs = jobs.max(1);
+    if jobs == 1 {
+        let mut state = init(0);
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while let Some(item) = produce() {
+            out.push(work(&mut state, i, item));
+            i += 1;
+        }
+        return out;
+    }
+    let capacity = capacity.max(1);
+
+    use std::collections::VecDeque;
+    use std::sync::{Condvar, Mutex};
+    struct Shared<T> {
+        queue: Mutex<(VecDeque<(usize, T)>, bool)>,
+        /// Signalled when an item is pushed or production ends.
+        not_empty: Condvar,
+        /// Signalled when an item is popped.
+        not_full: Condvar,
+    }
+    let shared = Shared {
+        queue: Mutex::new((VecDeque::with_capacity(capacity), false)),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    };
+
+    let mut tagged: Vec<(usize, R)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(jobs);
+        for worker in 0..jobs {
+            let shared = &shared;
+            let init = &init;
+            let work = &work;
+            handles.push(scope.spawn(move || {
+                let mut state = init(worker);
+                let mut local: Vec<(usize, R)> = Vec::new();
+                let mut guard = shared.queue.lock().expect("pipeline queue poisoned");
+                loop {
+                    if let Some((i, item)) = guard.0.pop_front() {
+                        shared.not_full.notify_one();
+                        drop(guard);
+                        local.push((i, work(&mut state, i, item)));
+                        guard = shared.queue.lock().expect("pipeline queue poisoned");
+                    } else if guard.1 {
+                        break;
+                    } else {
+                        guard = shared
+                            .not_empty
+                            .wait(guard)
+                            .expect("pipeline queue poisoned");
+                    }
+                }
+                local
+            }));
+        }
+        // Production runs on the calling thread, overlapped with the
+        // workers; `produce` is called outside the lock so a slow
+        // producer never blocks consumers (and vice versa, up to the
+        // capacity bound).
+        let mut i = 0usize;
+        loop {
+            let item = produce();
+            let mut guard = shared.queue.lock().expect("pipeline queue poisoned");
+            match item {
+                Some(item) => {
+                    while guard.0.len() >= capacity {
+                        guard = shared.not_full.wait(guard).expect("pipeline queue poisoned");
+                    }
+                    guard.0.push_back((i, item));
+                    i += 1;
+                    drop(guard);
+                    shared.not_empty.notify_one();
+                }
+                None => {
+                    guard.1 = true;
+                    drop(guard);
+                    shared.not_empty.notify_all();
+                    break;
+                }
+            }
+        }
+        for h in handles {
+            tagged.extend(h.join().expect("ordered_pipeline_map worker panicked"));
+        }
+    });
+
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +281,100 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn pipeline_matches_serial_for_any_jobs_and_capacity() {
+        let serial: Vec<u64> = (0..300u64).map(|x| x.wrapping_mul(0x9E37_79B9)).collect();
+        for jobs in [1, 2, 4, 8] {
+            for capacity in [1, 2, 5, 64] {
+                let mut next = 0u64;
+                let out = ordered_pipeline_map(
+                    jobs,
+                    capacity,
+                    |_| (),
+                    || {
+                        if next < 300 {
+                            next += 1;
+                            Some(next - 1)
+                        } else {
+                            None
+                        }
+                    },
+                    |(), _, x| x.wrapping_mul(0x9E37_79B9),
+                );
+                assert_eq!(out, serial, "jobs={jobs} capacity={capacity}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_empty_producer() {
+        let out: Vec<u32> = ordered_pipeline_map(4, 2, |_| (), || None::<u32>, |(), _, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pipeline_reuses_per_worker_state() {
+        // Each worker counts how many items it processed; the counts must
+        // sum to the item count (state lives across items, one per worker).
+        use std::sync::atomic::AtomicUsize;
+        let per_worker: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        let mut next = 0u32;
+        let out = ordered_pipeline_map(
+            4,
+            3,
+            |w| w,
+            || {
+                if next < 97 {
+                    next += 1;
+                    Some(next - 1)
+                } else {
+                    None
+                }
+            },
+            |w, i, x| {
+                per_worker[*w].fetch_add(1, Ordering::Relaxed);
+                assert_eq!(i as u32, x);
+                x
+            },
+        );
+        assert_eq!(out, (0..97).collect::<Vec<u32>>());
+        let total: usize = per_worker.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, 97);
+    }
+
+    /// Pipeline twin of `stalled_workers_never_invert_order`: stalls force
+    /// completion order to diverge wildly from production order and the
+    /// bounded queue forces the producer to block mid-stream; the merge
+    /// must still return production order.
+    #[test]
+    fn pipeline_stalled_workers_never_invert_order() {
+        let serial: Vec<u64> = (0..256u64).map(|x| x.wrapping_mul(0x9E37_79B9)).collect();
+        for round in 0..3u64 {
+            let mut next = 0u64;
+            let out = ordered_pipeline_map(
+                8,
+                4,
+                |_| (),
+                || {
+                    if next < 256 {
+                        next += 1;
+                        Some(next - 1)
+                    } else {
+                        None
+                    }
+                },
+                |(), i, x| {
+                    let h = (i as u64 ^ (round << 32)).wrapping_mul(0x2545_F491_4F6C_DD1D);
+                    if h.is_multiple_of(5) {
+                        std::thread::sleep(std::time::Duration::from_micros(h % 300));
+                    }
+                    x.wrapping_mul(0x9E37_79B9)
+                },
+            );
+            assert_eq!(out, serial, "round={round}");
+        }
     }
 
     /// Pinned regression for the fraktor-rs BugBot scenario (see the
